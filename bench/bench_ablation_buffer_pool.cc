@@ -1,0 +1,78 @@
+// External-memory ablation (Section 3 storage model / Section 6.1 "it is
+// straightforward to place the data blocks in external memory"): puts the
+// data blocks of RSMI and HRR on disk behind an LRU buffer pool and sweeps
+// the pool size from 1% of the blocks to all of them. Reports physical
+// page reads per query, pool hit rate, and query time — the regime the
+// paper's "# block accesses" metric is a proxy for.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "storage/disk_backed_blocks.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void BufferPoolBench(benchmark::State& state, IndexKind kind,
+                     double pool_fraction) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, sc.default_n);
+  const auto& data = ctx.Dataset(kSweepDistribution, sc.default_n);
+
+  const size_t num_blocks = index->block_store().NumBlocks();
+  const size_t pool_pages = std::max<size_t>(
+      1, static_cast<size_t>(pool_fraction * num_blocks));
+  const std::string file =
+      "/tmp/rsmi_bench_pool_" + IndexKindName(kind) + ".pag";
+
+  const auto windows = GenerateWindowQueries(
+      data, sc.queries, kDefaultWindowArea, kDefaultAspect, kQuerySeed);
+
+  auto disk = DiskBackedBlocks::Attach(&index->block_store(), file,
+                                       pool_pages);
+  if (disk == nullptr) {
+    state.SkipWithError("disk attach failed");
+    return;
+  }
+
+  QueryMetrics wm;
+  for (auto _ : state) {
+    disk->ResetStats();
+    wm = RunWindowQueries(index, windows, nullptr);
+  }
+  const auto& ps = disk->pool_stats();
+  state.counters["pool_pages"] = static_cast<double>(pool_pages);
+  state.counters["win_ms"] = wm.time_us_per_query / 1000.0;
+  state.counters["blocks_per_query"] = wm.blocks_per_query;
+  state.counters["disk_reads_per_query"] =
+      static_cast<double>(disk->disk_reads()) / windows.size();
+  state.counters["hit_rate"] = ps.HitRate();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (IndexKind kind : {IndexKind::kRsmi, IndexKind::kHrr}) {
+    for (double fraction : {0.01, 0.05, 0.25, 1.0}) {
+      RegisterNamed(
+          BenchName("AblationBufferPool", "WindowQueryDisk",
+                    IndexKindName(kind),
+                    "pool" + std::to_string(static_cast<int>(
+                                 fraction * 100)) + "pct"),
+          [kind, fraction](benchmark::State& s) {
+            BufferPoolBench(s, kind, fraction);
+          })
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Build parallelization ablation: RSMI construction time vs. worker
+// threads. The rank-space packing technique RSMI builds on was designed
+// for "strong parallelizability" [37, 38]; in RSMI the per-leaf model
+// training dominates the build and parallelizes embarrassingly, while the
+// result stays bit-identical (tests/parallel_build_test.cc).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void BuildThreadsBench(benchmark::State& state, int threads) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  const auto& data = ctx.Dataset(kSweepDistribution, sc.default_n);
+
+  RsmiConfig rc;
+  const IndexBuildConfig bc = BuildConfig();
+  rc.block_capacity = bc.block_capacity;
+  rc.partition_threshold = bc.partition_threshold;
+  rc.train = bc.train;
+  rc.internal_sample_cap = bc.internal_sample_cap;
+  rc.build_threads = threads;
+
+  double build_s = 0.0;
+  int err_l = 0;
+  int err_a = 0;
+  for (auto _ : state) {
+    WallTimer t;
+    RsmiIndex index(data, rc);
+    build_s = t.ElapsedSeconds();
+    err_l = index.MaxErrBelow();
+    err_a = index.MaxErrAbove();
+  }
+  state.counters["build_s"] = build_s;
+  state.counters["err_l"] = err_l;
+  state.counters["err_a"] = err_a;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    RegisterNamed(
+        BenchName("AblationBuildThreads", "Build", "Skewed",
+                  "threads" + std::to_string(threads)),
+        [threads](benchmark::State& s) { BuildThreadsBench(s, threads); })
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Design ablation (Section 6.1): "RSMI uses Hilbert-curves for ordering as
+// these yield better query performance than Z-curves." Builds RSMI with
+// both curves and compares point/window/kNN time and recall.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+RsmiIndex& GetRsmi(Distribution dist, CurveType curve) {
+  static std::map<std::pair<Distribution, CurveType>,
+                  std::unique_ptr<RsmiIndex>>
+      cache;
+  auto key = std::make_pair(dist, curve);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const Scale& sc = GetScale();
+    const auto data = GenerateDataset(dist, sc.default_n, kDataSeed);
+    RsmiConfig rc;
+    const IndexBuildConfig bc = BuildConfig();
+    rc.block_capacity = bc.block_capacity;
+    rc.partition_threshold = bc.partition_threshold;
+    rc.train = bc.train;
+    rc.internal_sample_cap = bc.internal_sample_cap;
+    rc.build_threads = bc.build_threads;
+    rc.curve = curve;
+    it = cache.emplace(key, std::make_unique<RsmiIndex>(data, rc)).first;
+  }
+  return *it->second;
+}
+
+void CurveBench(benchmark::State& state, Distribution dist, CurveType curve) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  RsmiIndex& index = GetRsmi(dist, curve);
+  const auto& data = ctx.Dataset(dist, sc.default_n);
+
+  const auto points = GenerateQueryPoints(
+      data, std::min(sc.point_queries, data.size()), kQuerySeed);
+  const auto windows = GenerateWindowQueries(
+      data, sc.queries, kDefaultWindowArea, kDefaultAspect, kQuerySeed);
+  const auto knn_pts =
+      GenerateQueryPoints(data, sc.queries, kQuerySeed, 1e-4);
+
+  QueryMetrics pm;
+  QueryMetrics wm;
+  QueryMetrics km;
+  for (auto _ : state) {
+    pm = RunPointQueries(&index, points);
+    wm = RunWindowQueries(&index, windows, &data);
+    km = RunKnnQueries(&index, knn_pts, kDefaultK, &data);
+  }
+  state.counters["pq_us"] = pm.time_us_per_query;
+  state.counters["win_ms"] = wm.time_us_per_query / 1000.0;
+  state.counters["win_recall"] = wm.recall;
+  state.counters["knn_ms"] = km.time_us_per_query / 1000.0;
+  state.counters["knn_recall"] = km.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    for (CurveType c : {CurveType::kHilbert, CurveType::kZ}) {
+      RegisterNamed(
+          BenchName("AblationCurve", "RsmiCurve", DistributionName(d),
+                    CurveName(c)),
+          [d, c](benchmark::State& s) { CurveBench(s, d, c); })
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Section 6.2.5 (text): "We also studied the impact of deletions ... they
+// replicate the performance figures of insertions." This ablation deletes
+// 10%..50% n points and measures deletion time plus point query time
+// afterwards, mirroring Fig. 17 for deletions.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "common/rng.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<IndexKind> kKinds = {
+    IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb,
+    IndexKind::kRstar, IndexKind::kRsmi, IndexKind::kZm};
+
+struct DeleteState {
+  std::unique_ptr<SpatialIndex> index;
+  std::vector<Point> data;
+  size_t next = 0;  // deletions performed (front of the shuffled order)
+  std::vector<size_t> order;
+  double batch_us_per_delete = 0.0;
+};
+
+DeleteState& GetState(IndexKind kind) {
+  static std::map<IndexKind, DeleteState> states;
+  auto it = states.find(kind);
+  if (it != states.end()) return it->second;
+  const Scale& sc = GetScale();
+  DeleteState st;
+  st.data = GenerateDataset(kSweepDistribution, sc.default_n, kDataSeed);
+  st.index = MakeIndex(kind, st.data, BuildConfig());
+  st.order.resize(st.data.size());
+  for (size_t i = 0; i < st.order.size(); ++i) st.order[i] = i;
+  Rng rng(kQuerySeed);
+  std::shuffle(st.order.begin(), st.order.end(), rng.gen());
+  return states.emplace(kind, std::move(st)).first->second;
+}
+
+void DeleteBench(benchmark::State& state, IndexKind kind, int pct) {
+  DeleteState& st = GetState(kind);
+  const size_t target = st.data.size() * static_cast<size_t>(pct) / 100;
+  for (auto _ : state) {
+    if (st.next < target) {
+      WallTimer t;
+      size_t batch = 0;
+      for (; st.next < target; ++st.next, ++batch) {
+        st.index->Delete(st.data[st.order[st.next]]);
+      }
+      st.batch_us_per_delete = t.ElapsedMicros() / batch;
+    }
+  }
+  // Query the surviving points.
+  std::vector<Point> live;
+  live.reserve(st.data.size() - st.next);
+  for (size_t i = st.next; i < st.order.size(); ++i) {
+    live.push_back(st.data[st.order[i]]);
+  }
+  const Scale& sc = GetScale();
+  const auto queries = GenerateQueryPoints(
+      live, std::min(sc.point_queries, live.size()), kQuerySeed + pct);
+  const QueryMetrics m = RunPointQueries(st.index.get(), queries);
+  state.counters["delete_us"] = st.batch_us_per_delete;
+  state.counters["pq_us_per_query"] = m.time_us_per_query;
+  state.counters["pq_found"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (IndexKind k : kKinds) {
+    for (int pct : {10, 20, 30, 40, 50}) {
+      RegisterNamed(
+          BenchName("AblationDel", "Deletions", IndexKindName(k),
+                    "pct" + std::to_string(pct)),
+          [k, pct](benchmark::State& s) { DeleteBench(s, k, pct); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Update-strategy ablation (Section 5 vs. the Section 2 alternatives):
+// compares the paper's overflow-chain insertions against FITing-tree-style
+// per-leaf insert buffers [14] and ALEX-style build-time gapping [9] on
+// the same insert stream. Reports per-insert cost and point/window query
+// cost after 10%..50% n insertions, mirroring Fig. 17/18's protocol.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+enum class Strategy { kOverflowChain, kLeafBuffer, kGapped };
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kOverflowChain:
+      return "overflow-chain";
+    case Strategy::kLeafBuffer:
+      return "leaf-buffer";
+    case Strategy::kGapped:
+      return "gapped-80pct";
+  }
+  return "?";
+}
+
+struct State {
+  std::unique_ptr<RsmiIndex> index;
+  std::vector<Point> live;
+  std::vector<Point> pending;
+  size_t next = 0;
+  double batch_us_per_insert = 0.0;
+};
+
+State& GetState(Strategy strategy) {
+  static std::map<Strategy, State> states;
+  auto it = states.find(strategy);
+  if (it != states.end()) return it->second;
+
+  const Scale& sc = GetScale();
+  const auto data = GenerateDataset(kSweepDistribution, sc.default_n,
+                                    kDataSeed);
+  RsmiConfig rc;
+  const IndexBuildConfig bc = BuildConfig();
+  rc.block_capacity = bc.block_capacity;
+  rc.partition_threshold = bc.partition_threshold;
+  rc.train = bc.train;
+  rc.internal_sample_cap = bc.internal_sample_cap;
+  rc.build_threads = bc.build_threads;
+  switch (strategy) {
+    case Strategy::kOverflowChain:
+      break;  // paper defaults
+    case Strategy::kLeafBuffer:
+      rc.update_strategy = UpdateStrategy::kLeafBuffer;
+      break;
+    case Strategy::kGapped:
+      rc.build_fill_factor = 0.8;
+      break;
+  }
+  State st;
+  st.live = data;
+  st.pending =
+      GenerateDataset(kSweepDistribution, sc.default_n / 2, kDataSeed + 77);
+  st.index = std::make_unique<RsmiIndex>(data, rc);
+  return states.emplace(strategy, std::move(st)).first->second;
+}
+
+void AdvanceInserts(State* st, int target_pct) {
+  const size_t target =
+      st->pending.size() * static_cast<size_t>(target_pct) / 50;
+  if (st->next >= target) return;
+  WallTimer t;
+  size_t batch = 0;
+  for (; st->next < target; ++st->next) {
+    st->index->Insert(st->pending[st->next]);
+    st->live.push_back(st->pending[st->next]);
+    ++batch;
+  }
+  st->batch_us_per_insert = batch == 0 ? 0.0 : t.ElapsedMicros() / batch;
+}
+
+void StrategyBench(benchmark::State& state, Strategy strategy, int pct) {
+  const Scale& sc = GetScale();
+  State& st = GetState(strategy);
+  AdvanceInserts(&st, pct);
+
+  const auto points = GenerateQueryPoints(
+      st.live, std::min(sc.point_queries, st.live.size()), kQuerySeed);
+  const auto windows = GenerateWindowQueries(
+      st.live, sc.queries, kDefaultWindowArea, kDefaultAspect, kQuerySeed);
+
+  QueryMetrics pm;
+  QueryMetrics wm;
+  for (auto _ : state) {
+    pm = RunPointQueries(st.index.get(), points);
+    wm = RunWindowQueries(st.index.get(), windows, &st.live);
+  }
+  state.counters["insert_us"] = st.batch_us_per_insert;
+  state.counters["pq_us"] = pm.time_us_per_query;
+  state.counters["pq_blocks"] = pm.blocks_per_query;
+  state.counters["win_ms"] = wm.time_us_per_query / 1000.0;
+  state.counters["win_recall"] = wm.recall;
+  state.counters["num_blocks"] =
+      static_cast<double>(st.index->block_store().NumBlocks());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Strategy s : {Strategy::kOverflowChain, Strategy::kLeafBuffer,
+                     Strategy::kGapped}) {
+    for (int pct : {10, 20, 30, 40, 50}) {
+      RegisterNamed(
+          BenchName("AblationUpdateStrategy", "AfterInserts",
+                    StrategyName(s), "pct" + std::to_string(pct)),
+          [s, pct](benchmark::State& st) { StrategyBench(st, s, pct); })
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 6: point query time (a) and block accesses (b) vs data
+// distribution, for all six indices. Expected shape: RSMI fastest with the
+// fewest block accesses; Grid competitive on Uniform only and worst in
+// block accesses under skew.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<IndexKind> kKinds = {
+    IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb,
+    IndexKind::kRstar, IndexKind::kRsmi, IndexKind::kZm};
+
+void PointBench(benchmark::State& state, Distribution d, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, d, sc.default_n);
+  const auto& data = ctx.Dataset(d, sc.default_n);
+  // "We use all data points in each data set as the query points"
+  // (Section 6.2.2) — sampled at laptop scale.
+  const auto queries = GenerateQueryPoints(
+      data, std::min(sc.point_queries, data.size()), kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunPointQueries(index, queries);
+  }
+  state.counters["us_per_query"] = m.time_us_per_query;
+  state.counters["blocks_per_query"] = m.blocks_per_query;
+  state.counters["found"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    for (IndexKind k : kKinds) {
+      RegisterNamed(
+          BenchName("Fig06", "PointQuery", DistributionName(d),
+                    IndexKindName(k)),
+          [d, k](benchmark::State& s) { PointBench(s, d, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 7: index size (a) and construction time (b) vs data distribution.
+// Expected shape: learned indices smallest; RR* largest and slowest to
+// build (tuple-at-a-time); HRR larger than RSMI due to its two B+-trees;
+// Grid/KDB build fastest.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<IndexKind> kKinds = {
+    IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb,
+    IndexKind::kRstar, IndexKind::kRsmi, IndexKind::kZm};
+
+void SizeBuildBench(benchmark::State& state, Distribution d, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  double build_s = 0.0;
+  SpatialIndex* index = ctx.Index(kind, d, sc.default_n, &build_s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Stats().size_bytes);
+  }
+  const IndexStats s = index->Stats();
+  state.counters["size_MB"] = static_cast<double>(s.size_bytes) / 1048576.0;
+  state.counters["build_s"] = build_s;
+  state.counters["height"] = s.height;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    for (IndexKind k : kKinds) {
+      RegisterNamed(
+          BenchName("Fig07", "SizeBuild", DistributionName(d),
+                    IndexKindName(k)),
+          [d, k](benchmark::State& s) { SizeBuildBench(s, d, k); })
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

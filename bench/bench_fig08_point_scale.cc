@@ -1,0 +1,50 @@
+// Fig. 8: point query time (a) and block accesses (b) vs data set size on
+// Skewed data. Expected shape: costs grow with n; RSMI lowest throughout.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<IndexKind> kKinds = {
+    IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb,
+    IndexKind::kRstar, IndexKind::kRsmi, IndexKind::kZm};
+
+void PointScaleBench(benchmark::State& state, size_t n, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, n);
+  const auto& data = ctx.Dataset(kSweepDistribution, n);
+  const auto queries =
+      GenerateQueryPoints(data, std::min(sc.point_queries, n), kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunPointQueries(index, queries);
+  }
+  state.counters["us_per_query"] = m.time_us_per_query;
+  state.counters["blocks_per_query"] = m.blocks_per_query;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (size_t n : GetScale().sweep_n) {
+    for (IndexKind k : kKinds) {
+      RegisterNamed(
+          BenchName("Fig08", "PointQueryScale", "n" + std::to_string(n),
+                    IndexKindName(k)),
+          [n, k](benchmark::State& s) { PointScaleBench(s, n, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 9: index size (a) and construction time (b) vs data set size on
+// Skewed data. Expected shape: both grow roughly linearly; RSMI stays
+// small; RR*'s insertion-based construction is the slowest.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<IndexKind> kKinds = {
+    IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb,
+    IndexKind::kRstar, IndexKind::kRsmi, IndexKind::kZm};
+
+void SizeBuildScaleBench(benchmark::State& state, size_t n, IndexKind kind) {
+  Context& ctx = Context::Get();
+  double build_s = 0.0;
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, n, &build_s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Stats().size_bytes);
+  }
+  state.counters["size_MB"] =
+      static_cast<double>(index->Stats().size_bytes) / 1048576.0;
+  state.counters["build_s"] = build_s;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (size_t n : GetScale().sweep_n) {
+    for (IndexKind k : kKinds) {
+      RegisterNamed(
+          BenchName("Fig09", "SizeBuildScale", "n" + std::to_string(n),
+                    IndexKindName(k)),
+          [n, k](benchmark::State& s) { SizeBuildScaleBench(s, n, k); })
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 10: window query time (a) and recall (b) vs data distribution,
+// including RSMIa. Expected shape: RSMI fastest except on Uniform where
+// Grid is competitive; RSMI recall consistently above ~0.9; RSMIa and all
+// traditional indices exact (recall 1).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void WindowBench(benchmark::State& state, Distribution d, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, d, sc.default_n);
+  const auto& data = ctx.Dataset(d, sc.default_n);
+  const auto windows = GenerateWindowQueries(
+      data, sc.queries, kDefaultWindowArea, kDefaultAspect, kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunWindowQueries(index, windows, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["blocks_per_query"] = m.blocks_per_query;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    for (IndexKind k : AllIndexKinds()) {
+      RegisterNamed(
+          BenchName("Fig10", "WindowQuery", DistributionName(d),
+                    IndexKindName(k)),
+          [d, k](benchmark::State& s) { WindowBench(s, d, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

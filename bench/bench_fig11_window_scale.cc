@@ -1,0 +1,47 @@
+// Fig. 11: window query time (a) and recall (b) vs data set size (Skewed),
+// including RSMIa. Expected shape: times grow with n; RSMI fastest at
+// larger n; recall dips slightly with n but stays high.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void WindowScaleBench(benchmark::State& state, size_t n, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, n);
+  const auto& data = ctx.Dataset(kSweepDistribution, n);
+  const auto windows = GenerateWindowQueries(
+      data, sc.queries, kDefaultWindowArea, kDefaultAspect, kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunWindowQueries(index, windows, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (size_t n : GetScale().sweep_n) {
+    for (IndexKind k : AllIndexKinds()) {
+      RegisterNamed(
+          BenchName("Fig11", "WindowQueryScale", "n" + std::to_string(n),
+                    IndexKindName(k)),
+          [n, k](benchmark::State& s) { WindowScaleBench(s, n, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

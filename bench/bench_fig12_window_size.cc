@@ -1,0 +1,54 @@
+// Fig. 12: window query time (a) and recall (b) vs query window size
+// (0.0006% to 0.16% of the data space, Table 2). Expected shape: times
+// grow with the window size; RSMI fastest with recall above ~0.9.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+// Window sizes as fractions of the unit space (the paper's percentages).
+const std::vector<double> kWindowAreas = {0.000006, 0.000025, 0.0001,
+                                          0.0004, 0.0016};
+
+void WindowSizeBench(benchmark::State& state, double area, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, sc.default_n);
+  const auto& data = ctx.Dataset(kSweepDistribution, sc.default_n);
+  const auto windows =
+      GenerateWindowQueries(data, sc.queries, area, kDefaultAspect,
+                            kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunWindowQueries(index, windows, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+  state.counters["results_per_query"] = m.results_per_query;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (double area : kWindowAreas) {
+    for (IndexKind k : AllIndexKinds()) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "area%.4f%%", area * 100.0);
+      RegisterNamed(
+          BenchName("Fig12", "WindowQuerySize", label, IndexKindName(k)),
+          [area, k](benchmark::State& s) { WindowSizeBench(s, area, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 13: window query time (a) and recall (b) vs query window aspect
+// ratio (0.25 to 4, Table 2). Expected shape: aspect ratio matters far
+// less than window size; RSMI fastest with recall above ~0.89.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<double> kAspects = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+void WindowAspectBench(benchmark::State& state, double aspect,
+                       IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, sc.default_n);
+  const auto& data = ctx.Dataset(kSweepDistribution, sc.default_n);
+  const auto windows = GenerateWindowQueries(
+      data, sc.queries, kDefaultWindowArea, aspect, kQuerySeed);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunWindowQueries(index, windows, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (double aspect : kAspects) {
+    for (IndexKind k : AllIndexKinds()) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "aspect%.2f", aspect);
+      RegisterNamed(
+          BenchName("Fig13", "WindowQueryAspect", label, IndexKindName(k)),
+          [aspect, k](benchmark::State& s) {
+            WindowAspectBench(s, aspect, k);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 14: kNN query time (a) and recall (b) vs data distribution
+// (k = 25), including RSMIa. Expected shape: RSMI fastest (it reuses its
+// fast window queries); ZM much slower despite using the same kNN
+// algorithm; RSMI recall above ~0.9.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void KnnBench(benchmark::State& state, Distribution d, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, d, sc.default_n);
+  const auto& data = ctx.Dataset(d, sc.default_n);
+  const auto queries = GenerateQueryPoints(data, sc.queries, kQuerySeed,
+                                           /*perturb=*/1e-4);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunKnnQueries(index, queries, kDefaultK, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["blocks_per_query"] = m.blocks_per_query;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    for (IndexKind k : AllIndexKinds()) {
+      RegisterNamed(
+          BenchName("Fig14", "KnnQuery", DistributionName(d),
+                    IndexKindName(k)),
+          [d, k](benchmark::State& s) { KnnBench(s, d, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 15: kNN query time (a) and recall (b) vs data set size (Skewed,
+// k = 25), including RSMIa. Expected shape: times grow with n; RSMI
+// fastest; recall decreases slightly with n but stays high.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void KnnScaleBench(benchmark::State& state, size_t n, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, n);
+  const auto& data = ctx.Dataset(kSweepDistribution, n);
+  const auto queries = GenerateQueryPoints(data, sc.queries, kQuerySeed,
+                                           /*perturb=*/1e-4);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunKnnQueries(index, queries, kDefaultK, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (size_t n : GetScale().sweep_n) {
+    for (IndexKind k : AllIndexKinds()) {
+      RegisterNamed(
+          BenchName("Fig15", "KnnQueryScale", "n" + std::to_string(n),
+                    IndexKindName(k)),
+          [n, k](benchmark::State& s) { KnnScaleBench(s, n, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

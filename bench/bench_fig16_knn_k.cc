@@ -1,0 +1,49 @@
+// Fig. 16: kNN query time (a) and recall (b) vs k (1 to 625, Table 2),
+// including RSMIa. Expected shape: costs grow with k; RSMI stays fastest
+// with recall between ~0.89 and ~0.97.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<size_t> kKValues = {1, 5, 25, 125, 625};
+
+void KnnKBench(benchmark::State& state, size_t k_value, IndexKind kind) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  SpatialIndex* index = ctx.Index(kind, kSweepDistribution, sc.default_n);
+  const auto& data = ctx.Dataset(kSweepDistribution, sc.default_n);
+  const auto queries = GenerateQueryPoints(data, sc.queries, kQuerySeed,
+                                           /*perturb=*/1e-4);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunKnnQueries(index, queries, k_value, &data);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (size_t k_value : kKValues) {
+    for (IndexKind k : AllIndexKinds()) {
+      RegisterNamed(
+          BenchName("Fig16", "KnnQueryK", "k" + std::to_string(k_value),
+                    IndexKindName(k)),
+          [k_value, k](benchmark::State& s) { KnnKBench(s, k_value, k); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 17: insertion time (a) and point query time after insertions (b)
+// for 10%..50% n inserted points (Skewed), including RSMIr (periodic
+// rebuild). Expected shape: insertion times grow slowly; learned indices
+// degrade most on queries but RSMI stays fastest; RSMIr restores query
+// performance at a bounded amortized insertion cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_update_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<UpdateKind> kKinds = {
+    UpdateKind::kGrid, UpdateKind::kHrr,   UpdateKind::kKdb,
+    UpdateKind::kRstar, UpdateKind::kRsmi, UpdateKind::kRsmir,
+    UpdateKind::kZm};
+
+void InsertBench(benchmark::State& state, UpdateKind kind, int pct) {
+  UpdateState& st = GetUpdateState(kind, kSweepDistribution);
+  for (auto _ : state) {
+    AdvanceInserts(&st, pct);
+  }
+  const Scale& sc = GetScale();
+  const auto queries = GenerateQueryPoints(
+      st.live, std::min(sc.point_queries, st.live.size()), kQuerySeed + pct);
+  const QueryMetrics m = RunPointQueries(st.index.get(), queries);
+  state.counters["insert_us"] = st.batch_us_per_insert;
+  state.counters["pq_us_per_query"] = m.time_us_per_query;
+  state.counters["pq_blocks"] = m.blocks_per_query;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  // Batches must run in ascending order per kind (shared state).
+  for (UpdateKind k : kKinds) {
+    for (int pct : {10, 20, 30, 40, 50}) {
+      RegisterNamed(
+          BenchName("Fig17", "Insertions", UpdateKindName(k),
+                    "pct" + std::to_string(pct)),
+          [k, pct](benchmark::State& s) { InsertBench(s, k, pct); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

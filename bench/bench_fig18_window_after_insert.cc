@@ -1,0 +1,53 @@
+// Fig. 18: window query time (a) and recall (b) after 10%..50% n
+// insertions (Skewed), including RSMIa. Expected shape: RR*/HRR close to
+// RSMI as insertions accumulate; RSMI recall stays above ~0.87.
+#include <benchmark/benchmark.h>
+
+#include "bench_update_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<UpdateKind> kKinds = {
+    UpdateKind::kGrid, UpdateKind::kHrr,   UpdateKind::kKdb,
+    UpdateKind::kRstar, UpdateKind::kRsmi, UpdateKind::kRsmia,
+    UpdateKind::kZm};
+
+void WindowAfterInsertBench(benchmark::State& state, UpdateKind kind,
+                            int pct) {
+  UpdateState& st = GetUpdateState(kind, kSweepDistribution);
+  AdvanceInserts(&st, pct);
+  const Scale& sc = GetScale();
+  const auto windows = GenerateWindowQueries(
+      st.live, sc.queries, kDefaultWindowArea, kDefaultAspect,
+      kQuerySeed + pct);
+  QueryMetrics m;
+  for (auto _ : state) {
+    m = RunWindowQueries(st.index.get(), windows, &st.live);
+  }
+  state.counters["ms_per_query"] = m.time_us_per_query / 1000.0;
+  state.counters["recall"] = m.recall;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (UpdateKind k : kKinds) {
+    for (int pct : {10, 20, 30, 40, 50}) {
+      RegisterNamed(
+          BenchName("Fig18", "WindowAfterInsert", UpdateKindName(k),
+                    "pct" + std::to_string(pct)),
+          [k, pct](benchmark::State& s) { WindowAfterInsertBench(s, k, pct); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4: maximum prediction error bounds (err_l, err_a) of ZM vs RSMI
+// on every distribution. The paper reports ZM bounds on the order of 10^4
+// blocks vs double-digit bounds for RSMI; the shape to reproduce is
+// "ZM's bounds dwarf RSMI's, increasingly so under skew".
+#include <benchmark/benchmark.h>
+
+#include "baselines/zm_index.h"
+#include "bench_common.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+void ErrorBoundBench(benchmark::State& state, Distribution dist) {
+  Context& ctx = Context::Get();
+  const Scale& sc = GetScale();
+  const auto& data = ctx.Dataset(dist, sc.default_n);
+  const IndexBuildConfig bc = BuildConfig();
+
+  ZmConfig zc;
+  zc.block_capacity = bc.block_capacity;
+  zc.train = bc.train;
+  zc.sample_cap = bc.internal_sample_cap;
+  ZmIndex zm(data, zc);
+
+  RsmiIndex* rsmi = ctx.Rsmi(dist, sc.default_n);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zm.MaxErrBelow());
+  }
+  state.counters["zm_err_l"] = zm.MaxErrBelow();
+  state.counters["zm_err_a"] = zm.MaxErrAbove();
+  state.counters["rsmi_err_l"] = rsmi->MaxErrBelow();
+  state.counters["rsmi_err_a"] = rsmi->MaxErrAbove();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (Distribution d : BenchDistributions()) {
+    RegisterNamed(
+        BenchName("Table4", "ErrorBounds", DistributionName(d), "ZMvsRSMI"),
+        [d](benchmark::State& s) { ErrorBoundBench(s, d); })
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

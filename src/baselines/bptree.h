@@ -1,0 +1,84 @@
+#ifndef RSMI_BASELINES_BPTREE_H_
+#define RSMI_BASELINES_BPTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "storage/block_store.h"
+
+namespace rsmi {
+
+/// A bulk-loaded, read-only B+-tree over sorted coordinate values.
+///
+/// HRR keeps one of these per dimension to map query-window coordinates to
+/// rank space at query time (Qi et al. [37, 38]); they are the "two extra
+/// B-trees" that make HRR's index larger than RSMI's (Section 6.2.2).
+/// Implemented as implicit array levels: the leaf level stores the sorted
+/// values in pages of `fanout`; each inner level stores its children's
+/// first keys. A lookup descends one page per level, charging one block
+/// access per page to the shared counter.
+class BPlusTree {
+ public:
+  BPlusTree() = default;
+
+  /// `values` must be sorted ascending. `counter` (may be null) receives
+  /// one access per level visited on each lookup.
+  BPlusTree(std::vector<double> values, int fanout,
+            const BlockStore* counter)
+      : fanout_(fanout), counter_(counter), leaves_(std::move(values)) {
+    std::vector<double>* prev = &leaves_;
+    while (prev->size() > static_cast<size_t>(fanout_)) {
+      std::vector<double> level;
+      level.reserve((prev->size() + fanout_ - 1) / fanout_);
+      for (size_t i = 0; i < prev->size(); i += fanout_) {
+        level.push_back((*prev)[i]);
+      }
+      inner_.push_back(std::move(level));
+      prev = &inner_.back();
+    }
+  }
+
+  /// Number of stored values strictly less than `v` (the rank of `v` in
+  /// the rank space; ties resolved like the rank-space transform's sort).
+  /// Set `charge=false` for internal maintenance lookups that should not
+  /// count towards query/insert block accesses.
+  size_t RankLower(double v, bool charge = true) const {
+    if (charge) ChargeDescent();
+    return static_cast<size_t>(
+        std::lower_bound(leaves_.begin(), leaves_.end(), v) -
+        leaves_.begin());
+  }
+
+  /// Number of stored values less than or equal to `v` (upper rank bound).
+  size_t RankUpper(double v, bool charge = true) const {
+    if (charge) ChargeDescent();
+    return static_cast<size_t>(
+        std::upper_bound(leaves_.begin(), leaves_.end(), v) -
+        leaves_.begin());
+  }
+
+  int height() const { return 1 + static_cast<int>(inner_.size()); }
+
+  size_t SizeBytes() const {
+    size_t bytes = leaves_.size() * sizeof(double);
+    for (const auto& level : inner_) bytes += level.size() * sizeof(double);
+    return bytes;
+  }
+
+ private:
+  void ChargeDescent() const {
+    if (counter_ != nullptr && !leaves_.empty()) {
+      counter_->CountAccess(static_cast<uint64_t>(height()));
+    }
+  }
+
+  int fanout_ = 100;
+  const BlockStore* counter_ = nullptr;
+  std::vector<double> leaves_;
+  std::vector<std::vector<double>> inner_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_BASELINES_BPTREE_H_

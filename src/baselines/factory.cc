@@ -1,0 +1,133 @@
+#include "baselines/factory.h"
+
+#include "baselines/grid_file.h"
+#include "baselines/hrr_tree.h"
+#include "baselines/kdb_tree.h"
+#include "baselines/rstar_tree.h"
+#include "baselines/zm_index.h"
+
+namespace rsmi {
+
+const std::vector<IndexKind>& AllIndexKinds() {
+  static const std::vector<IndexKind> kAll = {
+      IndexKind::kGrid, IndexKind::kHrr,  IndexKind::kKdb, IndexKind::kRstar,
+      IndexKind::kRsmi, IndexKind::kRsmia, IndexKind::kZm};
+  return kAll;
+}
+
+std::string IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kGrid:
+      return "Grid";
+    case IndexKind::kHrr:
+      return "HRR";
+    case IndexKind::kKdb:
+      return "KDB";
+    case IndexKind::kRstar:
+      return "RR*";
+    case IndexKind::kRsmi:
+      return "RSMI";
+    case IndexKind::kRsmia:
+      return "RSMIa";
+    case IndexKind::kZm:
+      return "ZM";
+  }
+  return "?";
+}
+
+bool HasApproximateQueries(IndexKind kind) {
+  return kind == IndexKind::kRsmi || kind == IndexKind::kZm;
+}
+
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind,
+                                        const std::vector<Point>& pts,
+                                        const IndexBuildConfig& cfg) {
+  switch (kind) {
+    case IndexKind::kGrid: {
+      GridConfig c;
+      c.block_capacity = cfg.block_capacity;
+      return std::make_unique<GridFile>(pts, c);
+    }
+    case IndexKind::kHrr: {
+      HrrConfig c;
+      c.block_capacity = cfg.block_capacity;
+      c.node_fanout = cfg.block_capacity;  // 100 MBRs per node (Section 6.1)
+      return std::make_unique<HrrTree>(pts, c);
+    }
+    case IndexKind::kKdb: {
+      KdbConfig c;
+      c.block_capacity = cfg.block_capacity;
+      return std::make_unique<KdbTree>(pts, c);
+    }
+    case IndexKind::kRstar: {
+      RStarConfig c;
+      c.block_capacity = cfg.block_capacity;
+      c.fanout = cfg.block_capacity;
+      return std::make_unique<RStarTree>(pts, c);
+    }
+    case IndexKind::kRsmi:
+    case IndexKind::kRsmia: {
+      RsmiConfig c;
+      c.block_capacity = cfg.block_capacity;
+      c.partition_threshold = cfg.partition_threshold;
+      c.train = cfg.train;
+      c.internal_sample_cap = cfg.internal_sample_cap;
+      c.build_threads = cfg.build_threads;
+      c.seed = cfg.seed;
+      auto impl = std::make_shared<RsmiIndex>(pts, c);
+      return kind == IndexKind::kRsmia ? MakeRsmiaView(std::move(impl))
+                                       : MakeRsmiView(std::move(impl));
+    }
+    case IndexKind::kZm: {
+      ZmConfig c;
+      c.block_capacity = cfg.block_capacity;
+      c.train = cfg.train;
+      c.sample_cap = cfg.internal_sample_cap;
+      c.seed = cfg.seed;
+      return std::make_unique<ZmIndex>(pts, c);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SpatialIndex> MakeRsmiaView(std::shared_ptr<RsmiIndex> impl) {
+  return std::make_unique<RsmiaView>(std::move(impl));
+}
+
+namespace {
+
+/// Shared-ownership pass-through with the plain (approximate) queries.
+class RsmiView : public SpatialIndex {
+ public:
+  explicit RsmiView(std::shared_ptr<RsmiIndex> impl)
+      : impl_(std::move(impl)) {}
+  std::string Name() const override { return impl_->Name(); }
+  std::optional<PointEntry> PointQuery(const Point& q) const override {
+    return impl_->PointQuery(q);
+  }
+  std::vector<Point> WindowQuery(const Rect& w) const override {
+    return impl_->WindowQuery(w);
+  }
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override {
+    return impl_->KnnQuery(q, k);
+  }
+  void Insert(const Point& p) override { impl_->Insert(p); }
+  bool Delete(const Point& p) override { return impl_->Delete(p); }
+  IndexStats Stats() const override { return impl_->Stats(); }
+  uint64_t block_accesses() const override { return impl_->block_accesses(); }
+  void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
+  const BlockStore& block_store() const override {
+    return impl_->block_store();
+  }
+
+ private:
+  std::shared_ptr<RsmiIndex> impl_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpatialIndex> MakeRsmiView(std::shared_ptr<RsmiIndex> impl) {
+  return std::make_unique<RsmiView>(std::move(impl));
+}
+
+}  // namespace rsmi

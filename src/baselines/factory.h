@@ -1,0 +1,99 @@
+#ifndef RSMI_BASELINES_FACTORY_H_
+#define RSMI_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rsmi_index.h"
+#include "core/spatial_index.h"
+
+namespace rsmi {
+
+/// The indices compared in the paper's evaluation (Section 6.1), in the
+/// paper's legend order, plus RSMIa (the exact-query RSMI variant added
+/// in Section 6.2.3).
+enum class IndexKind {
+  kGrid,
+  kHrr,
+  kKdb,
+  kRstar,
+  kRsmi,
+  kRsmia,
+  kZm,
+};
+
+/// All kinds, legend order.
+const std::vector<IndexKind>& AllIndexKinds();
+
+std::string IndexKindName(IndexKind kind);
+
+/// True for the learned indices whose window/kNN answers are approximate
+/// (RSMI and ZM); Grid/HRR/KDB/RR* and RSMIa are exact.
+bool HasApproximateQueries(IndexKind kind);
+
+/// Shared build parameters. The defaults reproduce the paper's setup
+/// (B=100, N=10000); tests and laptop-scale benches shrink them.
+struct IndexBuildConfig {
+  int block_capacity = 100;
+  int partition_threshold = 10000;
+  MlpTrainConfig train;
+  int internal_sample_cap = 8192;
+  uint64_t seed = 42;
+  /// Worker threads for RSMI leaf training (bit-identical results at any
+  /// count; see RsmiConfig::build_threads). Ignored by the other indices.
+  int build_threads = 1;
+};
+
+/// Builds an index of the requested kind over `pts`. For kRsmia this
+/// builds a fresh RSMI and wraps it; when benchmarking RSMI and RSMIa
+/// together, build one RsmiIndex and use MakeRsmiaView to share it.
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind,
+                                        const std::vector<Point>& pts,
+                                        const IndexBuildConfig& cfg);
+
+/// RSMIa (Section 6.2.3): a view over an RSMI whose window/kNN queries
+/// run the exact MBR-based algorithms.
+class RsmiaView : public SpatialIndex {
+ public:
+  explicit RsmiaView(std::shared_ptr<RsmiIndex> impl)
+      : impl_(std::move(impl)) {}
+
+  std::string Name() const override { return "RSMIa"; }
+  std::optional<PointEntry> PointQuery(const Point& q) const override {
+    return impl_->PointQuery(q);
+  }
+  std::vector<Point> WindowQuery(const Rect& w) const override {
+    return impl_->WindowQueryExact(w);
+  }
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override {
+    return impl_->KnnQueryExact(q, k);
+  }
+  void Insert(const Point& p) override { impl_->Insert(p); }
+  bool Delete(const Point& p) override { return impl_->Delete(p); }
+  IndexStats Stats() const override {
+    IndexStats s = impl_->Stats();
+    s.name = Name();
+    return s;
+  }
+  uint64_t block_accesses() const override { return impl_->block_accesses(); }
+  void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
+  const BlockStore& block_store() const override {
+    return impl_->block_store();
+  }
+
+  RsmiIndex* impl() { return impl_.get(); }
+
+ private:
+  std::shared_ptr<RsmiIndex> impl_;
+};
+
+std::unique_ptr<SpatialIndex> MakeRsmiaView(std::shared_ptr<RsmiIndex> impl);
+
+/// Approximate-query (plain RSMI) view over a shared RsmiIndex, so RSMI
+/// and RSMIa can be benchmarked against one build like in the paper.
+std::unique_ptr<SpatialIndex> MakeRsmiView(std::shared_ptr<RsmiIndex> impl);
+
+}  // namespace rsmi
+
+#endif  // RSMI_BASELINES_FACTORY_H_

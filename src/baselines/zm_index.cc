@@ -1,0 +1,505 @@
+#include "baselines/zm_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "sfc/z_curve.h"
+
+namespace rsmi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int Clamp(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
+
+}  // namespace
+
+ZmIndex::ZmIndex(const std::vector<Point>& pts, const ZmConfig& cfg)
+    : cfg_(cfg), store_(cfg.block_capacity) {
+  n_build_ = pts.size();
+  live_points_ = pts.size();
+  next_id_ = static_cast<int64_t>(pts.size());
+
+  data_bounds_ = Rect::Bound(pts.begin(), pts.end());
+  if (!data_bounds_.Valid()) data_bounds_ = Rect::UnitSquare();
+  span_x_ = std::max(1e-12, data_bounds_.hi.x - data_bounds_.lo.x);
+  span_y_ = std::max(1e-12, data_bounds_.hi.y - data_bounds_.lo.y);
+
+  {
+    std::vector<double> xs(pts.size());
+    std::vector<double> ys(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      xs[i] = pts[i].x;
+      ys[i] = pts[i].y;
+    }
+    pmf_x_ = Pmf(std::move(xs), cfg_.pmf_partitions);
+    pmf_y_ = Pmf(std::move(ys), cfg_.pmf_partitions);
+  }
+
+  // Sort by Z-value (stable ties by coordinates for determinism).
+  const size_t n = pts.size();
+  std::vector<uint64_t> zv(n);
+  for (size_t i = 0; i < n; ++i) zv[i] = ZValue(pts[i]);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (zv[a] != zv[b]) return zv[a] < zv[b];
+    return LessByXThenY{}(pts[a], pts[b]);
+  });
+
+  // Pack every B points into a block in Z order (block Z-ranges recorded
+  // for the query-time binary search).
+  const int B = cfg_.block_capacity;
+  num_build_blocks_ =
+      n == 0 ? 1 : static_cast<int>((n + B - 1) / B);
+  for (int b = 0; b < num_build_blocks_; ++b) {
+    const int id = store_.Alloc();
+    Block& blk = store_.MutableBlock(id);
+    const size_t lo = static_cast<size_t>(b) * B;
+    const size_t hi = std::min(n, lo + B);
+    blk.entries.reserve(B);
+    for (size_t t = lo; t < hi; ++t) {
+      const size_t i = order[t];
+      blk.entries.push_back(PointEntry{pts[i], static_cast<int64_t>(i)});
+      blk.mbr.Expand(pts[i]);
+    }
+    if (hi > lo) {
+      blk.cv_lo = zv[order[lo]];
+      blk.cv_hi = zv[order[hi - 1]];
+    }
+  }
+  if (n == 0) return;
+
+  // --- Three-level RMI over (normalized Z-value -> normalized rank) ---
+  // Level sizes: 1, sqrt(n)/B, n/B^2 (Section 6.1).
+  const size_t m1 = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(n)) / B));
+  const size_t m2 = std::max<size_t>(1, n / (static_cast<size_t>(B) * B));
+  mid_.resize(m1);
+  leaves_.resize(m2);
+
+  std::vector<double> z_norm(n);
+  std::vector<double> rank_norm(n);
+  for (size_t t = 0; t < n; ++t) {
+    z_norm[t] = NormZ(zv[order[t]]);
+    rank_norm[t] = n == 1 ? 0.0 : static_cast<double>(t) / (n - 1);
+  }
+
+  MlpTrainConfig tc = cfg_.train;
+
+  // Level 0.
+  root_ = std::make_unique<Mlp>(1, cfg_.hidden_internal, cfg_.seed);
+  tc.seed = cfg_.seed + 1;
+  tc.max_samples = cfg_.sample_cap;
+  root_->Train(z_norm, rank_norm, tc);
+
+  // Level 1: bucket by the parent's predicted rank (RMI semantics [26]).
+  std::vector<std::vector<size_t>> buckets1(m1);
+  for (size_t t = 0; t < n; ++t) {
+    const double pred = root_->Predict1(z_norm[t]);
+    const size_t b = std::min<size_t>(
+        m1 - 1,
+        static_cast<size_t>(std::max(0.0, pred) * static_cast<double>(m1)));
+    buckets1[b].push_back(t);
+  }
+  std::vector<std::vector<size_t>> buckets2(m2);
+  for (size_t b = 0; b < m1; ++b) {
+    mid_[b] = std::make_unique<Mlp>(1, cfg_.hidden_internal,
+                                    cfg_.seed + 100 + b);
+    if (!buckets1[b].empty()) {
+      std::vector<double> x;
+      std::vector<double> y;
+      x.reserve(buckets1[b].size());
+      y.reserve(buckets1[b].size());
+      for (size_t t : buckets1[b]) {
+        x.push_back(z_norm[t]);
+        y.push_back(rank_norm[t]);
+      }
+      tc.seed = cfg_.seed + 200 + b;
+      mid_[b]->Train(x, y, tc);
+    }
+    for (size_t t : buckets1[b]) {
+      const double pred = mid_[b]->Predict1(z_norm[t]);
+      const size_t c = std::min<size_t>(
+          m2 - 1,
+          static_cast<size_t>(std::max(0.0, pred) * static_cast<double>(m2)));
+      buckets2[c].push_back(t);
+    }
+  }
+
+  // Level 2 (leaf models): predict the rank; record error bounds in
+  // blocks (Eqs. 4-5 applied to the ZM).
+  tc.max_samples = 0;
+  for (size_t c = 0; c < m2; ++c) {
+    leaves_[c].model =
+        std::make_unique<Mlp>(1, cfg_.hidden_leaf, cfg_.seed + 300 + c);
+    if (buckets2[c].empty()) continue;
+    std::vector<double> x;
+    std::vector<double> y;
+    x.reserve(buckets2[c].size());
+    y.reserve(buckets2[c].size());
+    for (size_t t : buckets2[c]) {
+      x.push_back(z_norm[t]);
+      y.push_back(rank_norm[t]);
+    }
+    tc.seed = cfg_.seed + 400 + c;
+    leaves_[c].model->Train(x, y, tc);
+    leaves_[c].trained = true;
+    for (size_t t : buckets2[c]) {
+      const double pred = leaves_[c].model->Predict1(z_norm[t]);
+      const int pred_blk = Clamp(
+          static_cast<int>(pred * static_cast<double>(n - 1)) / B, 0,
+          num_build_blocks_ - 1);
+      const int true_blk = static_cast<int>(t) / B;
+      const int diff = pred_blk - true_blk;
+      leaves_[c].err_below = std::max(leaves_[c].err_below, diff);
+      leaves_[c].err_above = std::max(leaves_[c].err_above, -diff);
+    }
+  }
+}
+
+uint64_t ZmIndex::ZValue(const Point& p) const {
+  const double nx =
+      std::min(1.0, std::max(0.0, (p.x - data_bounds_.lo.x) / span_x_));
+  const double ny =
+      std::min(1.0, std::max(0.0, (p.y - data_bounds_.lo.y) / span_y_));
+  const uint32_t side = (1u << cfg_.z_bits) - 1;
+  return ZEncode(static_cast<uint32_t>(nx * side),
+                 static_cast<uint32_t>(ny * side), cfg_.z_bits);
+}
+
+double ZmIndex::NormZ(uint64_t z) const {
+  const double zmax =
+      std::pow(2.0, 2.0 * cfg_.z_bits) - 1.0;
+  return static_cast<double>(z) / zmax;
+}
+
+ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z) const {
+  Prediction out;
+  if (n_build_ == 0 || root_ == nullptr) return out;
+  const double zn = NormZ(z);
+  const double p0 = root_->Predict1(zn);
+  const size_t b1 = std::min<size_t>(
+      mid_.size() - 1,
+      static_cast<size_t>(std::max(0.0, p0) * static_cast<double>(mid_.size())));
+  const double p1 = mid_[b1]->Predict1(zn);
+  const size_t b2 = std::min<size_t>(
+      leaves_.size() - 1,
+      static_cast<size_t>(std::max(0.0, p1) *
+                          static_cast<double>(leaves_.size())));
+  const LeafModel& lm = leaves_[b2];
+  if (!lm.trained) {
+    // Untrained bucket (no build points mapped here): be conservative and
+    // allow the whole block range.
+    out.block = num_build_blocks_ / 2;
+    out.err_below = num_build_blocks_;
+    out.err_above = num_build_blocks_;
+    return out;
+  }
+  const double pred = lm.model->Predict1(zn);
+  out.block = Clamp(
+      static_cast<int>(std::max(0.0, pred) *
+                       static_cast<double>(n_build_ - 1)) /
+          cfg_.block_capacity,
+      0, num_build_blocks_ - 1);
+  out.err_below = lm.err_below;
+  out.err_above = lm.err_above;
+  return out;
+}
+
+std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
+  if (n_build_ == 0 && !has_insertions_) return std::nullopt;
+  const uint64_t zq = ZValue(q);
+  const Prediction pred = PredictBlock(zq);
+  int lo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
+  int hi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
+
+  // Binary search over the per-block Z-ranges inside the error interval;
+  // each probe reads one block (counted).
+  int cand = -1;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const Block& b = store_.Access(mid);
+    if (b.entries.empty() || zq < b.cv_lo) {
+      hi = mid - 1;
+    } else if (zq > b.cv_hi) {
+      lo = mid + 1;
+    } else {
+      cand = mid;
+      break;
+    }
+  }
+  auto scan_run = [&](int start) -> std::optional<PointEntry> {
+    // Scan the candidate block and the overflow run spliced after it.
+    for (int cur = start; cur >= 0;) {
+      const Block& b = cur == start ? store_.Peek(cur) : store_.Access(cur);
+      for (const auto& e : b.entries) {
+        if (SamePosition(e.pt, q)) return e;
+      }
+      const int nxt = b.next;
+      if (nxt < 0 || !store_.Peek(nxt).inserted) break;
+      cur = nxt;
+    }
+    return std::nullopt;
+  };
+  if (cand >= 0) {
+    // Neighbor blocks may share the boundary Z-value or have had their
+    // range expanded by insertions.
+    for (int b = cand;
+         b >= 0 && !store_.Peek(b).entries.empty() &&
+         store_.Peek(b).cv_hi >= zq;
+         --b) {
+      if (b != cand) store_.CountAccess();
+      if (auto r = scan_run(b)) return r;
+      if (store_.Peek(b).cv_lo > zq) break;
+    }
+    for (int b = cand + 1;
+         b < num_build_blocks_ && !store_.Peek(b).entries.empty() &&
+         store_.Peek(b).cv_lo <= zq;
+         ++b) {
+      store_.CountAccess();
+      if (auto r = scan_run(b)) return r;
+    }
+    if (!has_insertions_) return std::nullopt;
+    // Fall through: an inserted point may live in a block whose original
+    // Z-range does not cover zq (ranges expand non-monotonically).
+  } else if (!has_insertions_) {
+    return std::nullopt;  // Z-value gap: not indexed
+  }
+  // Insertions may have expanded block ranges non-monotonically; fall
+  // back to a linear scan of the error interval (correctness first).
+  const int flo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
+  const int fhi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
+  std::optional<PointEntry> found;
+  store_.ScanRangeUntil(flo, fhi, [&](const Block& blk) {
+    for (const auto& e : blk.entries) {
+      if (SamePosition(e.pt, q)) {
+        found = e;
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::pair<int, int> ZmIndex::WindowBlockRange(const Rect& w) const {
+  // Z-curve: the window's min/max curve values are at the bottom-left and
+  // top-right corners (Section 4.2).
+  const Prediction pl = PredictBlock(ZValue(w.lo));
+  const Prediction ph = PredictBlock(ZValue(w.hi));
+  const int begin = Clamp(pl.block - pl.err_below, 0, num_build_blocks_ - 1);
+  const int end = Clamp(ph.block + ph.err_above, 0, num_build_blocks_ - 1);
+  return {begin, std::max(begin, end)};
+}
+
+std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
+  if (n_build_ == 0 && !has_insertions_) return {};
+  const auto [begin, end] = WindowBlockRange(w);
+  std::vector<Point> out;
+  store_.ScanRange(begin, end, [&](const Block& blk) {
+    for (const auto& e : blk.entries) {
+      if (w.Contains(e.pt)) out.push_back(e.pt);
+    }
+  });
+  return out;
+}
+
+std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
+  // The paper: "ZM does not come with a kNN algorithm, so we use our kNN
+  // algorithm for it" (Section 6.2.4) — Algorithm 3 on the ZM layout.
+  if (k == 0 || live_points_ == 0) return {};
+  const size_t reachable = std::min(k, live_points_);
+
+  struct FirstLess {
+    bool operator()(const std::pair<double, Point>& a,
+                    const std::pair<double, Point>& b) const {
+      return a.first < b.first;
+    }
+  };
+  std::priority_queue<std::pair<double, Point>,
+                      std::vector<std::pair<double, Point>>, FirstLess>
+      heap;
+  auto kth = [&]() { return heap.size() < k ? kInf : heap.top().first; };
+
+  const double frac =
+      std::sqrt(static_cast<double>(k) / static_cast<double>(live_points_));
+  const double cap = 1.0 / std::max(1e-9, frac);
+  const double ax = std::min(pmf_x_.SlopeAlpha(q.x, cfg_.knn_delta), cap);
+  const double ay = std::min(pmf_y_.SlopeAlpha(q.y, cfg_.knn_delta), cap);
+  double width = std::max(1e-9, ax * frac);
+  double height = std::max(1e-9, ay * frac);
+
+  std::unordered_set<int> visited;
+  for (int round = 0; round < 64; ++round) {
+    const Rect wq{{q.x - width / 2, q.y - height / 2},
+                  {q.x + width / 2, q.y + height / 2}};
+    const auto [begin, end] = WindowBlockRange(wq);
+    store_.ScanChainRaw(begin, end, [&](int id, const Block& blk) {
+      if (!visited.insert(id).second) return false;
+      if (heap.size() >= k && blk.mbr.MinDist2(q) >= kth()) return false;
+      const Block& b = store_.Access(id);
+      for (const auto& e : b.entries) {
+        const double d2 = SquaredDist(e.pt, q);
+        if (heap.size() < k) {
+          heap.emplace(d2, e.pt);
+        } else if (d2 < heap.top().first) {
+          heap.pop();
+          heap.emplace(d2, e.pt);
+        }
+      }
+      return false;
+    });
+    const bool exhausted = wq.ContainsRect(data_bounds_);
+    if (heap.size() < reachable) {
+      if (exhausted) break;
+      width *= 2;
+      height *= 2;
+      continue;
+    }
+    const double kd = std::sqrt(kth());
+    if (kd > std::sqrt(width * width + height * height) / 2) {
+      if (exhausted) break;
+      width = 2 * kd;
+      height = 2 * kd;
+      continue;
+    }
+    break;
+  }
+  std::vector<std::pair<double, Point>> tmp;
+  while (!heap.empty()) {
+    tmp.push_back(heap.top());
+    heap.pop();
+  }
+  std::vector<Point> out(tmp.size());
+  for (size_t i = 0; i < tmp.size(); ++i) out[tmp.size() - 1 - i] = tmp[i].second;
+  return out;
+}
+
+void ZmIndex::Insert(const Point& p) {
+  // Update handling adopted from RSMI (Section 6.2.5): place into the
+  // predicted block, overflow into an inserted block spliced after it.
+  const uint64_t zp = ZValue(p);
+  const Prediction pred = PredictBlock(zp);
+  const int gid = Clamp(pred.block, 0, num_build_blocks_ - 1);
+  int placed = -1;
+  int last = gid;
+  for (int cur = gid;;) {
+    const Block& b = store_.Access(cur);
+    if (static_cast<int>(b.entries.size()) < cfg_.block_capacity) {
+      placed = cur;
+      break;
+    }
+    last = cur;
+    const int nxt = b.next;
+    if (nxt < 0 || !store_.Peek(nxt).inserted) break;
+    cur = nxt;
+  }
+  if (placed < 0) placed = store_.AllocInsertedAfter(last);
+  Block& blk = store_.MutableBlock(placed);
+  if (blk.entries.empty()) {
+    blk.cv_lo = zp;
+    blk.cv_hi = zp;
+  } else {
+    blk.cv_lo = std::min(blk.cv_lo, zp);
+    blk.cv_hi = std::max(blk.cv_hi, zp);
+  }
+  blk.entries.push_back(PointEntry{p, next_id_++});
+  blk.mbr.Expand(p);
+  ++live_points_;
+  has_insertions_ = true;
+}
+
+bool ZmIndex::Delete(const Point& p) {
+  const uint64_t zp = ZValue(p);
+  const Prediction pred = PredictBlock(zp);
+  const int lo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
+  const int hi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
+  int found_id = -1;
+  size_t found_pos = 0;
+  store_.ScanChainRaw(lo, hi, [&](int id, const Block& b) {
+    store_.CountAccess();
+    for (size_t i = 0; i < b.entries.size(); ++i) {
+      if (SamePosition(b.entries[i].pt, p)) {
+        found_id = id;
+        found_pos = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  if (found_id < 0) return false;
+  Block& blk = store_.MutableBlock(found_id);
+  blk.entries[found_pos] = blk.entries.back();
+  blk.entries.pop_back();
+  --live_points_;
+  return true;
+}
+
+IndexStats ZmIndex::Stats() const {
+  IndexStats s;
+  s.name = Name();
+  s.num_points = live_points_;
+  s.height = 3;
+  s.num_models = 1 + mid_.size() + leaves_.size();
+  size_t model_bytes = root_ != nullptr ? root_->SizeBytes() : 0;
+  for (const auto& m : mid_) model_bytes += m->SizeBytes();
+  for (const auto& l : leaves_) {
+    model_bytes += l.model != nullptr ? l.model->SizeBytes() : 0;
+  }
+  s.size_bytes = model_bytes + store_.SizeBytes() + pmf_x_.SizeBytes() +
+                 pmf_y_.SizeBytes();
+  s.avg_query_depth = 3.0;
+  return s;
+}
+
+int ZmIndex::MaxErrBelow() const {
+  int v = 0;
+  for (const auto& l : leaves_) v = std::max(v, l.err_below);
+  return v;
+}
+
+int ZmIndex::MaxErrAbove() const {
+  int v = 0;
+  for (const auto& l : leaves_) v = std::max(v, l.err_above);
+  return v;
+}
+
+bool ZmIndex::ValidateStructure(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  uint64_t prev_hi = 0;
+  bool first = true;
+  for (int id = 0; id < static_cast<int>(store_.NumBlocks()); ++id) {
+    const Block& b = store_.Peek(id);
+    if (b.entries.empty()) continue;
+    if (b.inserted) continue;  // overflow blocks inherit no Z range
+    if (b.cv_lo > b.cv_hi) {
+      return fail("inverted Z range in block " + std::to_string(id));
+    }
+    // Insertions may widen a block's range past its neighbor's, so the
+    // cross-block ordering is an invariant of the freshly built index
+    // only; the per-entry containment below always holds.
+    if (!has_insertions_ && !first && b.cv_lo < prev_hi) {
+      return fail("Z ranges out of order at block " + std::to_string(id));
+    }
+    prev_hi = b.cv_hi;
+    first = false;
+    for (const auto& e : b.entries) {
+      const uint64_t z = ZValue(e.pt);
+      if (z < b.cv_lo || z > b.cv_hi) {
+        return fail("entry Z-value outside block range in block " +
+                    std::to_string(id));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rsmi

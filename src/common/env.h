@@ -1,0 +1,42 @@
+#ifndef RSMI_COMMON_ENV_H_
+#define RSMI_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace rsmi {
+
+/// Reads an integer configuration knob from the environment, falling back
+/// to `def` when the variable is unset or unparsable. Benchmarks use this
+/// for scale knobs (e.g. RSMI_BENCH_N) so the same binaries reproduce the
+/// paper's sweeps at laptop or server scale.
+inline int64_t GetEnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+/// Reads a double configuration knob from the environment (see GetEnvInt64).
+inline double GetEnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+/// Reads a string configuration knob from the environment (see GetEnvInt64).
+inline std::string GetEnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::string(v);
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_COMMON_ENV_H_

@@ -1,0 +1,46 @@
+#ifndef RSMI_COMMON_SERIALIZE_H_
+#define RSMI_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace rsmi {
+
+/// Minimal binary (de)serialization helpers used by index persistence.
+/// Native endianness; the format is a cache, not an interchange format.
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const uint64_t n = v.size();
+  if (!WritePod(f, n)) return false;
+  if (n == 0) return true;
+  return std::fwrite(v.data(), sizeof(T), n, f) == n;
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t n = 0;
+  if (!ReadPod(f, &n)) return false;
+  v->resize(n);
+  if (n == 0) return true;
+  return std::fread(v->data(), sizeof(T), n, f) == n;
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_COMMON_SERIALIZE_H_

@@ -1,0 +1,57 @@
+#ifndef RSMI_COMMON_TABLE_H_
+#define RSMI_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rsmi {
+
+/// Fixed-width plain-text table printer used by the benchmark harness to
+/// emit paper-style result tables (one row per sweep point, one column per
+/// index or metric).
+class TablePrinter {
+ public:
+  /// `widths[i]` is the printed width of column i; the header row uses the
+  /// same widths.
+  TablePrinter(std::vector<std::string> header, std::vector<int> widths)
+      : header_(std::move(header)), widths_(std::move(widths)) {}
+
+  void PrintHeader() const {
+    std::string line;
+    for (size_t i = 0; i < header_.size(); ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%-*s", widths_[i], header_[i].c_str());
+      line += buf;
+      if (i + 1 < header_.size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    std::printf("%s\n", std::string(line.size(), '-').c_str());
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%-*s", widths_[i], cells[i].c_str());
+      line += buf;
+      if (i + 1 < cells.size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Num(double v, int digits = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<int> widths_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_COMMON_TABLE_H_

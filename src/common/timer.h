@@ -1,0 +1,32 @@
+#ifndef RSMI_COMMON_TIMER_H_
+#define RSMI_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rsmi {
+
+/// Simple wall-clock stopwatch used by benchmarks and construction-time
+/// accounting. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_COMMON_TIMER_H_

@@ -1,0 +1,88 @@
+#ifndef RSMI_CORE_PMF_H_
+#define RSMI_CORE_PMF_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace rsmi {
+
+/// Piecewise mapping function PMF(X) ≈ CDF(X) (Section 4.3).
+///
+/// The data set is partitioned into γ equal-count partitions along one
+/// dimension; the cumulative count at each partition boundary defines a
+/// piecewise-linear approximation of the marginal CDF. RSMI keeps one Pmf
+/// per dimension to estimate the kNN skew parameters α_x, α_y (Eq. 6).
+class Pmf {
+ public:
+  Pmf() = default;
+
+  /// Builds from the (unsorted) coordinate values of one dimension.
+  Pmf(std::vector<double> values, int gamma) {
+    if (values.empty()) return;
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    gamma = std::max(1, std::min<int>(gamma, static_cast<int>(n)));
+    xs_.reserve(gamma + 1);
+    cum_.reserve(gamma + 1);
+    xs_.push_back(values.front());
+    cum_.push_back(0.0);
+    for (int i = 1; i <= gamma; ++i) {
+      const size_t pos = std::min(n - 1, i * n / gamma - (i == gamma ? 0 : 1));
+      const double x = values[std::min(n - 1, pos)];
+      if (x > xs_.back()) {
+        xs_.push_back(x);
+        cum_.push_back(static_cast<double>(pos + 1) / n);
+      }
+    }
+    if (cum_.back() < 1.0) cum_.back() = 1.0;
+  }
+
+  bool empty() const { return xs_.empty(); }
+
+  /// Approximate fraction of points with coordinate <= v.
+  double Cdf(double v) const {
+    if (xs_.empty()) return 0.0;
+    if (v <= xs_.front()) return 0.0;
+    if (v >= xs_.back()) return 1.0;
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), v);
+    const size_t i = static_cast<size_t>(it - xs_.begin());
+    const double x0 = xs_[i - 1];
+    const double x1 = xs_[i];
+    const double c0 = cum_[i - 1];
+    const double c1 = cum_[i];
+    return c0 + (c1 - c0) * (v - x0) / (x1 - x0);
+  }
+
+  /// Skew parameter α at query coordinate q (Eq. 6):
+  /// α = Δ / (CDF(q + Δ) − CDF(q)), capped when the region is empty.
+  double SlopeAlpha(double q, double delta, double cap = 1e6) const {
+    const double dc = Cdf(q + delta) - Cdf(q - delta);
+    if (dc <= 0.0) return cap;
+    return std::min(cap, 2.0 * delta / dc);
+  }
+
+  size_t SizeBytes() const {
+    return (xs_.size() + cum_.size()) * sizeof(double);
+  }
+
+  /// Binary persistence (index save/load).
+  bool WriteTo(std::FILE* f) const {
+    return WriteVec(f, xs_) && WriteVec(f, cum_);
+  }
+  bool ReadFrom(std::FILE* f) {
+    return ReadVec(f, &xs_) && ReadVec(f, &cum_) &&
+           xs_.size() == cum_.size();
+  }
+
+ private:
+  std::vector<double> xs_;   // partition boundary coordinates
+  std::vector<double> cum_;  // cumulative fraction at each boundary
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_PMF_H_

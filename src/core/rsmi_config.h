@@ -1,0 +1,92 @@
+#ifndef RSMI_CORE_RSMI_CONFIG_H_
+#define RSMI_CORE_RSMI_CONFIG_H_
+
+#include <cstdint>
+
+#include "nn/mlp.h"
+#include "sfc/curve.h"
+
+namespace rsmi {
+
+/// How the RSMI absorbs insertions (Section 5 and the update-handling
+/// alternatives surveyed in Section 2).
+enum class UpdateStrategy {
+  /// The paper's scheme (Section 5): insert into the predicted block if it
+  /// has room, else splice a new overflow block after it. Overflow blocks
+  /// do not count towards the error bounds.
+  kOverflowChain,
+  /// FITing-tree-style per-segment buffers [14]: every leaf keeps a
+  /// sorted, fixed-capacity insert buffer; when it fills up, the buffer is
+  /// merged by rebuilding (re-packing and re-training) that leaf.
+  kLeafBuffer,
+};
+
+/// Build/query parameters of the RSMI (defaults follow Section 6.1).
+struct RsmiConfig {
+  /// Block capacity B.
+  int block_capacity = 100;
+
+  /// Build-time fill factor in (0, 1]: ALEX-style gapping [9]. With 0.8,
+  /// blocks are packed to 80% at (re)build time, so most insertions find
+  /// room in their predicted block instead of spawning overflow blocks.
+  /// 1.0 reproduces the paper's dense packing.
+  double build_fill_factor = 1.0;
+
+  /// Insert handling; the paper's overflow-chain scheme by default.
+  UpdateStrategy update_strategy = UpdateStrategy::kOverflowChain;
+
+  /// Capacity of each leaf's insert buffer under kLeafBuffer; 0 means one
+  /// block's worth (B entries), matching the FITing-tree's "an additional
+  /// fixed-sized buffer for each data segment".
+  int leaf_buffer_capacity = 0;
+
+  /// Partition threshold N: a leaf model handles at most this many points
+  /// (10,000 was found optimal in Table 3).
+  int partition_threshold = 10000;
+
+  /// SFC used for both the internal-grid ordering and the leaf rank-space
+  /// ordering. "RSMI uses Hilbert-curves ... as these yield better query
+  /// performance than Z-curves" (Section 6.1).
+  CurveType curve = CurveType::kHilbert;
+
+  /// Sub-model training configuration (see MlpTrainConfig for how this
+  /// relates to the paper's SGD/500-epoch setting).
+  MlpTrainConfig train;
+
+  /// Uniform init range of every sub-model's first layer (weights and
+  /// biases). The rank-space curve order is a high-frequency target, and a
+  /// Xavier-initialized sigmoid layer starts near-linear and underfits it
+  /// badly; a wide init spreads the sigmoid ridges over the node's input
+  /// square and roughly halves the leaf error bounds. 0 restores Xavier.
+  double model_init_scale = 24.0;
+
+  /// Training-sample cap for internal (non-leaf) models; leaves hold at
+  /// most `partition_threshold` points and always train on all of them.
+  /// 0 disables the cap (paper-exact).
+  int internal_sample_cap = 8192;
+
+  /// γ: number of PMF partitions per dimension (Section 4.3).
+  int pmf_partitions = 100;
+
+  /// Δ: finite-difference step for the kNN skew estimate (Eq. 6).
+  double knn_delta = 0.01;
+
+  /// Hard recursion cap (safety net for adversarial data).
+  int max_depth = 24;
+
+  /// Worker threads for leaf-model training at build time. Leaf models
+  /// are independent, so the expensive part of the build parallelizes
+  /// embarrassingly (the bulk-loading parallelizability emphasized by the
+  /// rank-space packing paper [37, 38]); blocks are still packed
+  /// sequentially in curve order and per-model seeds are assigned at pack
+  /// time, so any thread count produces a bit-identical index. 1 keeps
+  /// the build fully sequential.
+  int build_threads = 1;
+
+  /// Base seed for model initialization (varied per sub-model).
+  uint64_t seed = 42;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_RSMI_CONFIG_H_

@@ -1,0 +1,1213 @@
+#include "core/rsmi_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "rank/rank_space.h"
+
+namespace rsmi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int Clamp(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
+
+}  // namespace
+
+/// One sub-model of the RSMI. Internal nodes predict child slots (cell
+/// curve values of the learned grid partitioning, Section 3.2); leaf nodes
+/// predict block ids with recorded error bounds (Section 3.1).
+struct RsmiIndex::Node {
+  bool leaf = false;
+  std::unique_ptr<Mlp> model;
+  /// MBR of all points under this sub-model (enables RSMIa and updates).
+  /// Grows with insertions.
+  Rect mbr = Rect::Empty();
+
+  /// Per-node input normalization, frozen at (re)build time so model
+  /// inputs are identical at build and query time. Normalizing to the
+  /// node's own bounds keeps every sub-model's learning problem
+  /// well-conditioned however deep the recursion gets (a sub-model
+  /// covering a tiny dense region would otherwise see all inputs squeezed
+  /// into a sliver of [0,1] and could not separate its grid cells).
+  double norm_lo_x = 0.0;
+  double norm_lo_y = 0.0;
+  double norm_span_x = 1.0;
+  double norm_span_y = 1.0;
+
+  void FreezeNormalization() {
+    if (!mbr.Valid()) return;
+    norm_lo_x = mbr.lo.x;
+    norm_lo_y = mbr.lo.y;
+    norm_span_x = std::max(1e-12, mbr.hi.x - mbr.lo.x);
+    norm_span_y = std::max(1e-12, mbr.hi.y - mbr.lo.y);
+  }
+
+  /// Model inputs are centered to [-1,1] so the wide first-layer init
+  /// (RsmiConfig::model_init_scale) places its sigmoid ridges symmetrically
+  /// around the node's data.
+  void Features(const Point& p, double* out) const {
+    out[0] =
+        2.0 * std::min(1.0, std::max(0.0, (p.x - norm_lo_x) / norm_span_x)) -
+        1.0;
+    out[1] =
+        2.0 * std::min(1.0, std::max(0.0, (p.y - norm_lo_y) / norm_span_y)) -
+        1.0;
+  }
+
+  // Internal-node state.
+  int grid_order = 0;  ///< g: the learned grid is 2^g x 2^g, fanout 4^g
+  std::vector<std::unique_ptr<Node>> children;  ///< size 4^g, empty = null
+
+  // Leaf-node state.
+  int first_block = -1;  ///< first global block id (build blocks contiguous)
+  int num_blocks = 0;    ///< build-time block count m
+  /// Maximum over-prediction: scanning starts err_below blocks below the
+  /// prediction. (This is the quantity the paper calls err_a in Eq. 5; its
+  /// Algorithm 1 notation swaps the two names — what matters is that the
+  /// downward allowance covers over-predictions and vice versa.)
+  int err_below = 0;
+  /// Maximum under-prediction: scanning ends err_above blocks above.
+  int err_above = 0;
+  size_t built_points = 0;  ///< points packed at (re)build time
+  size_t extra_points = 0;  ///< net insertions since (RSMIr trigger)
+  /// Insert buffer (UpdateStrategy::kLeafBuffer): sorted by (x, y) for
+  /// binary search, merged into the packed blocks when full.
+  std::vector<PointEntry> buffer;
+};
+
+RsmiIndex::RsmiIndex(const std::vector<Point>& pts, const RsmiConfig& cfg)
+    : cfg_(cfg), store_(cfg.block_capacity) {
+  std::vector<PointEntry> entries(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    entries[i] = PointEntry{pts[i], static_cast<int64_t>(i)};
+  }
+  next_id_ = static_cast<int64_t>(pts.size());
+  live_points_ = pts.size();
+
+  data_bounds_ = Rect::Bound(pts.begin(), pts.end());
+  if (!data_bounds_.Valid()) data_bounds_ = Rect::UnitSquare();
+
+  // Marginal CDF approximations for the kNN skew estimate (Section 4.3).
+  std::vector<double> xs(pts.size());
+  std::vector<double> ys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    xs[i] = pts[i].x;
+    ys[i] = pts[i].y;
+  }
+  pmf_x_ = Pmf(std::move(xs), cfg_.pmf_partitions);
+  pmf_y_ = Pmf(std::move(ys), cfg_.pmf_partitions);
+
+  if (cfg_.build_threads > 1) {
+    // Two-phase parallel bulk load: the recursion below packs blocks and
+    // trains internal models sequentially (their predictions define the
+    // partitioning) while queueing every leaf's training; the queued jobs
+    // then run on the worker pool.
+    std::vector<LeafTrainJob> jobs;
+    leaf_jobs_ = &jobs;
+    root_ = BuildNode(std::move(entries), 0);
+    RunLeafTrainJobs();
+    leaf_jobs_ = nullptr;
+  } else {
+    root_ = BuildNode(std::move(entries), 0);
+  }
+}
+
+RsmiIndex::RsmiIndex(LoadTag) : store_(1) {}
+
+RsmiIndex::~RsmiIndex() = default;
+
+// ---------------------------------------------------------------------------
+// Build (Section 3.2)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::BuildNode(
+    std::vector<PointEntry> pts, int depth) {
+  if (pts.size() <= static_cast<size_t>(cfg_.partition_threshold) ||
+      depth >= cfg_.max_depth) {
+    return BuildLeaf(std::move(pts));
+  }
+  return BuildInternal(std::move(pts), depth);
+}
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::BuildInternal(
+    std::vector<PointEntry> pts, int depth) {
+  auto node = std::make_unique<Node>();
+  node->leaf = false;
+  for (const auto& e : pts) node->mbr.Expand(e.pt);
+  node->FreezeNormalization();
+
+  // Grid order g = floor(log4(N/B)) >= 1, so the grid has 4^g <= N/B cells
+  // and a sub-model never needs to predict more distinct values than a
+  // leaf model does (Section 3.2).
+  const int ratio =
+      std::max(4, cfg_.partition_threshold / cfg_.block_capacity);
+  int g = 1;
+  while ((1 << (2 * (g + 1))) <= ratio) ++g;
+  const int side = 1 << g;
+  const int ncells = side * side;
+  node->grid_order = g;
+
+  // Non-regular grid following the data distribution: equal-count columns
+  // by x, then equal-count cells by y within each column.
+  const size_t n = pts.size();
+  std::vector<uint32_t> cell(n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return LessByXThenY{}(pts[a].pt, pts[b].pt);
+  });
+  for (int c = 0; c < side; ++c) {
+    const size_t cb = n * c / side;
+    const size_t ce = n * (c + 1) / side;
+    std::sort(idx.begin() + cb, idx.begin() + ce, [&](size_t a, size_t b) {
+      return LessByYThenX{}(pts[a].pt, pts[b].pt);
+    });
+    const size_t cn = ce - cb;
+    for (int r = 0; r < side; ++r) {
+      const size_t rb = cb + cn * r / side;
+      const size_t re = cb + cn * (r + 1) / side;
+      const uint64_t cv = CurveEncode(cfg_.curve, static_cast<uint32_t>(c),
+                                      static_cast<uint32_t>(r), g);
+      for (size_t t = rb; t < re; ++t) {
+        cell[idx[t]] = static_cast<uint32_t>(cv);
+      }
+    }
+  }
+
+  // Train the sub-model to map coordinates -> cell curve value (loss as in
+  // Eq. 3 with the cell curve value as ground truth).
+  std::vector<double> feat(2 * n);
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i) {
+    node->Features(pts[i].pt, &feat[2 * i]);
+    target[i] = static_cast<double>(cell[i]) / (ncells - 1);
+  }
+  const int hidden = (2 + ncells) / 2;  // paper's sizing rule
+  node->model = std::make_unique<Mlp>(2, hidden, cfg_.seed + model_seed_counter_,
+                                      cfg_.model_init_scale);
+  MlpTrainConfig tc = cfg_.train;
+  tc.seed = cfg_.seed + (++model_seed_counter_);
+  tc.max_samples = cfg_.internal_sample_cap;
+  node->model->Train(feat, target, tc);
+
+  // Learned grouping: points go to the child their *predicted* value
+  // names, so queries retrace the exact same path (Section 3.2).
+  std::vector<std::vector<PointEntry>> groups(ncells);
+  for (size_t i = 0; i < n; ++i) {
+    const int slot =
+        Clamp(static_cast<int>(std::lround(node->model->Predict(&feat[2 * i]) *
+                                           (ncells - 1))),
+              0, ncells - 1);
+    groups[slot].push_back(pts[i]);
+  }
+  pts.clear();
+  pts.shrink_to_fit();
+
+  node->children.resize(ncells);
+  for (int j = 0; j < ncells; ++j) {
+    if (groups[j].empty()) continue;
+    if (groups[j].size() == n) {
+      // The model collapsed every point into one cell: no partitioning
+      // progress is possible, so close this branch with a (large) leaf.
+      node->children[j] = BuildLeaf(std::move(groups[j]));
+    } else {
+      node->children[j] = BuildNode(std::move(groups[j]), depth + 1);
+    }
+  }
+  return node;
+}
+
+int RsmiIndex::EffectiveBlockFill() const {
+  const double fill =
+      std::min(1.0, std::max(0.01, cfg_.build_fill_factor));
+  return std::max(1, static_cast<int>(cfg_.block_capacity * fill));
+}
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::BuildLeaf(
+    std::vector<PointEntry> pts) {
+  auto node = std::make_unique<Node>();
+  node->leaf = true;
+  node->built_points = pts.size();
+  for (const auto& e : pts) node->mbr.Expand(e.pt);
+  node->FreezeNormalization();
+
+  const size_t n = pts.size();
+  // ALEX-style gapping: pack B * fill_factor entries per block so later
+  // insertions usually find room in their predicted block.
+  const int B = EffectiveBlockFill();
+  const int m = n == 0 ? 1 : static_cast<int>((n + B - 1) / B);
+  node->num_blocks = m;
+
+  // Rank-space ordering of the leaf's points (Section 3.1).
+  std::vector<Point> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[i] = pts[i].pt;
+  const RankSpaceOrdering rs = ComputeRankSpaceOrdering(pos, cfg_.curve);
+
+  // Pack every B points into a block in curve-value order (Eq. 1).
+  std::vector<int> local_block(n);
+  for (int b = 0; b < m; ++b) {
+    const int id = store_.Alloc();
+    if (b == 0) node->first_block = id;
+    Block& blk = store_.MutableBlock(id);
+    blk.entries.reserve(B);
+    const size_t lo = static_cast<size_t>(b) * B;
+    const size_t hi = std::min(n, lo + B);
+    for (size_t t = lo; t < hi; ++t) {
+      const size_t i = rs.order[t];
+      blk.entries.push_back(pts[i]);
+      blk.mbr.Expand(pts[i].pt);
+      local_block[i] = b;
+    }
+    if (hi > lo) {
+      blk.cv_lo = rs.curve_value[rs.order[lo]];
+      blk.cv_hi = rs.curve_value[rs.order[hi - 1]];
+    }
+  }
+
+  // Train the leaf model: coordinates -> (normalized) block id (Eq. 2-3).
+  std::vector<double> feat(2 * n);
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i) {
+    node->Features(pts[i].pt, &feat[2 * i]);
+    target[i] = m <= 1 ? 0.0 : static_cast<double>(local_block[i]) / (m - 1);
+  }
+  const int max_blocks =
+      std::max(2, (cfg_.partition_threshold + B - 1) / B);
+  const int hidden = (2 + max_blocks) / 2;  // 51 with the default N and B
+  node->model = std::make_unique<Mlp>(2, hidden, cfg_.seed + model_seed_counter_,
+                                      cfg_.model_init_scale);
+  MlpTrainConfig tc = cfg_.train;
+  tc.seed = cfg_.seed + (++model_seed_counter_);
+  tc.max_samples = 0;  // leaves always train on all their points
+  if (n == 0) return node;
+
+  LeafTrainJob job{node.get(), std::move(feat), std::move(target),
+                   std::move(local_block), tc};
+  if (leaf_jobs_ != nullptr) {
+    // Parallel build: blocks are packed (above) in sequential curve
+    // order; the expensive training runs later on the worker pool.
+    leaf_jobs_->push_back(std::move(job));
+  } else {
+    RunLeafTrainJob(&job);
+  }
+  return node;
+}
+
+void RsmiIndex::RunLeafTrainJob(LeafTrainJob* job) {
+  Node* node = job->node;
+  node->model->Train(job->feat, job->target, job->train);
+  // Maximum prediction error bounds (Eqs. 4-5).
+  const int m = node->num_blocks;
+  const size_t n = job->target.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int pred = Clamp(
+        static_cast<int>(std::lround(node->model->Predict(&job->feat[2 * i]) *
+                                     (m - 1))),
+        0, m - 1);
+    const int diff = pred - job->local_block[i];
+    node->err_below = std::max(node->err_below, diff);
+    node->err_above = std::max(node->err_above, -diff);
+  }
+}
+
+void RsmiIndex::RunLeafTrainJobs() {
+  std::vector<LeafTrainJob>& jobs = *leaf_jobs_;
+  const int workers = std::max(
+      1, std::min<int>(cfg_.build_threads, static_cast<int>(jobs.size())));
+  if (workers == 1) {
+    for (LeafTrainJob& job : jobs) RunLeafTrainJob(&job);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&jobs, &next] {
+      for (size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1)) {
+        RunLeafTrainJob(&jobs[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Descent helpers
+// ---------------------------------------------------------------------------
+
+int RsmiIndex::PredictChildSlot(const Node& node, const Point& p) const {
+  double f[2];
+  node.Features(p, f);
+  const int ncells = static_cast<int>(node.children.size());
+  const double pred = node.model->Predict(f);
+  return Clamp(static_cast<int>(std::lround(pred * (ncells - 1))), 0,
+               ncells - 1);
+}
+
+int RsmiIndex::PredictLeafBlock(const Node& leaf, const Point& p) const {
+  const int m = leaf.num_blocks;
+  if (m <= 1) return 0;
+  double f[2];
+  leaf.Features(p, f);
+  const double pred = leaf.model->Predict(f);
+  return Clamp(static_cast<int>(std::lround(pred * (m - 1))), 0, m - 1);
+}
+
+const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p) const {
+  return const_cast<RsmiIndex*>(this)->DescendNearestMutable(p, nullptr);
+}
+
+RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
+                                                  std::vector<Node*>* path) {
+  Node* cur = root_.get();
+  uint64_t depth = 0;
+  while (!cur->leaf) {
+    if (path != nullptr) path->push_back(cur);
+    ++depth;
+    const int slot = PredictChildSlot(*cur, p);
+    Node* child = cur->children[slot].get();
+    if (child == nullptr) {
+      // A query point can be predicted into a slot no indexed point was
+      // assigned to. Fall back to the nearest non-empty slot in curve
+      // order so window/kNN bounds always resolve to a leaf (DESIGN.md).
+      const int ncells = static_cast<int>(cur->children.size());
+      for (int d = 1; d < ncells && child == nullptr; ++d) {
+        if (slot - d >= 0 && cur->children[slot - d]) {
+          child = cur->children[slot - d].get();
+        } else if (slot + d < ncells && cur->children[slot + d]) {
+          child = cur->children[slot + d].get();
+        }
+      }
+    }
+    cur = child;  // internal nodes always have at least one child
+  }
+  if (path != nullptr) path->push_back(cur);
+  descend_invocations_ += depth + 1;
+  ++descend_count_;
+  return cur;
+}
+
+std::pair<int, int> RsmiIndex::LeafPredictRange(const Node& leaf,
+                                                const Point& p) const {
+  const int pb = PredictLeafBlock(leaf, p);
+  const int lo = std::max(0, pb - leaf.err_below);
+  const int hi = std::min(leaf.num_blocks - 1, pb + leaf.err_above);
+  return {leaf.first_block + lo, leaf.first_block + hi};
+}
+
+// ---------------------------------------------------------------------------
+// Point queries (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+std::optional<PointEntry> RsmiIndex::PointQuery(const Point& q) const {
+  // Nearest-slot descent: matches the path insertions take, so points
+  // inserted into previously empty regions stay findable (Section 5).
+  const Node* leaf = DescendNearest(q);
+  int block_id = -1;
+  size_t pos = 0;
+  if (FindEntry(*leaf, q, &block_id, &pos)) {
+    return store_.Peek(block_id).entries[pos];
+  }
+  if (const PointEntry* e = FindInBuffer(*leaf, q)) return *e;
+  return std::nullopt;
+}
+
+const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf,
+                                          const Point& q) const {
+  if (leaf.buffer.empty()) return nullptr;
+  store_.CountAccess();  // the buffer occupies one block-sized page
+  const auto it = std::lower_bound(
+      leaf.buffer.begin(), leaf.buffer.end(), q,
+      [](const PointEntry& a, const Point& b) {
+        return LessByXThenY{}(a.pt, b);
+      });
+  if (it != leaf.buffer.end() && SamePosition(it->pt, q)) return &*it;
+  return nullptr;
+}
+
+bool RsmiIndex::FindEntry(const Node& leaf, const Point& q, int* block_id,
+                          size_t* pos) const {
+  // Expand outward from the predicted block within the error interval —
+  // the predicted block is right most of the time, which is what makes
+  // the paper's average block accesses (~1.4) far smaller than the
+  // maximum error bounds (Section 6.2.2).
+  const int pb = PredictLeafBlock(leaf, q);
+  const int lo = std::max(0, pb - leaf.err_below);
+  const int hi = std::min(leaf.num_blocks - 1, pb + leaf.err_above);
+  auto scan_run = [&](int local) {
+    // Scans one build block plus the overflow run spliced after it.
+    for (int cur = leaf.first_block + local; cur >= 0;) {
+      const Block& b = store_.Access(cur);
+      for (size_t i = 0; i < b.entries.size(); ++i) {
+        if (SamePosition(b.entries[i].pt, q)) {
+          *block_id = cur;
+          *pos = i;
+          return true;
+        }
+      }
+      const int nxt = b.next;
+      if (nxt < 0 || !store_.Peek(nxt).inserted) break;
+      cur = nxt;
+    }
+    return false;
+  };
+  for (int d = 0;; ++d) {
+    bool in_range = false;
+    if (pb + d <= hi) {
+      in_range = true;
+      if (scan_run(pb + d)) return true;
+    }
+    if (d > 0 && pb - d >= lo) {
+      in_range = true;
+      if (scan_run(pb - d)) return true;
+    }
+    if (!in_range) return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window queries (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w) const {
+  // For the Z-curve, the window's minimum/maximum curve values are at the
+  // bottom-left and top-right corners; for the Hilbert curve they lie on
+  // the boundary, so all four corners are used heuristically (Section 4.2).
+  Point corners[4];
+  size_t ncorners;
+  if (cfg_.curve == CurveType::kZ) {
+    corners[0] = w.lo;
+    corners[1] = w.hi;
+    ncorners = 2;
+  } else {
+    corners[0] = w.lo;
+    corners[1] = w.hi;
+    corners[2] = Point{w.lo.x, w.hi.y};
+    corners[3] = Point{w.hi.x, w.lo.y};
+    ncorners = 4;
+  }
+  int begin = -1;
+  int end = -1;
+  for (size_t i = 0; i < ncorners; ++i) {
+    const Node* leaf = DescendNearest(corners[i]);
+    const auto [lo, hi] = LeafPredictRange(*leaf, corners[i]);
+    if (begin < 0 || store_.SeqOf(lo) < store_.SeqOf(begin)) begin = lo;
+    if (end < 0 || store_.SeqOf(hi) > store_.SeqOf(end)) end = hi;
+  }
+  return {begin, end};
+}
+
+std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> out;
+  const auto entries = WindowQueryEntries(w);
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.pt);
+  return out;
+}
+
+std::vector<PointEntry> RsmiIndex::WindowQueryEntries(const Rect& w) const {
+  const auto [begin, end] = WindowBlockRange(w);
+  std::vector<PointEntry> out;
+  store_.ScanRange(begin, end, [&](const Block& blk) {
+    for (const auto& e : blk.entries) {
+      if (w.Contains(e.pt)) out.push_back(e);
+    }
+  });
+  CollectBufferedInWindow(root_.get(), w, &out);
+  return out;
+}
+
+void RsmiIndex::CollectBufferedInWindow(const Node* node, const Rect& w,
+                                        std::vector<PointEntry>* out) const {
+  if (cfg_.update_strategy != UpdateStrategy::kLeafBuffer) return;
+  if (!node->mbr.Valid() || !node->mbr.Intersects(w)) return;
+  if (node->leaf) {
+    if (node->buffer.empty()) return;
+    store_.CountAccess();  // one buffer page per leaf
+    for (const auto& e : node->buffer) {
+      if (w.Contains(e.pt)) out->push_back(e);
+    }
+    return;
+  }
+  for (const auto& child : node->children) {
+    if (child != nullptr) CollectBufferedInWindow(child.get(), w, out);
+  }
+}
+
+std::vector<Point> RsmiIndex::WindowQueryExact(const Rect& w) const {
+  std::vector<Point> out;
+  const auto entries = WindowQueryExactEntries(w);
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.pt);
+  return out;
+}
+
+std::vector<PointEntry> RsmiIndex::WindowQueryExactEntries(
+    const Rect& w) const {
+  // RSMIa: R-tree-style traversal over sub-model MBRs; at the leaf level,
+  // per-block MBRs (stored with the leaf's page) prune block reads.
+  std::vector<PointEntry> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    store_.CountAccess();  // reading this sub-model's page
+    if (!node->leaf) {
+      for (const auto& child : node->children) {
+        if (child != nullptr && child->mbr.Intersects(w)) {
+          stack.push_back(child.get());
+        }
+      }
+      continue;
+    }
+    store_.ScanChainRaw(node->first_block,
+                        node->first_block + node->num_blocks - 1,
+                        [&](int id, const Block& blk) {
+                          if (!blk.mbr.Intersects(w)) return false;
+                          const Block& b = store_.Access(id);
+                          for (const auto& e : b.entries) {
+                            if (w.Contains(e.pt)) out.push_back(e);
+                          }
+                          return false;
+                        });
+    if (!node->buffer.empty()) {
+      store_.CountAccess();
+      for (const auto& e : node->buffer) {
+        if (w.Contains(e.pt)) out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// kNN queries (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bounded max-heap of the k best candidates found so far (Q in Alg. 3).
+class KnnHeap {
+ public:
+  explicit KnnHeap(size_t k) : k_(k) {}
+
+  double KthDist2() const { return heap_.size() < k_ ? kInf : heap_.top().first; }
+  size_t size() const { return heap_.size(); }
+
+  void Offer(double d2, const Point& p) {
+    if (heap_.size() < k_) {
+      heap_.emplace(d2, p);
+    } else if (d2 < heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(d2, p);
+    }
+  }
+
+  /// Extracts all candidates ordered by increasing distance.
+  std::vector<Point> Sorted() {
+    std::vector<std::pair<double, Point>> tmp;
+    tmp.reserve(heap_.size());
+    while (!heap_.empty()) {
+      tmp.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::vector<Point> out(tmp.size());
+    for (size_t i = 0; i < tmp.size(); ++i) {
+      out[tmp.size() - 1 - i] = tmp[i].second;
+    }
+    return out;
+  }
+
+ private:
+  struct FirstLess {
+    bool operator()(const std::pair<double, Point>& a,
+                    const std::pair<double, Point>& b) const {
+      return a.first < b.first;
+    }
+  };
+  size_t k_;
+  std::priority_queue<std::pair<double, Point>,
+                      std::vector<std::pair<double, Point>>, FirstLess>
+      heap_;
+};
+
+}  // namespace
+
+std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
+  if (k == 0 || live_points_ == 0) return {};
+  const size_t reachable = std::min(k, live_points_);
+  KnnHeap heap(k);
+
+  // Initial search region ~ alpha * sqrt(k/n) per dimension (Section 4.3),
+  // with the skew factors estimated from the marginal PMFs (Eq. 6).
+  const double frac =
+      std::sqrt(static_cast<double>(k) / static_cast<double>(live_points_));
+  const double cap = 1.0 / std::max(1e-9, frac);  // keep width/height <= ~1
+  const double ax = std::min(pmf_x_.SlopeAlpha(q.x, cfg_.knn_delta), cap);
+  const double ay = std::min(pmf_y_.SlopeAlpha(q.y, cfg_.knn_delta), cap);
+  double width = std::max(1e-9, ax * frac);
+  double height = std::max(1e-9, ay * frac);
+
+  std::unordered_set<int> visited;
+  std::unordered_set<const Node*> visited_buffers;
+  for (int round = 0; round < 64; ++round) {
+    const Rect wq{{q.x - width / 2, q.y - height / 2},
+                  {q.x + width / 2, q.y + height / 2}};
+    const auto [begin, end] = WindowBlockRange(wq);
+    store_.ScanChainRaw(begin, end, [&](int id, const Block& blk) {
+      if (!visited.insert(id).second) return false;  // Alg. 3: "unvisited"
+      if (heap.size() >= k && blk.mbr.MinDist2(q) >= heap.KthDist2()) {
+        return false;  // MINDIST pruning (Alg. 3 line 7)
+      }
+      const Block& b = store_.Access(id);
+      for (const auto& e : b.entries) heap.Offer(SquaredDist(e.pt, q), e.pt);
+      return false;
+    });
+    if (cfg_.update_strategy == UpdateStrategy::kLeafBuffer) {
+      // Buffered insertions live outside the block chain; pull in the
+      // buffer of every not-yet-visited leaf intersecting the window.
+      struct BufferWalker {
+        const Rect& wq;
+        const Point& q;
+        KnnHeap& heap;
+        const BlockStore& store;
+        std::unordered_set<const Node*>& seen;
+        void Visit(const Node* node) {
+          if (!node->mbr.Valid() || !node->mbr.Intersects(wq)) return;
+          if (node->leaf) {
+            if (node->buffer.empty() || !seen.insert(node).second) return;
+            store.CountAccess();
+            for (const auto& e : node->buffer) {
+              heap.Offer(SquaredDist(e.pt, q), e.pt);
+            }
+            return;
+          }
+          for (const auto& child : node->children) {
+            if (child != nullptr) Visit(child.get());
+          }
+        }
+      };
+      BufferWalker{wq, q, heap, store_, visited_buffers}.Visit(root_.get());
+    }
+
+    const bool exhausted = wq.ContainsRect(data_bounds_);
+    if (heap.size() < reachable) {
+      if (exhausted) break;
+      width *= 2;
+      height *= 2;
+      continue;
+    }
+    const double kth = std::sqrt(heap.KthDist2());
+    if (kth > std::sqrt(width * width + height * height) / 2) {
+      if (exhausted) break;
+      width = 2 * kth;
+      height = 2 * kth;
+      continue;
+    }
+    break;  // Q[k] inside the search region: done
+  }
+  return heap.Sorted();
+}
+
+std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k) const {
+  if (k == 0 || live_points_ == 0) return {};
+  KnnHeap result(k);
+
+  // Best-first search [40] over sub-model MBRs and per-block MBRs.
+  struct Cand {
+    double d2;
+    const Node* node;  // nullptr => data block
+    int block_id;
+  };
+  struct CandGreater {
+    bool operator()(const Cand& a, const Cand& b) const { return a.d2 > b.d2; }
+  };
+  std::priority_queue<Cand, std::vector<Cand>, CandGreater> pq;
+  pq.push({root_->mbr.MinDist2(q), root_.get(), -1});
+
+  while (!pq.empty()) {
+    const Cand c = pq.top();
+    pq.pop();
+    if (result.size() >= k && c.d2 >= result.KthDist2()) break;
+    if (c.node == nullptr) {
+      const Block& b = store_.Access(c.block_id);
+      for (const auto& e : b.entries) result.Offer(SquaredDist(e.pt, q), e.pt);
+      continue;
+    }
+    store_.CountAccess();  // reading this sub-model's page
+    if (c.node->leaf) {
+      store_.ScanChainRaw(c.node->first_block,
+                          c.node->first_block + c.node->num_blocks - 1,
+                          [&](int id, const Block& blk) {
+                            pq.push({blk.mbr.MinDist2(q), nullptr, id});
+                            return false;
+                          });
+      if (!c.node->buffer.empty()) {
+        store_.CountAccess();  // the leaf's buffer page
+        for (const auto& e : c.node->buffer) {
+          result.Offer(SquaredDist(e.pt, q), e.pt);
+        }
+      }
+    } else {
+      for (const auto& child : c.node->children) {
+        if (child != nullptr) {
+          pq.push({child->mbr.MinDist2(q), child.get(), -1});
+        }
+      }
+    }
+  }
+  return result.Sorted();
+}
+
+// ---------------------------------------------------------------------------
+// Updates (Section 5)
+// ---------------------------------------------------------------------------
+
+void RsmiIndex::Insert(const Point& p) {
+  std::vector<Node*> path;
+  Node* leaf = DescendNearestMutable(p, &path);
+
+  if (cfg_.update_strategy == UpdateStrategy::kLeafBuffer) {
+    // FITing-tree-style buffering [14]: the new point goes into the
+    // leaf's sorted buffer (one block access: the buffer page).
+    store_.CountAccess();
+    const PointEntry e{p, next_id_++};
+    auto it = std::lower_bound(
+        leaf->buffer.begin(), leaf->buffer.end(), e,
+        [](const PointEntry& a, const PointEntry& b) {
+          return LessByXThenY{}(a.pt, b.pt);
+        });
+    leaf->buffer.insert(it, e);
+    for (Node* n : path) n->mbr.Expand(p);
+    ++leaf->extra_points;
+    ++live_points_;
+    const int cap = cfg_.leaf_buffer_capacity > 0 ? cfg_.leaf_buffer_capacity
+                                                  : cfg_.block_capacity;
+    if (static_cast<int>(leaf->buffer.size()) >= cap) {
+      MergeLeafBuffer(leaf, path);
+    }
+    return;
+  }
+
+  const int pb = PredictLeafBlock(*leaf, p);
+  const int gid = leaf->first_block + pb;
+
+  // Place into the predicted block if it has room; otherwise walk its
+  // overflow run (cost O(I*B), Section 5) and append a new inserted block
+  // at the end of the run if everything is full.
+  int placed = -1;
+  int last = gid;
+  for (int cur = gid;;) {
+    const Block& b = store_.Access(cur);
+    if (static_cast<int>(b.entries.size()) < cfg_.block_capacity) {
+      placed = cur;
+      break;
+    }
+    last = cur;
+    const int nxt = b.next;
+    if (nxt < 0 || !store_.Peek(nxt).inserted) break;
+    cur = nxt;
+  }
+  if (placed < 0) placed = store_.AllocInsertedAfter(last);
+
+  Block& blk = store_.MutableBlock(placed);
+  blk.entries.push_back(PointEntry{p, next_id_++});
+  blk.mbr.Expand(p);
+  for (Node* n : path) n->mbr.Expand(p);  // recursive MBR maintenance
+  ++leaf->extra_points;
+  ++live_points_;
+}
+
+void RsmiIndex::MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path) {
+  // Find the unique_ptr slot owning `leaf`: its parent is the second-to-
+  // last path entry (the last is the leaf itself).
+  std::unique_ptr<Node>* slot = &root_;
+  if (path.size() >= 2) {
+    Node* parent = path[path.size() - 2];
+    slot = nullptr;
+    for (auto& child : parent->children) {
+      if (child.get() == leaf) {
+        slot = &child;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr || slot->get() != leaf) return;  // defensive
+  RebuildSubtree(slot, static_cast<int>(path.size()) - 1);
+}
+
+bool RsmiIndex::Delete(const Point& p) {
+  std::vector<Node*> path;
+  Node* leaf = DescendNearestMutable(p, &path);
+  int found_id = -1;
+  size_t found_pos = 0;
+  if (FindEntry(*leaf, p, &found_id, &found_pos)) {
+    // "Swap p with the last point in this block and mark it deleted": the
+    // freed slot becomes reusable by later insertions. Blocks are never
+    // deallocated on underflow, preserving the error-bound validity.
+    Block& blk = store_.MutableBlock(found_id);
+    blk.entries[found_pos] = blk.entries.back();
+    blk.entries.pop_back();
+    --live_points_;
+    return true;
+  }
+  // The point may still sit in the leaf's insert buffer (kLeafBuffer).
+  if (const PointEntry* e = FindInBuffer(*leaf, p)) {
+    const size_t idx = static_cast<size_t>(e - leaf->buffer.data());
+    leaf->buffer.erase(leaf->buffer.begin() + idx);
+    --live_points_;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// RSMIr periodic rebuild (Section 6.2.5)
+// ---------------------------------------------------------------------------
+
+void RsmiIndex::RebuildSubtree(std::unique_ptr<Node>* slot, int depth) {
+  Node* leaf = slot->get();
+  const int first = leaf->first_block;
+  const int last_build = first + leaf->num_blocks - 1;
+  // Extend past the trailing overflow run of the leaf's last block.
+  int range_last = last_build;
+  for (int nxt = store_.Peek(range_last).next;
+       nxt >= 0 && store_.Peek(nxt).inserted; nxt = store_.Peek(nxt).next) {
+    range_last = nxt;
+  }
+  // Collect the leaf's live points, including any buffered insertions
+  // (the FITing-tree merge drains the buffer into the packed blocks).
+  std::vector<PointEntry> pts;
+  pts.reserve(leaf->built_points + leaf->extra_points);
+  for (int cur = first;; cur = store_.Peek(cur).next) {
+    const Block& b = store_.Peek(cur);
+    pts.insert(pts.end(), b.entries.begin(), b.entries.end());
+    if (cur == range_last) break;
+  }
+  pts.insert(pts.end(), leaf->buffer.begin(), leaf->buffer.end());
+  const int before = store_.Peek(first).prev;
+  const int after = store_.Peek(range_last).next;
+  store_.UnlinkRange(first, range_last);
+  // Rebuild; the fresh blocks land at the store tail, then get spliced
+  // into the old range's chain position so global scans stay ordered.
+  const int run_first = static_cast<int>(store_.NumBlocks());
+  auto fresh = BuildNode(std::move(pts), depth);
+  const int run_last = static_cast<int>(store_.NumBlocks()) - 1;
+  if (run_last >= run_first) {
+    store_.UnlinkRange(run_first, run_last);
+    store_.SpliceRun(run_first, run_last, before, after);
+  }
+  *slot = std::move(fresh);
+}
+
+int RsmiIndex::RebuildWalk(Node* node, int depth) {
+  int count = 0;
+  for (auto& child : node->children) {
+    if (child == nullptr) continue;
+    if (child->leaf) {
+      if (child->built_points + child->extra_points >
+          static_cast<size_t>(cfg_.partition_threshold)) {
+        RebuildSubtree(&child, depth + 1);
+        ++count;
+      }
+    } else {
+      count += RebuildWalk(child.get(), depth + 1);
+    }
+  }
+  return count;
+}
+
+int RsmiIndex::RebuildOverflowingSubtrees() {
+  if (root_->leaf) {
+    if (root_->built_points + root_->extra_points >
+        static_cast<size_t>(cfg_.partition_threshold)) {
+      RebuildSubtree(&root_, 0);
+      return 1;
+    }
+    return 0;
+  }
+  return RebuildWalk(root_.get(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TreeStats {
+  int height = 0;
+  size_t models = 0;
+  size_t bytes = 0;
+  int max_err_below = 0;
+  int max_err_above = 0;
+};
+
+}  // namespace
+
+void RsmiIndex::CollectLeaves(const Node* node,
+                              std::vector<const Node*>* out) const {
+  if (node->leaf) {
+    out->push_back(node);
+    return;
+  }
+  for (const auto& child : node->children) {
+    if (child != nullptr) CollectLeaves(child.get(), out);
+  }
+}
+
+IndexStats RsmiIndex::Stats() const {
+  IndexStats s;
+  s.name = Name();
+  s.num_points = live_points_;
+
+  // Recursive walk (cheap relative to index size).
+  struct Walker {
+    static void Visit(const Node* node, int depth, TreeStats* ts) {
+      ts->height = std::max(ts->height, depth + 1);
+      ++ts->models;
+      ts->bytes += node->model != nullptr ? node->model->SizeBytes() : 0;
+      ts->bytes += sizeof(Node) + node->children.size() * sizeof(void*);
+      ts->bytes += node->buffer.capacity() * sizeof(PointEntry);
+      if (node->leaf) {
+        ts->max_err_below = std::max(ts->max_err_below, node->err_below);
+        ts->max_err_above = std::max(ts->max_err_above, node->err_above);
+        return;
+      }
+      for (const auto& child : node->children) {
+        if (child != nullptr) Visit(child.get(), depth + 1, ts);
+      }
+    }
+  };
+  TreeStats ts;
+  Walker::Visit(root_.get(), 0, &ts);
+  s.height = ts.height;
+  s.num_models = ts.models;
+  s.size_bytes = ts.bytes + store_.SizeBytes() + pmf_x_.SizeBytes() +
+                 pmf_y_.SizeBytes();
+  s.avg_query_depth = AvgQueryDepth();
+  return s;
+}
+
+int RsmiIndex::MaxErrBelow() const {
+  std::vector<const Node*> leaves;
+  CollectLeaves(root_.get(), &leaves);
+  int v = 0;
+  for (const Node* l : leaves) v = std::max(v, l->err_below);
+  return v;
+}
+
+int RsmiIndex::MaxErrAbove() const {
+  std::vector<const Node*> leaves;
+  CollectLeaves(root_.get(), &leaves);
+  int v = 0;
+  for (const Node* l : leaves) v = std::max(v, l->err_above);
+  return v;
+}
+
+double RsmiIndex::AvgQueryDepth() const {
+  return descend_count_ == 0
+             ? 0.0
+             : static_cast<double>(descend_invocations_) / descend_count_;
+}
+
+bool RsmiIndex::ValidateStructure(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  // Block chain: symmetric prev/next links and strictly increasing seq.
+  const int nblocks = static_cast<int>(store_.NumBlocks());
+  for (int id = 0; id < nblocks; ++id) {
+    const Block& b = store_.Peek(id);
+    if (b.next >= 0) {
+      if (b.next >= nblocks || store_.Peek(b.next).prev != id) {
+        return fail("asymmetric chain link at block " + std::to_string(id));
+      }
+      if (store_.Peek(b.next).seq <= b.seq) {
+        return fail("non-increasing seq at block " + std::to_string(id));
+      }
+    }
+    if (b.prev >= 0 &&
+        (b.prev >= nblocks || store_.Peek(b.prev).next != id)) {
+      return fail("asymmetric prev link at block " + std::to_string(id));
+    }
+    if (static_cast<int>(b.entries.size()) > cfg_.block_capacity) {
+      return fail("block " + std::to_string(id) + " over capacity");
+    }
+    for (const auto& e : b.entries) {
+      if (!b.mbr.Contains(e.pt)) {
+        return fail("entry outside block MBR in block " + std::to_string(id));
+      }
+    }
+  }
+
+  // Tree: recursive MBR containment, leaf block ranges, error bounds.
+  struct Walker {
+    const RsmiIndex* self;
+    std::string why;
+    bool Check(const Node* node) {
+      if (node->leaf) {
+        if (node->first_block < 0 ||
+            node->first_block + node->num_blocks >
+                static_cast<int>(self->store_.NumBlocks())) {
+          why = "leaf block range out of bounds";
+          return false;
+        }
+        if (node->err_below < 0 || node->err_above < 0) {
+          why = "negative error bound";
+          return false;
+        }
+        bool ok = true;
+        self->store_.ScanChainRaw(
+            node->first_block, node->first_block + node->num_blocks - 1,
+            [&](int, const Block& b) {
+              for (const auto& e : b.entries) {
+                if (!node->mbr.Contains(e.pt)) {
+                  why = "stored point outside leaf MBR";
+                  ok = false;
+                  return true;
+                }
+              }
+              return false;
+            });
+        for (const auto& e : node->buffer) {
+          if (!node->mbr.Contains(e.pt)) {
+            why = "buffered point outside leaf MBR";
+            return false;
+          }
+        }
+        return ok;
+      }
+      if (node->model == nullptr) {
+        why = "internal node without model";
+        return false;
+      }
+      for (const auto& child : node->children) {
+        if (child == nullptr) continue;
+        if (child->mbr.Valid() && !node->mbr.ContainsRect(child->mbr)) {
+          why = "child MBR escapes parent MBR";
+          return false;
+        }
+        if (!Check(child.get())) return false;
+      }
+      return true;
+    }
+  };
+  Walker walker{this, {}};
+  if (!walker.Check(root_.get())) return fail(walker.why);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x52534D4931ull;  // "RSMI1"
+}  // namespace
+
+bool RsmiIndex::WriteNode(std::FILE* f, const Node& node) const {
+  bool ok = WritePod(f, node.leaf) && WritePod(f, node.mbr) &&
+            WritePod(f, node.norm_lo_x) && WritePod(f, node.norm_lo_y) &&
+            WritePod(f, node.norm_span_x) && WritePod(f, node.norm_span_y) &&
+            WritePod(f, node.grid_order) && WritePod(f, node.first_block) &&
+            WritePod(f, node.num_blocks) && WritePod(f, node.err_below) &&
+            WritePod(f, node.err_above) && WritePod(f, node.built_points) &&
+            WritePod(f, node.extra_points) && WriteVec(f, node.buffer);
+  const bool has_model = node.model != nullptr;
+  ok = ok && WritePod(f, has_model);
+  if (has_model) ok = ok && node.model->WriteTo(f);
+  const uint32_t nchildren = static_cast<uint32_t>(node.children.size());
+  ok = ok && WritePod(f, nchildren);
+  for (const auto& child : node.children) {
+    const bool present = child != nullptr;
+    ok = ok && WritePod(f, present);
+    if (present) ok = ok && WriteNode(f, *child);
+  }
+  return ok;
+}
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::ReadNode(std::FILE* f, bool* ok) {
+  auto node = std::make_unique<Node>();
+  *ok = ReadPod(f, &node->leaf) && ReadPod(f, &node->mbr) &&
+        ReadPod(f, &node->norm_lo_x) && ReadPod(f, &node->norm_lo_y) &&
+        ReadPod(f, &node->norm_span_x) && ReadPod(f, &node->norm_span_y) &&
+        ReadPod(f, &node->grid_order) && ReadPod(f, &node->first_block) &&
+        ReadPod(f, &node->num_blocks) && ReadPod(f, &node->err_below) &&
+        ReadPod(f, &node->err_above) && ReadPod(f, &node->built_points) &&
+        ReadPod(f, &node->extra_points) && ReadVec(f, &node->buffer);
+  if (!*ok) return nullptr;
+  bool has_model = false;
+  if (!ReadPod(f, &has_model)) {
+    *ok = false;
+    return nullptr;
+  }
+  if (has_model) {
+    Mlp model(1, 1);
+    if (!Mlp::ReadFrom(f, &model)) {
+      *ok = false;
+      return nullptr;
+    }
+    node->model = std::make_unique<Mlp>(std::move(model));
+  }
+  uint32_t nchildren = 0;
+  if (!ReadPod(f, &nchildren) || nchildren > (1u << 24)) {
+    *ok = false;
+    return nullptr;
+  }
+  node->children.resize(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    bool present = false;
+    if (!ReadPod(f, &present)) {
+      *ok = false;
+      return nullptr;
+    }
+    if (present) {
+      node->children[i] = ReadNode(f, ok);
+      if (!*ok) return nullptr;
+    }
+  }
+  return node;
+}
+
+bool RsmiIndex::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = WritePod(f, kIndexMagic) && WritePod(f, cfg_) &&
+            WritePod(f, data_bounds_) && WritePod(f, live_points_) &&
+            WritePod(f, next_id_) && WritePod(f, model_seed_counter_) &&
+            pmf_x_.WriteTo(f) && pmf_y_.WriteTo(f) && store_.WriteTo(f) &&
+            WriteNode(f, *root_);
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::unique_ptr<RsmiIndex> RsmiIndex::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return nullptr;
+  std::unique_ptr<RsmiIndex> index(new RsmiIndex(LoadTag{}));
+  uint64_t magic = 0;
+  bool ok = ReadPod(f, &magic) && magic == kIndexMagic &&
+            ReadPod(f, &index->cfg_) && ReadPod(f, &index->data_bounds_) &&
+            ReadPod(f, &index->live_points_) && ReadPod(f, &index->next_id_) &&
+            ReadPod(f, &index->model_seed_counter_) &&
+            index->pmf_x_.ReadFrom(f) && index->pmf_y_.ReadFrom(f) &&
+            index->store_.ReadFrom(f);
+  if (ok) index->root_ = ReadNode(f, &ok);
+  std::fclose(f);
+  if (!ok || index->root_ == nullptr) return nullptr;
+  return index;
+}
+
+}  // namespace rsmi

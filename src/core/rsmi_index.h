@@ -1,0 +1,199 @@
+#ifndef RSMI_CORE_RSMI_INDEX_H_
+#define RSMI_CORE_RSMI_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pmf.h"
+#include "core/rsmi_config.h"
+#include "core/spatial_index.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "nn/mlp.h"
+#include "storage/block_store.h"
+
+namespace rsmi {
+
+/// The Recursive Spatial Model Index (RSMI) — the paper's primary
+/// contribution (Section 3).
+///
+/// Structure: a tree of MLP sub-models. Internal sub-models map a point's
+/// coordinates to the curve value of its cell in a non-regular 2^g x 2^g
+/// grid; points are grouped by the *predicted* value, so the partitioning
+/// is learned and perfectly reproducible at query time. Leaf sub-models
+/// order their points with the rank-space transform, pack every B points
+/// into a block, and map coordinates to block ids with recorded maximum
+/// error bounds.
+///
+/// Queries: Algorithm 1 (point), Algorithm 2 (window, approximate with no
+/// false positives), Algorithm 3 (kNN with PMF-estimated skew factors).
+/// The MBRs stored with every sub-model and block additionally enable the
+/// exact variants (RSMIa in Section 6): WindowQueryExact / KnnQueryExact.
+/// Updates follow Section 5; RebuildOverflowingSubtrees implements the
+/// RSMIr periodic-rebuild variant of Section 6.2.5.
+class RsmiIndex : public SpatialIndex {
+ public:
+  /// Builds the index over `pts` (bulk loading + model training).
+  RsmiIndex(const std::vector<Point>& pts, const RsmiConfig& cfg);
+  ~RsmiIndex() override;
+
+  RsmiIndex(const RsmiIndex&) = delete;
+  RsmiIndex& operator=(const RsmiIndex&) = delete;
+
+  std::string Name() const override { return "RSMI"; }
+
+  std::optional<PointEntry> PointQuery(const Point& q) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+
+  /// RSMIa: exact window query via an R-tree-style traversal of the
+  /// sub-model MBRs and per-block MBRs (end of Section 4.2).
+  std::vector<Point> WindowQueryExact(const Rect& w) const;
+
+  /// Entry-returning variants of the window queries, for callers that
+  /// need the stored record ids (e.g. the extent-object adapter).
+  std::vector<PointEntry> WindowQueryEntries(const Rect& w) const;
+  std::vector<PointEntry> WindowQueryExactEntries(const Rect& w) const;
+
+  /// RSMIa: exact kNN via best-first search over MBRs [40].
+  std::vector<Point> KnnQueryExact(const Point& q, size_t k) const;
+
+  void Insert(const Point& p) override;
+  bool Delete(const Point& p) override;
+
+  /// RSMIr: rebuilds every subtree whose leaf grew beyond the partition
+  /// threshold (call after every 10%*n insertions, Section 6.2.5).
+  /// Returns the number of subtrees rebuilt.
+  int RebuildOverflowingSubtrees();
+
+  IndexStats Stats() const override;
+  uint64_t block_accesses() const override { return store_.accesses(); }
+  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
+  const BlockStore& block_store() const override { return store_; }
+
+  /// Persists the trained index (models, blocks, PMFs) so it can be
+  /// reloaded without retraining — the "build offline, query online"
+  /// deployment the paper targets (queries are much more frequent than
+  /// updates, Section 1). Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save; nullptr on error. The
+  /// loaded index supports all queries and updates, including RSMIr
+  /// rebuilds (the training configuration is persisted too).
+  static std::unique_ptr<RsmiIndex> Load(const std::string& path);
+
+  /// Maximum leaf-model error bounds across the index, in blocks —
+  /// the (err_l, err_a) pair reported by Table 4.
+  int MaxErrBelow() const;
+  int MaxErrAbove() const;
+
+  /// Checks the block chain (symmetric links, increasing seq keys), every
+  /// leaf's block range, and MBR containment of every stored point.
+  bool ValidateStructure(std::string* error) const override;
+
+  /// Average number of sub-models invoked per descent so far.
+  double AvgQueryDepth() const;
+
+  const RsmiConfig& config() const { return cfg_; }
+
+ private:
+  struct Node;
+  struct LoadTag {};
+  explicit RsmiIndex(LoadTag);  // uninitialized shell filled by Load()
+
+  bool WriteNode(std::FILE* f, const Node& node) const;
+  static std::unique_ptr<Node> ReadNode(std::FILE* f, bool* ok);
+
+  // --- build ---
+  std::unique_ptr<Node> BuildNode(std::vector<PointEntry> pts, int depth);
+  std::unique_ptr<Node> BuildInternal(std::vector<PointEntry> pts, int depth);
+  std::unique_ptr<Node> BuildLeaf(std::vector<PointEntry> pts);
+
+  /// A leaf whose blocks are packed but whose model still needs training.
+  /// Queued during the constructor when build_threads > 1; the jobs are
+  /// independent and pre-seeded, so they run on any number of threads
+  /// with bit-identical results (see RsmiConfig::build_threads).
+  struct LeafTrainJob {
+    Node* node;
+    std::vector<double> feat;
+    std::vector<double> target;
+    std::vector<int> local_block;
+    MlpTrainConfig train;
+  };
+  /// Trains one queued leaf model and records its error bounds.
+  static void RunLeafTrainJob(LeafTrainJob* job);
+  /// Executes all queued jobs on cfg_.build_threads workers.
+  void RunLeafTrainJobs();
+
+  // --- descent helpers ---
+  /// Child slot predicted by an internal node's model for point `p`.
+  int PredictChildSlot(const Node& node, const Point& p) const;
+  /// Local block index predicted by a leaf model (clamped to the leaf).
+  int PredictLeafBlock(const Node& leaf, const Point& p) const;
+  /// Descent by repeated sub-model invocation (Algorithm 1), falling back
+  /// to the nearest non-empty child slot so a leaf is always reached.
+  /// Insertions take the same path, which keeps every stored point
+  /// findable (DESIGN.md key decision #4).
+  const Node* DescendNearest(const Point& p) const;
+  /// Mutable robust descent collecting the root-to-leaf path (insertion
+  /// needs it for recursive MBR maintenance, Section 5).
+  Node* DescendNearestMutable(const Point& p, std::vector<Node*>* path);
+
+  /// Predicted global block range of `p` within `leaf`, clamped.
+  std::pair<int, int> LeafPredictRange(const Node& leaf,
+                                       const Point& p) const;
+
+  /// Locates the entry at exactly position `q` inside `leaf`, expanding
+  /// outward from the predicted block (Algorithm 1's scan, nearest
+  /// candidate first). Returns false if absent.
+  bool FindEntry(const Node& leaf, const Point& q, int* block_id,
+                 size_t* pos) const;
+
+  // --- update strategies (Section 5 + the Section 2 alternatives) ---
+  /// Entries packed per block at (re)build time: B * build_fill_factor.
+  int EffectiveBlockFill() const;
+  /// Binary-searches `leaf`'s insert buffer (kLeafBuffer strategy) for the
+  /// entry at exactly `q`; nullptr if absent. Counts one block access when
+  /// the buffer is non-empty.
+  const PointEntry* FindInBuffer(const Node& leaf, const Point& q) const;
+  /// FITing-tree merge: rebuilds `leaf` (whose owning slot is found via
+  /// `path`) folding its full insert buffer into the packed blocks.
+  void MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path);
+  /// Adds buffered points inside `w` from every leaf under `node` whose
+  /// MBR intersects `w` (one counted access per non-empty buffer).
+  void CollectBufferedInWindow(const Node* node, const Rect& w,
+                               std::vector<PointEntry>* out) const;
+
+  /// Block-id range to scan for window `w` (the begin/end bounds computed
+  /// by Algorithm 2 from the window-corner point queries).
+  std::pair<int, int> WindowBlockRange(const Rect& w) const;
+
+  // --- stats/maintenance ---
+  void CollectLeaves(const Node* node, std::vector<const Node*>* out) const;
+  int RebuildWalk(Node* node, int depth);
+  void RebuildSubtree(std::unique_ptr<Node>* slot, int depth);
+
+  RsmiConfig cfg_;
+  BlockStore store_;
+  std::unique_ptr<Node> root_;
+  Rect data_bounds_ = Rect::Empty();  // bounds of the build data set
+  Pmf pmf_x_;
+  Pmf pmf_y_;
+  size_t live_points_ = 0;
+  int64_t next_id_ = 0;
+  size_t num_models_ = 0;
+  int height_ = 0;
+  uint64_t model_seed_counter_ = 0;
+  /// Non-null only while the constructor runs with build_threads > 1:
+  /// BuildLeaf queues its training here instead of running it inline.
+  std::vector<LeafTrainJob>* leaf_jobs_ = nullptr;
+  // Query-depth bookkeeping (Section 6.2.2 "average depth").
+  mutable uint64_t descend_invocations_ = 0;
+  mutable uint64_t descend_count_ = 0;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_RSMI_INDEX_H_

@@ -1,0 +1,83 @@
+#ifndef RSMI_CORE_SPATIAL_INDEX_H_
+#define RSMI_CORE_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "storage/block_store.h"
+
+namespace rsmi {
+
+/// Structural statistics reported by every index (used by Table 3 and the
+/// index-size / construction-time figures).
+struct IndexStats {
+  std::string name;
+  size_t num_points = 0;
+  /// Index footprint: data blocks + directory/tree nodes + learned models.
+  size_t size_bytes = 0;
+  /// Number of model/tree levels above the data-block level.
+  int height = 0;
+  /// Learned indices: number of sub-models.
+  size_t num_models = 0;
+  /// Learned indices: average number of sub-models invoked per lookup so
+  /// far ("average depth", Section 6.2.2); 0 when not applicable.
+  double avg_query_depth = 0.0;
+};
+
+/// Common interface of all indices evaluated in the paper: the learned
+/// RSMI and ZM plus the traditional Grid File, K-D-B-tree, HRR, and
+/// R*-tree. All of them store their data points in a BlockStore and report
+/// block accesses through one unified counter, mirroring the paper's
+/// "# block accesses" metric.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Returns the stored entry whose position equals `q` exactly, if any.
+  virtual std::optional<PointEntry> PointQuery(const Point& q) const = 0;
+
+  /// Returns the points inside the (closed) window `w`. Learned indices
+  /// may return approximate answers with no false positives (Section 4.2);
+  /// all traditional indices are exact.
+  virtual std::vector<Point> WindowQuery(const Rect& w) const = 0;
+
+  /// Returns (approximately, for learned indices) the k nearest neighbors
+  /// of `q`, ordered by increasing distance.
+  virtual std::vector<Point> KnnQuery(const Point& q, size_t k) const = 0;
+
+  /// Inserts a new point (Section 5).
+  virtual void Insert(const Point& p) = 0;
+
+  /// Deletes the point at exactly this position; false if absent.
+  virtual bool Delete(const Point& p) = 0;
+
+  virtual IndexStats Stats() const = 0;
+
+  /// Block accesses accumulated since the last reset.
+  virtual uint64_t block_accesses() const = 0;
+  virtual void ResetBlockAccesses() const = 0;
+
+  /// The store holding this index's data blocks. Lets callers attach the
+  /// external-memory layer (DiskBackedBlocks) to any index uniformly.
+  virtual const BlockStore& block_store() const = 0;
+
+  /// Deep structural self-check (tree/region/chain invariants), for tests
+  /// and post-corruption diagnostics. Returns true when every invariant
+  /// holds; otherwise false with a description in `*error` (if non-null).
+  /// O(index size) — not for hot paths. The base implementation accepts
+  /// everything; indices override with their specific invariants.
+  virtual bool ValidateStructure(std::string* error) const {
+    (void)error;
+    return true;
+  }
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_SPATIAL_INDEX_H_

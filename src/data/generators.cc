@@ -1,0 +1,197 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace rsmi {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Hashable bit pattern of a position, for exact-duplicate detection.
+struct PositionHash {
+  size_t operator()(const Point& p) const {
+    uint64_t hx;
+    uint64_t hy;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    std::memcpy(&hx, &p.x, sizeof(hx));
+    std::memcpy(&hy, &p.y, sizeof(hy));
+    return std::hash<uint64_t>()(hx * 0x9E3779B97F4A7C15ull ^ hy);
+  }
+};
+struct PositionEq {
+  bool operator()(const Point& a, const Point& b) const {
+    return SamePosition(a, b);
+  }
+};
+
+double ClampUnit(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+std::string DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "Uniform";
+    case Distribution::kNormal:
+      return "Normal";
+    case Distribution::kSkewed:
+      return "Skewed";
+    case Distribution::kTiger:
+      return "Tiger";
+    case Distribution::kOsm:
+      return "OSM";
+  }
+  return "?";
+}
+
+std::vector<Point> GenerateUniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = Point{rng.Uniform(), rng.Uniform()};
+  DeduplicatePositions(&pts, seed ^ 0xD1CEull);
+  return pts;
+}
+
+std::vector<Point> GenerateNormal(size_t n, uint64_t seed, double stddev) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    // Rejection-sample into the unit square so the distribution keeps its
+    // shape instead of piling up mass on the boundary.
+    do {
+      p = Point{rng.Normal(0.5, stddev), rng.Normal(0.5, stddev)};
+    } while (p.x < 0.0 || p.x > 1.0 || p.y < 0.0 || p.y > 1.0);
+  }
+  DeduplicatePositions(&pts, seed ^ 0xD1CEull);
+  return pts;
+}
+
+std::vector<Point> GenerateSkewed(size_t n, uint64_t seed, double alpha) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.Uniform();
+    p.y = std::pow(rng.Uniform(), alpha);
+  }
+  DeduplicatePositions(&pts, seed ^ 0xD1CEull);
+  return pts;
+}
+
+std::vector<Point> GenerateTigerLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  // A random "road network": segments whose endpoints are biased towards a
+  // handful of hub locations, with points scattered along the segments.
+  const size_t num_hubs = std::max<size_t>(4, n / 20000);
+  std::vector<Point> hubs(num_hubs);
+  for (auto& h : hubs) h = Point{rng.Uniform(), rng.Uniform()};
+
+  const size_t num_segments = std::max<size_t>(16, n / 500);
+  struct Segment {
+    Point a, b;
+    double len;
+  };
+  std::vector<Segment> segs(num_segments);
+  std::vector<double> cum(num_segments);
+  double total = 0.0;
+  for (size_t i = 0; i < num_segments; ++i) {
+    const Point& hub = hubs[rng.UniformInt(0, num_hubs - 1)];
+    Segment s;
+    s.a = Point{ClampUnit(hub.x + rng.Normal(0.0, 0.08)),
+                ClampUnit(hub.y + rng.Normal(0.0, 0.08))};
+    const double angle = rng.Uniform(0.0, kTwoPi);
+    const double len = std::abs(rng.Normal(0.0, 0.05)) + 0.005;
+    s.b = Point{ClampUnit(s.a.x + len * std::cos(angle)),
+                ClampUnit(s.a.y + len * std::sin(angle))};
+    s.len = Dist(s.a, s.b) + 1e-9;
+    total += s.len;
+    cum[i] = total;
+    segs[i] = s;
+  }
+
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    // Pick a segment with probability proportional to its length.
+    const double r = rng.Uniform(0.0, total);
+    const size_t si = static_cast<size_t>(
+        std::lower_bound(cum.begin(), cum.end(), r) - cum.begin());
+    const Segment& s = segs[std::min(si, num_segments - 1)];
+    const double t = rng.Uniform();
+    p.x = ClampUnit(s.a.x + t * (s.b.x - s.a.x) + rng.Normal(0.0, 0.002));
+    p.y = ClampUnit(s.a.y + t * (s.b.y - s.a.y) + rng.Normal(0.0, 0.002));
+  }
+  DeduplicatePositions(&pts, seed ^ 0xD1CEull);
+  return pts;
+}
+
+std::vector<Point> GenerateOsmLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  // Power-law-sized Gaussian clusters (cities/towns) plus a 10% sparse
+  // uniform background (rural POIs).
+  const size_t num_clusters = std::max<size_t>(8, n / 2000);
+  struct Cluster {
+    Point center;
+    double sigma;
+  };
+  std::vector<Cluster> clusters(num_clusters);
+  std::vector<double> cum(num_clusters);
+  double total = 0.0;
+  for (size_t i = 0; i < num_clusters; ++i) {
+    clusters[i].center = Point{rng.Uniform(), rng.Uniform()};
+    clusters[i].sigma = 0.002 + 0.02 * rng.Uniform() * rng.Uniform();
+    // Pareto-like weight: few big cities, many small towns.
+    const double w = std::pow(rng.Uniform() + 1e-3, -0.8);
+    total += w;
+    cum[i] = total;
+  }
+
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    if (rng.Uniform() < 0.10) {
+      p = Point{rng.Uniform(), rng.Uniform()};
+      continue;
+    }
+    const double r = rng.Uniform(0.0, total);
+    const size_t ci = static_cast<size_t>(
+        std::lower_bound(cum.begin(), cum.end(), r) - cum.begin());
+    const Cluster& c = clusters[std::min(ci, num_clusters - 1)];
+    p.x = ClampUnit(rng.Normal(c.center.x, c.sigma));
+    p.y = ClampUnit(rng.Normal(c.center.y, c.sigma));
+  }
+  DeduplicatePositions(&pts, seed ^ 0xD1CEull);
+  return pts;
+}
+
+std::vector<Point> GenerateDataset(Distribution d, size_t n, uint64_t seed) {
+  switch (d) {
+    case Distribution::kUniform:
+      return GenerateUniform(n, seed);
+    case Distribution::kNormal:
+      return GenerateNormal(n, seed);
+    case Distribution::kSkewed:
+      return GenerateSkewed(n, seed);
+    case Distribution::kTiger:
+      return GenerateTigerLike(n, seed);
+    case Distribution::kOsm:
+      return GenerateOsmLike(n, seed);
+  }
+  return {};
+}
+
+void DeduplicatePositions(std::vector<Point>* pts, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<Point, PositionHash, PositionEq> seen;
+  seen.reserve(pts->size() * 2);
+  for (auto& p : *pts) {
+    while (!seen.insert(p).second) {
+      p.x = ClampUnit(p.x + rng.Uniform(-1e-9, 1e-9));
+      p.y = ClampUnit(p.y + rng.Uniform(-1e-9, 1e-9));
+    }
+  }
+}
+
+}  // namespace rsmi

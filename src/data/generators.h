@@ -1,0 +1,71 @@
+#ifndef RSMI_DATA_GENERATORS_H_
+#define RSMI_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// The five data distributions of the evaluation (Section 6.1, Table 2).
+///
+/// Uniform/Normal/Skewed reproduce the paper's synthetic generators.
+/// Tiger/OSM substitute the real data sets, which are not available
+/// offline, with synthetic equivalents that preserve the property the
+/// experiments exercise — heavy, non-uniform spatial skew (DESIGN.md,
+/// substitution #1):
+///  * kTiger: points along a random network of line segments, mimicking
+///    centers of geographic line features (roads, rivers).
+///  * kOsm:   power-law-sized Gaussian clusters over a sparse uniform
+///    background, mimicking POI clustering around towns and cities.
+enum class Distribution {
+  kUniform,
+  kNormal,
+  kSkewed,
+  kTiger,
+  kOsm,
+};
+
+/// All distributions in the paper's presentation order.
+inline const std::vector<Distribution>& AllDistributions() {
+  static const std::vector<Distribution> kAll = {
+      Distribution::kUniform, Distribution::kNormal, Distribution::kSkewed,
+      Distribution::kTiger, Distribution::kOsm};
+  return kAll;
+}
+
+std::string DistributionName(Distribution d);
+
+/// n i.i.d. uniform points in the unit square.
+std::vector<Point> GenerateUniform(size_t n, uint64_t seed);
+
+/// n points from a normal distribution centered at (0.5, 0.5), resampled
+/// into the unit square.
+std::vector<Point> GenerateNormal(size_t n, uint64_t seed,
+                                  double stddev = 0.17);
+
+/// The paper's Skewed generator: uniform points whose y-coordinates are
+/// raised to the power alpha (alpha = 4 by default, following HRR [37,38]).
+std::vector<Point> GenerateSkewed(size_t n, uint64_t seed,
+                                  double alpha = 4.0);
+
+/// Tiger-like synthetic data (see Distribution::kTiger).
+std::vector<Point> GenerateTigerLike(size_t n, uint64_t seed);
+
+/// OSM-like synthetic data (see Distribution::kOsm).
+std::vector<Point> GenerateOsmLike(size_t n, uint64_t seed);
+
+/// Dispatch on the enum; every generator returns exactly n points in the
+/// unit square with no two points sharing both coordinates (the paper's
+/// standing assumption, Section 3.1).
+std::vector<Point> GenerateDataset(Distribution d, size_t n, uint64_t seed);
+
+/// Enforces the distinct-positions assumption by deterministically
+/// jittering duplicate positions within the unit square.
+void DeduplicatePositions(std::vector<Point>* pts, uint64_t seed);
+
+}  // namespace rsmi
+
+#endif  // RSMI_DATA_GENERATORS_H_

@@ -1,0 +1,69 @@
+#ifndef RSMI_DATA_GROUND_TRUTH_H_
+#define RSMI_DATA_GROUND_TRUTH_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsmi {
+
+/// Brute-force window query — the ground truth against which index recall
+/// is measured (Section 6.2.3).
+inline std::vector<Point> BruteForceWindow(const std::vector<Point>& data,
+                                           const Rect& w) {
+  std::vector<Point> out;
+  for (const Point& p : data) {
+    if (w.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+/// Brute-force k nearest neighbors (ties broken arbitrarily, matching the
+/// recall definition of Section 6.2.4: |returned ∩ true kNN| / k).
+inline std::vector<Point> BruteForceKnn(const std::vector<Point>& data,
+                                        const Point& q, size_t k) {
+  std::vector<size_t> idx(data.size());
+  for (size_t i = 0; i < data.size(); ++i) idx[i] = i;
+  k = std::min(k, data.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](size_t a, size_t b) {
+                      return SquaredDist(data[a], q) < SquaredDist(data[b], q);
+                    });
+  std::vector<Point> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(data[idx[i]]);
+  return out;
+}
+
+/// True when `data` contains a point at exactly the position of `q`.
+inline bool BruteForceContains(const std::vector<Point>& data,
+                               const Point& q) {
+  for (const Point& p : data) {
+    if (SamePosition(p, q)) return true;
+  }
+  return false;
+}
+
+/// Recall of an (approximate) result set vs the ground truth, by position.
+/// Both sets are assumed duplicate-free.
+inline double RecallOf(const std::vector<Point>& result,
+                       const std::vector<Point>& truth) {
+  if (truth.empty()) return 1.0;
+  size_t hit = 0;
+  // O(|result| * |truth|) is fine at test scale; benches use sorted merge.
+  for (const Point& t : truth) {
+    for (const Point& r : result) {
+      if (SamePosition(r, t)) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / truth.size();
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_DATA_GROUND_TRUTH_H_

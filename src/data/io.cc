@@ -1,0 +1,78 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rsmi {
+namespace {
+
+/// Parses "x<sep>y" with a permissive separator set.
+bool ParseLine(const char* line, Point* p) {
+  char* end = nullptr;
+  const double x = std::strtod(line, &end);
+  if (end == line) return false;
+  while (*end == ',' || *end == ';' || *end == '\t' || *end == ' ') ++end;
+  const char* ystart = end;
+  const double y = std::strtod(ystart, &end);
+  if (end == ystart) return false;
+  *p = Point{x, y};
+  return true;
+}
+
+}  // namespace
+
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    Point p;
+    if (ParseLine(line, &p)) out->push_back(p);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& pts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& p : pts) {
+    std::fprintf(f, "%.17g,%.17g\n", p.x, p.y);
+  }
+  return std::fclose(f) == 0;
+}
+
+bool LoadPointsBinary(const std::string& path, std::vector<Point>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return false;
+  }
+  const size_t base = out->size();
+  out->resize(base + count);
+  const size_t read =
+      std::fread(out->data() + base, sizeof(Point), count, f);
+  std::fclose(f);
+  if (read != count) {
+    out->resize(base + read);
+    return false;
+  }
+  return true;
+}
+
+bool SavePointsBinary(const std::string& path,
+                      const std::vector<Point>& pts) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const uint64_t count = pts.size();
+  bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && std::fwrite(pts.data(), sizeof(Point), pts.size(), f) ==
+                 pts.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace rsmi

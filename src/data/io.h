@@ -1,0 +1,31 @@
+#ifndef RSMI_DATA_IO_H_
+#define RSMI_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// Loads points from a text file with one "x<sep>y" pair per line
+/// (separator: comma, semicolon, tab, or spaces — the format of common
+/// OSM/Tiger point extracts). Lines that do not parse (headers, comments)
+/// are skipped. Returns false when the file cannot be opened.
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* out);
+
+/// Writes points as "x,y" lines. Returns false on I/O failure.
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& pts);
+
+/// Loads points from the compact binary format written by
+/// SavePointsBinary: a uint64 count followed by count {double x, double y}
+/// records (native endianness).
+bool LoadPointsBinary(const std::string& path, std::vector<Point>* out);
+
+/// Writes the binary format (fast round-trip for large data sets).
+bool SavePointsBinary(const std::string& path,
+                      const std::vector<Point>& pts);
+
+}  // namespace rsmi
+
+#endif  // RSMI_DATA_IO_H_

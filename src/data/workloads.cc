@@ -1,0 +1,48 @@
+#include "data/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rsmi {
+
+std::vector<Rect> GenerateWindowQueries(const std::vector<Point>& data,
+                                        size_t count, double area_fraction,
+                                        double aspect_ratio, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  out.reserve(count);
+  // aspect = width / height; area = width * height.
+  const double width =
+      std::min(1.0, std::sqrt(area_fraction * aspect_ratio));
+  const double height = std::min(1.0, std::sqrt(area_fraction / aspect_ratio));
+  for (size_t i = 0; i < count; ++i) {
+    const Point& c = data[rng.UniformInt(0, data.size() - 1)];
+    double lx = c.x - width / 2;
+    double ly = c.y - height / 2;
+    lx = std::max(0.0, std::min(lx, 1.0 - width));
+    ly = std::max(0.0, std::min(ly, 1.0 - height));
+    out.push_back(Rect{{lx, ly}, {lx + width, ly + height}});
+  }
+  return out;
+}
+
+std::vector<Point> GenerateQueryPoints(const std::vector<Point>& data,
+                                       size_t count, uint64_t seed,
+                                       double perturb) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Point p = data[rng.UniformInt(0, data.size() - 1)];
+    if (perturb > 0.0) {
+      p.x = std::min(1.0, std::max(0.0, p.x + rng.Normal(0.0, perturb)));
+      p.y = std::min(1.0, std::max(0.0, p.y + rng.Normal(0.0, perturb)));
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,29 @@
+#ifndef RSMI_DATA_WORKLOADS_H_
+#define RSMI_DATA_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsmi {
+
+/// Window queries "generated following the data distribution"
+/// (Section 6.1): centers are sampled from the data points; each window
+/// covers `area_fraction` of the unit data space with width/height ratio
+/// `aspect_ratio`, clamped to stay within the unit square.
+std::vector<Rect> GenerateWindowQueries(const std::vector<Point>& data,
+                                        size_t count, double area_fraction,
+                                        double aspect_ratio, uint64_t seed);
+
+/// kNN/point query locations sampled from the data distribution. With
+/// `perturb > 0`, each location is jittered so queries don't coincide with
+/// indexed points.
+std::vector<Point> GenerateQueryPoints(const std::vector<Point>& data,
+                                       size_t count, uint64_t seed,
+                                       double perturb = 0.0);
+
+}  // namespace rsmi
+
+#endif  // RSMI_DATA_WORKLOADS_H_

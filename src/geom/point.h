@@ -1,0 +1,53 @@
+#ifndef RSMI_GEOM_POINT_H_
+#define RSMI_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace rsmi {
+
+/// A 2-dimensional point. The paper presents all techniques for d = 2
+/// (Section 3), which is the case implemented throughout this library.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// True when two points have identical coordinates in both dimensions.
+/// The paper assumes no two *indexed* points coincide; data generators
+/// de-duplicate accordingly.
+inline bool SamePosition(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+/// Orders by x, breaking ties by y — the tie-breaking rule the paper uses
+/// when computing x-ranks for the rank-space transform (Section 3.1).
+struct LessByXThenY {
+  bool operator()(const Point& a, const Point& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  }
+};
+
+/// Orders by y, breaking ties by x (rank-space y-ranks).
+struct LessByYThenX {
+  bool operator()(const Point& a, const Point& b) const {
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  }
+};
+
+/// Squared Euclidean distance.
+inline double SquaredDist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Dist(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDist(a, b));
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_GEOM_POINT_H_

@@ -1,0 +1,111 @@
+#ifndef RSMI_GEOM_RECT_H_
+#define RSMI_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// An axis-aligned rectangle (minimum bounding rectangle). Used as query
+/// window, node MBR, and per-block MBR throughout the library.
+struct Rect {
+  Point lo;  ///< minimum corner
+  Point hi;  ///< maximum corner
+
+  /// An "inverted" rectangle that expands correctly from nothing.
+  static Rect Empty() {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return Rect{{kInf, kInf}, {-kInf, -kInf}};
+  }
+
+  /// The unit square [0,1]^2 (the domain of all generated data sets).
+  static Rect UnitSquare() { return Rect{{0.0, 0.0}, {1.0, 1.0}}; }
+
+  /// True once at least one point has been added.
+  bool Valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+
+  /// Closed containment test.
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// True when `r` lies entirely inside this rectangle.
+  bool ContainsRect(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y &&
+           r.hi.y <= hi.y;
+  }
+
+  /// Closed intersection test.
+  bool Intersects(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y &&
+           r.lo.y <= hi.y;
+  }
+
+  void Expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  void Expand(const Rect& r) {
+    if (!r.Valid()) return;
+    Expand(r.lo);
+    Expand(r.hi);
+  }
+
+  double Area() const {
+    if (!Valid()) return 0.0;
+    return (hi.x - lo.x) * (hi.y - lo.y);
+  }
+
+  /// Sum of side lengths (the "margin" used by the R*-tree split).
+  double Margin() const {
+    if (!Valid()) return 0.0;
+    return (hi.x - lo.x) + (hi.y - lo.y);
+  }
+
+  /// Area of the overlap region with `r` (0 when disjoint).
+  double OverlapArea(const Rect& r) const {
+    const double w =
+        std::min(hi.x, r.hi.x) - std::max(lo.x, r.lo.x);
+    const double h =
+        std::min(hi.y, r.hi.y) - std::max(lo.y, r.lo.y);
+    if (w <= 0.0 || h <= 0.0) return 0.0;
+    return w * h;
+  }
+
+  Point Center() const { return Point{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  /// Squared MINDIST metric of Roussopoulos et al. [40]: the squared
+  /// distance from `p` to the nearest point of the rectangle (0 if inside).
+  double MinDist2(const Point& p) const {
+    double dx = 0.0;
+    if (p.x < lo.x) {
+      dx = lo.x - p.x;
+    } else if (p.x > hi.x) {
+      dx = p.x - hi.x;
+    }
+    double dy = 0.0;
+    if (p.y < lo.y) {
+      dy = lo.y - p.y;
+    } else if (p.y > hi.y) {
+      dy = p.y - hi.y;
+    }
+    return dx * dx + dy * dy;
+  }
+
+  /// Bounding box of a point set.
+  template <typename It>
+  static Rect Bound(It begin, It end) {
+    Rect r = Empty();
+    for (It it = begin; it != end; ++it) r.Expand(*it);
+    return r;
+  }
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_GEOM_RECT_H_

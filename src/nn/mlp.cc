@@ -1,0 +1,195 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace rsmi {
+namespace {
+
+inline double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+}  // namespace
+
+Mlp::Mlp(int input_dim, int hidden_dim, uint64_t seed, double init_scale)
+    : in_(input_dim),
+      hidden_(hidden_dim),
+      w1_(static_cast<size_t>(hidden_dim) * input_dim),
+      b1_(hidden_dim, 0.0),
+      w2_(hidden_dim) {
+  Rng rng(seed);
+  // First layer: Xavier/Glorot by default; a caller-provided range for
+  // high-frequency targets (see the header comment).
+  const double s1 =
+      init_scale > 0.0 ? init_scale : std::sqrt(6.0 / (in_ + hidden_));
+  for (double& w : w1_) w = rng.Uniform(-s1, s1);
+  if (init_scale > 0.0) {
+    for (double& b : b1_) b = rng.Uniform(-s1, s1);
+  }
+  const double s2 = std::sqrt(6.0 / (hidden_ + 1));
+  for (double& w : w2_) w = rng.Uniform(-s2, s2);
+}
+
+double Mlp::Predict(const double* features) const {
+  double out = b2_;
+  for (int j = 0; j < hidden_; ++j) {
+    double a = b1_[j];
+    const double* wrow = &w1_[static_cast<size_t>(j) * in_];
+    for (int i = 0; i < in_; ++i) a += wrow[i] * features[i];
+    out += w2_[j] * Sigmoid(a);
+  }
+  return out;
+}
+
+double Mlp::Train(const std::vector<double>& x, const std::vector<double>& y,
+                  const MlpTrainConfig& cfg) {
+  const size_t total = y.size();
+  assert(x.size() == total * static_cast<size_t>(in_));
+  if (total == 0) return 0.0;
+
+  Rng rng(cfg.seed);
+
+  // Optional deterministic subsample (partial Fisher-Yates).
+  std::vector<size_t> idx(total);
+  std::iota(idx.begin(), idx.end(), 0);
+  size_t n = total;
+  if (cfg.max_samples > 0 && total > static_cast<size_t>(cfg.max_samples)) {
+    n = static_cast<size_t>(cfg.max_samples);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                        total - 1 - i)));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(n);
+  }
+
+  const int batch = cfg.batch_size > 0
+                        ? std::min<int>(cfg.batch_size, static_cast<int>(n))
+                        : static_cast<int>(n);
+
+  // Gradient accumulators and Adam moments.
+  const size_t np = ParameterCount();
+  std::vector<double> grad(np, 0.0);
+  std::vector<double> m(cfg.use_adam ? np : 0, 0.0);
+  std::vector<double> v(cfg.use_adam ? np : 0, 0.0);
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  int64_t adam_t = 0;
+
+  std::vector<double> hidden_act(hidden_);
+  double last_loss = 0.0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  int stall = 0;
+
+  // Parameter layout inside grad/m/v: [w1 | b1 | w2 | b2].
+  const size_t off_b1 = static_cast<size_t>(hidden_) * in_;
+  const size_t off_w2 = off_b1 + hidden_;
+  const size_t off_b2 = off_w2 + hidden_;
+
+  const double lr_hi = cfg.learning_rate;
+  const double lr_lo = std::min(cfg.final_learning_rate, lr_hi);
+  double lr = lr_hi;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Cosine decay: start aggressive, finish with fine steps so the fit
+    // tightens instead of oscillating (drives the error bounds down).
+    if (cfg.epochs > 1) {
+      const double t = static_cast<double>(epoch) / (cfg.epochs - 1);
+      lr = lr_lo + 0.5 * (lr_hi - lr_lo) * (1.0 + std::cos(t * 3.14159265358979));
+    }
+    std::shuffle(idx.begin(), idx.end(), rng.gen());
+    double epoch_loss = 0.0;
+
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t stop = std::min(n, start + batch);
+      const double inv = 1.0 / static_cast<double>(stop - start);
+      std::fill(grad.begin(), grad.end(), 0.0);
+
+      for (size_t s = start; s < stop; ++s) {
+        const double* feat = &x[idx[s] * in_];
+        // Forward.
+        double out = b2_;
+        for (int j = 0; j < hidden_; ++j) {
+          double a = b1_[j];
+          const double* wrow = &w1_[static_cast<size_t>(j) * in_];
+          for (int i = 0; i < in_; ++i) a += wrow[i] * feat[i];
+          hidden_act[j] = Sigmoid(a);
+          out += w2_[j] * hidden_act[j];
+        }
+        const double err = out - y[idx[s]];
+        epoch_loss += err * err;
+        // Backward (d/dout of 0.5*err^2 scaled by 2 => err).
+        const double dout = 2.0 * err * inv;
+        grad[off_b2] += dout;
+        for (int j = 0; j < hidden_; ++j) {
+          const double h = hidden_act[j];
+          grad[off_w2 + j] += dout * h;
+          const double dh = dout * w2_[j] * h * (1.0 - h);
+          grad[off_b1 + j] += dh;
+          double* grow = &grad[static_cast<size_t>(j) * in_];
+          for (int i = 0; i < in_; ++i) grow[i] += dh * feat[i];
+        }
+      }
+
+      // Parameter update.
+      auto apply = [&](size_t k, double* param) {
+        if (cfg.use_adam) {
+          m[k] = kBeta1 * m[k] + (1.0 - kBeta1) * grad[k];
+          v[k] = kBeta2 * v[k] + (1.0 - kBeta2) * grad[k] * grad[k];
+          const double mh = m[k] / (1.0 - std::pow(kBeta1, adam_t + 1.0));
+          const double vh = v[k] / (1.0 - std::pow(kBeta2, adam_t + 1.0));
+          *param -= lr * mh / (std::sqrt(vh) + kEps);
+        } else {
+          *param -= lr * grad[k];
+        }
+      };
+      for (size_t k = 0; k < off_b1; ++k) apply(k, &w1_[k]);
+      for (int j = 0; j < hidden_; ++j) apply(off_b1 + j, &b1_[j]);
+      for (int j = 0; j < hidden_; ++j) apply(off_w2 + j, &w2_[j]);
+      apply(off_b2, &b2_);
+      ++adam_t;
+    }
+
+    last_loss = epoch_loss / static_cast<double>(n);
+    if (cfg.early_stop_tol > 0.0) {
+      if (last_loss < best_loss * (1.0 - cfg.early_stop_tol)) {
+        best_loss = last_loss;
+        stall = 0;
+      } else if (++stall >= cfg.early_stop_patience) {
+        break;
+      }
+    }
+  }
+  return last_loss;
+}
+
+bool Mlp::WriteTo(std::FILE* f) const {
+  return WritePod(f, in_) && WritePod(f, hidden_) && WriteVec(f, w1_) &&
+         WriteVec(f, b1_) && WriteVec(f, w2_) && WritePod(f, b2_);
+}
+
+bool Mlp::ReadFrom(std::FILE* f, Mlp* out) {
+  int in = 0;
+  int hidden = 0;
+  if (!ReadPod(f, &in) || !ReadPod(f, &hidden)) return false;
+  Mlp m(in, hidden);
+  if (!ReadVec(f, &m.w1_) || !ReadVec(f, &m.b1_) || !ReadVec(f, &m.w2_) ||
+      !ReadPod(f, &m.b2_)) {
+    return false;
+  }
+  if (m.w1_.size() != static_cast<size_t>(in) * hidden ||
+      m.b1_.size() != static_cast<size_t>(hidden) ||
+      m.w2_.size() != static_cast<size_t>(hidden)) {
+    return false;
+  }
+  *out = std::move(m);
+  return true;
+}
+
+}  // namespace rsmi

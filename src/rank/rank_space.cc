@@ -1,0 +1,49 @@
+#include "rank/rank_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rsmi {
+
+RankSpaceOrdering ComputeRankSpaceOrdering(const std::vector<Point>& pts,
+                                           CurveType curve) {
+  RankSpaceOrdering out;
+  const size_t n = pts.size();
+  out.rank_x.resize(n);
+  out.rank_y.resize(n);
+  out.curve_value.resize(n);
+  out.order.resize(n);
+  if (n == 0) return out;
+
+  // Smallest power-of-two grid that distinguishes all n ranks.
+  int order = 1;
+  while ((1ull << order) < n) ++order;
+  out.grid_order = order;
+
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return LessByXThenY{}(pts[a], pts[b]);
+  });
+  for (size_t r = 0; r < n; ++r) out.rank_x[idx[r]] = static_cast<uint32_t>(r);
+
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return LessByYThenX{}(pts[a], pts[b]);
+  });
+  for (size_t r = 0; r < n; ++r) out.rank_y[idx[r]] = static_cast<uint32_t>(r);
+
+  for (size_t i = 0; i < n; ++i) {
+    out.curve_value[i] =
+        CurveEncode(curve, out.rank_x[i], out.rank_y[i], order);
+  }
+
+  std::iota(out.order.begin(), out.order.end(), 0);
+  std::sort(out.order.begin(), out.order.end(), [&](size_t a, size_t b) {
+    return out.curve_value[a] < out.curve_value[b];
+  });
+  return out;
+}
+
+}  // namespace rsmi

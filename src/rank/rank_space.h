@@ -1,0 +1,38 @@
+#ifndef RSMI_RANK_RANK_SPACE_H_
+#define RSMI_RANK_RANK_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "sfc/curve.h"
+
+namespace rsmi {
+
+/// Output of the rank-space ordering technique of Section 3.1 (steps 1-2
+/// of the R-tree packing strategy of Qi et al. [37, 38]).
+///
+/// Given n points, the rank space is an n x n grid where each row and each
+/// column contains exactly one point: the coordinates of point i in rank
+/// space are (rank_x[i], rank_y[i]). An SFC then assigns each point a
+/// curve value; `order` lists the input indices sorted by curve value,
+/// which is the order in which points are packed into blocks (step 3).
+struct RankSpaceOrdering {
+  std::vector<uint32_t> rank_x;      ///< x-rank per input index
+  std::vector<uint32_t> rank_y;      ///< y-rank per input index
+  std::vector<uint64_t> curve_value; ///< SFC value per input index
+  std::vector<size_t> order;         ///< input indices sorted by curve value
+  int grid_order = 1;                ///< SFC order: ceil(log2 n)
+};
+
+/// Computes the rank-space ordering of `pts` under curve `curve`.
+///
+/// Ranks follow the paper's tie-breaking rule: x-ranks break ties by
+/// y-coordinate and vice versa, so the mapping is well defined whenever no
+/// two points share both coordinates.
+RankSpaceOrdering ComputeRankSpaceOrdering(const std::vector<Point>& pts,
+                                           CurveType curve);
+
+}  // namespace rsmi
+
+#endif  // RSMI_RANK_RANK_SPACE_H_

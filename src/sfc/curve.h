@@ -1,0 +1,42 @@
+#ifndef RSMI_SFC_CURVE_H_
+#define RSMI_SFC_CURVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sfc/hilbert_curve.h"
+#include "sfc/z_curve.h"
+
+namespace rsmi {
+
+/// The two space-filling curves evaluated in the paper. RSMI defaults to
+/// the Hilbert curve ("as these yield better query performance than
+/// Z-curves", Section 6.1); the ZM baseline uses the Z-curve by design.
+enum class CurveType {
+  kZ,
+  kHilbert,
+};
+
+/// Curve value of grid cell (x, y) on a 2^order x 2^order grid.
+inline uint64_t CurveEncode(CurveType t, uint32_t x, uint32_t y, int order) {
+  return t == CurveType::kZ ? ZEncode(x, y, order)
+                            : HilbertEncode(x, y, order);
+}
+
+/// Inverse of CurveEncode.
+inline void CurveDecode(CurveType t, uint64_t code, int order, uint32_t* x,
+                        uint32_t* y) {
+  if (t == CurveType::kZ) {
+    ZDecode(code, order, x, y);
+  } else {
+    HilbertDecode(code, order, x, y);
+  }
+}
+
+inline std::string CurveName(CurveType t) {
+  return t == CurveType::kZ ? "Z" : "Hilbert";
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_SFC_CURVE_H_

@@ -1,0 +1,60 @@
+#ifndef RSMI_SFC_HILBERT_CURVE_H_
+#define RSMI_SFC_HILBERT_CURVE_H_
+
+#include <cstdint>
+
+namespace rsmi {
+
+/// Hilbert curve value of cell (x, y) on a 2^order x 2^order grid
+/// (Faloutsos & Roseman [10]). Iterative quadrant-rotation algorithm.
+/// Requires 1 <= order <= 31 so the result fits in 62 bits.
+inline uint64_t HilbertEncode(uint32_t x, uint32_t y, int order) {
+  uint64_t d = 0;
+  uint64_t xx = x;
+  uint64_t yy = y;
+  for (uint64_t s = 1ull << (order - 1); s > 0; s >>= 1) {
+    const uint64_t rx = (xx & s) ? 1 : 0;
+    const uint64_t ry = (yy & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant so the sub-curve is in canonical orientation.
+    if (ry == 0) {
+      if (rx == 1) {
+        xx = s - 1 - xx;
+        yy = s - 1 - yy;
+      }
+      const uint64_t t = xx;
+      xx = yy;
+      yy = t;
+    }
+  }
+  return d;
+}
+
+/// Inverse of HilbertEncode.
+inline void HilbertDecode(uint64_t d, int order, uint32_t* x, uint32_t* y) {
+  uint64_t xx = 0;
+  uint64_t yy = 0;
+  uint64_t t = d;
+  for (uint64_t s = 1; s < (1ull << order); s <<= 1) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    if (ry == 0) {
+      if (rx == 1) {
+        xx = s - 1 - xx;
+        yy = s - 1 - yy;
+      }
+      const uint64_t tmp = xx;
+      xx = yy;
+      yy = tmp;
+    }
+    xx += s * rx;
+    yy += s * ry;
+    t /= 4;
+  }
+  *x = static_cast<uint32_t>(xx);
+  *y = static_cast<uint32_t>(yy);
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_SFC_HILBERT_CURVE_H_

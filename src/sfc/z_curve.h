@@ -1,0 +1,48 @@
+#ifndef RSMI_SFC_Z_CURVE_H_
+#define RSMI_SFC_Z_CURVE_H_
+
+#include <cstdint>
+
+namespace rsmi {
+
+/// Spreads the low 32 bits of `v` so that bit i moves to bit 2i
+/// (the classic Morton "part 1 by 1" bit trick).
+inline uint64_t SpreadBits(uint64_t v) {
+  v &= 0xFFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Inverse of SpreadBits: collects every other bit back into the low half.
+inline uint64_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+  return v;
+}
+
+/// Z-curve (Morton) value of cell (x, y) on a 2^order x 2^order grid
+/// (Orenstein & Merrett [35]). Bits above `order` are ignored.
+/// Requires 1 <= order <= 32.
+inline uint64_t ZEncode(uint32_t x, uint32_t y, int order) {
+  const uint64_t mask =
+      order >= 32 ? 0xFFFFFFFFull : ((1ull << order) - 1);
+  return SpreadBits(x & mask) | (SpreadBits(y & mask) << 1);
+}
+
+/// Inverse of ZEncode.
+inline void ZDecode(uint64_t code, int /*order*/, uint32_t* x, uint32_t* y) {
+  *x = static_cast<uint32_t>(CompactBits(code));
+  *y = static_cast<uint32_t>(CompactBits(code >> 1));
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_SFC_Z_CURVE_H_

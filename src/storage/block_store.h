@@ -1,0 +1,276 @@
+#ifndef RSMI_STORAGE_BLOCK_STORE_H_
+#define RSMI_STORAGE_BLOCK_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsmi {
+
+/// A stored data point: its coordinates plus the caller-assigned record id
+/// (standing in for the "pointer to the data object" of the paper).
+struct PointEntry {
+  Point pt;
+  int64_t id = -1;
+};
+
+/// A data block of capacity B (Section 3: "points stored in external
+/// storage in blocks of capacity B"). Blocks are chained with prev/next
+/// pointers so queries can scan ranges of consecutive blocks (Section 3.2:
+/// "in each block, we further store pointers to its preceding and
+/// subsequent blocks").
+struct Block {
+  std::vector<PointEntry> entries;
+  int32_t prev = -1;
+  int32_t next = -1;
+  /// Stable position key in the chain. Build-time blocks get 0,1,2,...;
+  /// overflow blocks created by insertions receive the midpoint of their
+  /// neighbors' keys, so "does block a precede block b" stays answerable
+  /// after arbitrary insertions and subtree rebuilds.
+  double seq = 0.0;
+  /// True for blocks created by data insertions. Such blocks do not count
+  /// towards the model error bounds (Section 5).
+  bool inserted = false;
+  /// Curve-value range of the entries (used by ZM to skip blocks cheaply).
+  uint64_t cv_lo = 0;
+  uint64_t cv_hi = 0;
+  /// Bounding rectangle of the entries (used by RSMIa and kNN pruning).
+  Rect mbr = Rect::Empty();
+};
+
+/// Append-only block arena with an access counter.
+///
+/// All indices in this repository store their data points in a BlockStore
+/// and report `accesses()` as the external-memory cost indicator, exactly
+/// like the paper's "# block accesses" metric. Reading a block through
+/// Access() counts; structural mutation through MutableBlock() does not
+/// (mutators call CountAccess() explicitly where the paper's cost model
+/// says an access happens).
+class BlockStore {
+ public:
+  explicit BlockStore(int capacity) : capacity_(capacity) {}
+
+  int capacity() const { return capacity_; }
+
+  /// Appends a new (non-inserted) block at the tail of the chain and
+  /// returns its id. Build code allocates blocks in global curve order, so
+  /// ids double as the paper's build-time block ids. The seq key is kept
+  /// strictly above the current tail's (overflow splices and run moves may
+  /// have pushed the tail's seq past the id counter).
+  int Alloc() {
+    const int id = static_cast<int>(blocks_.size());
+    Block b;
+    b.seq = tail_ >= 0 ? std::max(static_cast<double>(id),
+                                  blocks_[tail_].seq + 1.0)
+                       : static_cast<double>(id);
+    b.prev = tail_;
+    if (tail_ >= 0) blocks_[tail_].next = id;
+    blocks_.push_back(std::move(b));
+    tail_ = id;
+    return id;
+  }
+
+  /// Creates an overflow block spliced immediately after block `after`
+  /// (Section 5, insertion case 2). Marked `inserted`.
+  int AllocInsertedAfter(int after) {
+    const int id = static_cast<int>(blocks_.size());
+    Block b;
+    b.inserted = true;
+    const int nxt = blocks_[after].next;
+    b.prev = after;
+    b.next = nxt;
+    b.seq = nxt >= 0 ? (blocks_[after].seq + blocks_[nxt].seq) / 2.0
+                     : blocks_[after].seq + 1.0;
+    blocks_.push_back(std::move(b));
+    blocks_[after].next = id;
+    if (nxt >= 0) {
+      blocks_[nxt].prev = id;
+    } else {
+      tail_ = id;
+    }
+    return id;
+  }
+
+  /// Counted read access. When an access hook is installed (external-
+  /// memory mode, see DiskBackedBlocks), the hook runs first and performs
+  /// the physical page fetch that this logical access models.
+  const Block& Access(int id) const {
+    ++accesses_;
+    if (access_hook_) access_hook_(id);
+    return blocks_[id];
+  }
+
+  /// Installs (or clears, with nullptr) a callback invoked on every
+  /// counted block access with the block id. DiskBackedBlocks uses this to
+  /// route accesses through a buffer pool over a paged file, turning the
+  /// paper's "# block accesses" cost model into real disk reads.
+  using AccessHook = std::function<void(int)>;
+  void SetAccessHook(AccessHook hook) const {
+    access_hook_ = std::move(hook);
+  }
+
+  /// Uncounted structural access (see class comment).
+  Block& MutableBlock(int id) { return blocks_[id]; }
+  const Block& Peek(int id) const { return blocks_[id]; }
+
+  /// Records `n` block accesses that happen outside the store (tree nodes,
+  /// directory pages, ...), so every index reports one unified counter.
+  void CountAccess(uint64_t n = 1) const { accesses_ += n; }
+
+  size_t NumBlocks() const { return blocks_.size(); }
+
+  uint64_t accesses() const { return accesses_; }
+  void ResetAccesses() const { accesses_ = 0; }
+
+  /// Visits blocks from `begin` to `end` (inclusive) following the chain
+  /// without counting accesses — callers decide what counts (e.g. the
+  /// exact RSMIa traversal checks per-block MBRs "for free" because they
+  /// live in the parent node page, then Access()es only matching blocks).
+  ///
+  /// The scan includes inserted blocks spliced anywhere inside the range,
+  /// *including the overflow run of `end` itself*: it stops at the first
+  /// non-inserted block past `end`, not at the first seq key past `end`.
+  /// Handles begin/end given in either order. `fn(id, block)` returns true
+  /// to stop early.
+  template <typename Fn>
+  void ScanChainRaw(int begin, int end, Fn&& fn) const {
+    if (blocks_.empty() || begin < 0 || end < 0) return;
+    if (blocks_[begin].seq > blocks_[end].seq) std::swap(begin, end);
+    const double stop = blocks_[end].seq;
+    for (int cur = begin; cur >= 0; cur = blocks_[cur].next) {
+      if (!blocks_[cur].inserted && blocks_[cur].seq > stop) break;
+      if (fn(cur, blocks_[cur])) return;
+    }
+  }
+
+  /// Counted scan over [begin, end] (see ScanChainRaw for range semantics).
+  template <typename Fn>
+  void ScanRange(int begin, int end, Fn&& fn) const {
+    ScanChainRaw(begin, end, [&](int id, const Block&) {
+      fn(Access(id));
+      return false;
+    });
+  }
+
+  /// Counted scan that stops early when `fn` returns true.
+  template <typename Fn>
+  void ScanRangeUntil(int begin, int end, Fn&& fn) const {
+    ScanChainRaw(begin, end,
+                 [&](int id, const Block&) { return fn(Access(id)); });
+  }
+
+  /// Detaches the chain range [first, last] (given in chain order) and
+  /// re-links its neighbors. The range keeps its internal links. Used when
+  /// a subtree rebuild replaces a run of blocks (RSMIr, Section 6.2.5).
+  void UnlinkRange(int first, int last) {
+    const int before = blocks_[first].prev;
+    const int after = blocks_[last].next;
+    if (before >= 0) blocks_[before].next = after;
+    if (after >= 0) blocks_[after].prev = before;
+    if (tail_ == last) tail_ = before;
+    blocks_[first].prev = -1;
+    blocks_[last].next = -1;
+  }
+
+  /// Splices a detached run [run_first..run_last] between `before` and
+  /// `after` (either may be -1 for head/tail), assigning evenly spaced seq
+  /// keys so chain-order comparisons stay correct.
+  void SpliceRun(int run_first, int run_last, int before, int after) {
+    int count = 0;
+    for (int cur = run_first; cur >= 0; cur = blocks_[cur].next) {
+      ++count;
+      if (cur == run_last) break;
+    }
+    blocks_[run_first].prev = before;
+    blocks_[run_last].next = after;
+    if (before >= 0) blocks_[before].next = run_first;
+    if (after >= 0) blocks_[after].prev = run_last;
+    if (after < 0) tail_ = run_last;
+    double lo = 0.0;
+    double hi = 0.0;
+    if (before >= 0 && after >= 0) {
+      lo = blocks_[before].seq;
+      hi = blocks_[after].seq;
+    } else if (before >= 0) {
+      lo = blocks_[before].seq;
+      hi = lo + count + 1;
+    } else if (after >= 0) {
+      hi = blocks_[after].seq;
+      lo = hi - count - 1;
+    } else {
+      lo = -1.0;
+      hi = static_cast<double>(count);
+    }
+    int i = 1;
+    for (int cur = run_first; cur >= 0; cur = blocks_[cur].next, ++i) {
+      blocks_[cur].seq = lo + (hi - lo) * i / (count + 1);
+      if (cur == run_last) break;
+    }
+  }
+
+  /// Seq key of a block (chain-order comparisons across leaves).
+  double SeqOf(int id) const { return blocks_[id].seq; }
+
+  /// Binary persistence (index save/load).
+  bool WriteTo(std::FILE* f) const {
+    if (!WritePod(f, capacity_) || !WritePod(f, tail_)) return false;
+    const uint64_t n = blocks_.size();
+    if (!WritePod(f, n)) return false;
+    for (const Block& b : blocks_) {
+      if (!WriteVec(f, b.entries) || !WritePod(f, b.prev) ||
+          !WritePod(f, b.next) || !WritePod(f, b.seq) ||
+          !WritePod(f, b.inserted) || !WritePod(f, b.cv_lo) ||
+          !WritePod(f, b.cv_hi) || !WritePod(f, b.mbr)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ReadFrom(std::FILE* f) {
+    if (!ReadPod(f, &capacity_) || !ReadPod(f, &tail_)) return false;
+    uint64_t n = 0;
+    if (!ReadPod(f, &n)) return false;
+    blocks_.assign(n, Block{});
+    for (Block& b : blocks_) {
+      if (!ReadVec(f, &b.entries) || !ReadPod(f, &b.prev) ||
+          !ReadPod(f, &b.next) || !ReadPod(f, &b.seq) ||
+          !ReadPod(f, &b.inserted) || !ReadPod(f, &b.cv_lo) ||
+          !ReadPod(f, &b.cv_hi) || !ReadPod(f, &b.mbr)) {
+        return false;
+      }
+    }
+    accesses_ = 0;
+    return true;
+  }
+
+  /// Bytes occupied if blocks were written to disk at fixed size:
+  /// capacity slots plus a fixed header per block.
+  size_t SizeBytes() const {
+    constexpr size_t kHeaderBytes =
+        sizeof(int32_t) * 2 + sizeof(double) + sizeof(uint64_t) * 2 +
+        sizeof(Rect) + sizeof(bool);
+    return blocks_.size() *
+           (static_cast<size_t>(capacity_) * sizeof(PointEntry) +
+            kHeaderBytes);
+  }
+
+ private:
+  int capacity_;
+  int tail_ = -1;
+  std::vector<Block> blocks_;
+  mutable uint64_t accesses_ = 0;
+  mutable AccessHook access_hook_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_STORAGE_BLOCK_STORE_H_

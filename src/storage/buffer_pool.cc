@@ -1,0 +1,117 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace rsmi {
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity)
+    : file_(file), capacity_(std::max<size_t>(1, capacity)) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].payload.resize(file_->payload_size());
+    free_frames_.push_back(static_cast<int>(capacity_ - 1 - i));
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+void BufferPool::LruPushFront(int frame) {
+  Frame& f = frames_[frame];
+  f.lru_prev = -1;
+  f.lru_next = lru_head_;
+  if (lru_head_ >= 0) frames_[lru_head_].lru_prev = frame;
+  lru_head_ = frame;
+  if (lru_tail_ < 0) lru_tail_ = frame;
+}
+
+void BufferPool::LruRemove(int frame) {
+  Frame& f = frames_[frame];
+  if (f.lru_prev >= 0) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else if (lru_head_ == frame) {
+    lru_head_ = f.lru_next;
+  }
+  if (f.lru_next >= 0) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else if (lru_tail_ == frame) {
+    lru_tail_ = f.lru_prev;
+  }
+  f.lru_prev = -1;
+  f.lru_next = -1;
+}
+
+int BufferPool::EvictOne() {
+  // Walk from the LRU tail towards the head for the first unpinned frame.
+  for (int cur = lru_tail_; cur >= 0; cur = frames_[cur].lru_prev) {
+    Frame& f = frames_[cur];
+    if (f.pins > 0) continue;
+    if (f.dirty) {
+      if (!file_->WritePage(f.page_id, f.payload.data())) return -1;
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+    LruRemove(cur);
+    map_.erase(f.page_id);
+    f.page_id = -1;
+    ++stats_.evictions;
+    return cur;
+  }
+  return -1;
+}
+
+unsigned char* BufferPool::Pin(int64_t page_id) {
+  if (auto it = map_.find(page_id); it != map_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    LruRemove(it->second);
+    LruPushFront(it->second);
+    ++stats_.hits;
+    return f.payload.data();
+  }
+  ++stats_.misses;
+  int frame = -1;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = EvictOne();
+    if (frame < 0) return nullptr;  // everything pinned or write-back failed
+  }
+  Frame& f = frames_[frame];
+  if (!file_->ReadPage(page_id, f.payload.data())) {
+    free_frames_.push_back(frame);
+    return nullptr;
+  }
+  f.page_id = page_id;
+  f.pins = 1;
+  f.dirty = false;
+  map_.emplace(page_id, frame);
+  LruPushFront(frame);
+  return f.payload.data();
+}
+
+void BufferPool::Unpin(int64_t page_id, bool dirty) {
+  auto it = map_.find(page_id);
+  if (it == map_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pins > 0) --f.pins;
+  f.dirty = f.dirty || dirty;
+}
+
+bool BufferPool::FlushAll() {
+  bool ok = true;
+  for (Frame& f : frames_) {
+    if (f.page_id >= 0 && f.dirty) {
+      if (file_->WritePage(f.page_id, f.payload.data())) {
+        f.dirty = false;
+        ++stats_.writebacks;
+      } else {
+        ok = false;
+      }
+    }
+  }
+  return ok && file_->Sync();
+}
+
+}  // namespace rsmi

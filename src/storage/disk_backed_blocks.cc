@@ -1,0 +1,116 @@
+#include "storage/disk_backed_blocks.h"
+
+#include <cstring>
+
+namespace rsmi {
+namespace {
+
+/// Page payload layout: [int32 count][pad to 8][count * PointEntry].
+constexpr size_t kBlockHeaderBytes = 8;
+
+size_t PayloadSizeFor(int capacity) {
+  return kBlockHeaderBytes +
+         static_cast<size_t>(capacity) * sizeof(PointEntry);
+}
+
+}  // namespace
+
+DiskBackedBlocks::DiskBackedBlocks(const BlockStore* store)
+    : store_(store) {}
+
+std::unique_ptr<DiskBackedBlocks> DiskBackedBlocks::Attach(
+    const BlockStore* store, const std::string& path, size_t pool_pages) {
+  std::unique_ptr<DiskBackedBlocks> db(new DiskBackedBlocks(store));
+  if (!db->file_.Create(path, PayloadSizeFor(store->capacity()))) {
+    return nullptr;
+  }
+  db->encode_buf_.assign(db->file_.payload_size(), 0);
+  const int n = static_cast<int>(store->NumBlocks());
+  for (int id = 0; id < n; ++id) {
+    if (db->file_.AllocPage() != id) return nullptr;
+    db->EncodeBlock(id, db->encode_buf_.data());
+    if (!db->file_.WritePage(id, db->encode_buf_.data())) return nullptr;
+  }
+  db->pages_mapped_ = n;
+  if (!db->file_.Sync()) return nullptr;
+  db->file_.ResetCounters();
+  db->pool_ = std::make_unique<BufferPool>(&db->file_, pool_pages);
+  DiskBackedBlocks* raw = db.get();
+  store->SetAccessHook([raw](int id) { raw->OnAccess(id); });
+  return db;
+}
+
+DiskBackedBlocks::~DiskBackedBlocks() {
+  store_->SetAccessHook(nullptr);
+  pool_.reset();  // flush before the file closes
+}
+
+void DiskBackedBlocks::EncodeBlock(int id, unsigned char* buf) const {
+  const Block& b = store_->Peek(id);
+  std::memset(buf, 0, file_.payload_size());
+  const int32_t count = static_cast<int32_t>(b.entries.size());
+  std::memcpy(buf, &count, sizeof(count));
+  if (count > 0) {
+    std::memcpy(buf + kBlockHeaderBytes, b.entries.data(),
+                static_cast<size_t>(count) * sizeof(PointEntry));
+  }
+}
+
+bool DiskBackedBlocks::EnsurePage(int id) {
+  while (pages_mapped_ <= id) {
+    const int64_t page = file_.AllocPage();
+    if (page < 0) return false;
+    EncodeBlock(static_cast<int>(page), encode_buf_.data());
+    if (!file_.WritePage(page, encode_buf_.data())) return false;
+    ++pages_mapped_;
+  }
+  return true;
+}
+
+void DiskBackedBlocks::OnAccess(int id) {
+  if (!EnsurePage(id)) {
+    io_error_ = true;
+    return;
+  }
+  unsigned char* payload = pool_->Pin(id);
+  if (payload == nullptr) {
+    io_error_ = true;
+    return;
+  }
+  pool_->Unpin(id, /*dirty=*/false);
+}
+
+bool DiskBackedBlocks::FlushBlock(int id) {
+  if (!EnsurePage(id)) return false;
+  EncodeBlock(id, encode_buf_.data());
+  if (!file_.WritePage(id, encode_buf_.data())) return false;
+  // Drop any stale cached copy by re-reading through the pool on next use:
+  // simplest correct policy is to refresh the frame in place if cached.
+  if (unsigned char* payload = pool_->Pin(id); payload != nullptr) {
+    std::memcpy(payload, encode_buf_.data(), file_.payload_size());
+    pool_->Unpin(id, /*dirty=*/false);
+  }
+  return true;
+}
+
+bool DiskBackedBlocks::ReadBlockFromDisk(int id,
+                                         std::vector<PointEntry>* out) {
+  if (id < 0 || id >= pages_mapped_) return false;
+  std::vector<unsigned char> buf(file_.payload_size());
+  if (!file_.ReadPage(id, buf.data())) return false;
+  int32_t count = 0;
+  std::memcpy(&count, buf.data(), sizeof(count));
+  if (count < 0 ||
+      static_cast<size_t>(count) >
+          (file_.payload_size() - kBlockHeaderBytes) / sizeof(PointEntry)) {
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  if (count > 0) {
+    std::memcpy(out->data(), buf.data() + kBlockHeaderBytes,
+                static_cast<size_t>(count) * sizeof(PointEntry));
+  }
+  return true;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,85 @@
+#ifndef RSMI_STORAGE_DISK_BACKED_BLOCKS_H_
+#define RSMI_STORAGE_DISK_BACKED_BLOCKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/block_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace rsmi {
+
+/// Puts a BlockStore's data blocks on disk: every block becomes one page
+/// of a PagedFile, and an access hook routes every counted block access
+/// through an LRU BufferPool, so the paper's "# block accesses" cost model
+/// becomes real page reads with a configurable cache in front.
+///
+/// The in-memory BlockStore remains the source of truth for query answers
+/// (exactly as the paper runs everything in main memory and reports block
+/// accesses as the external-memory cost indicator); this adapter adds the
+/// physical layer so hit rates, disk reads, and cold/warm query times can
+/// be measured for any index. See examples/external_memory.cpp and
+/// bench_ablation_buffer_pool.
+///
+/// Blocks created after Attach (insertion overflow blocks) get pages
+/// lazily on first access; call FlushBlock after mutating a block to keep
+/// the on-disk image current.
+class DiskBackedBlocks {
+ public:
+  /// Dumps every block of `store` into a fresh paged file at `path` and
+  /// installs the access hook. `pool_pages` sizes the buffer pool (>= 1).
+  /// Returns nullptr on I/O failure. `store` must outlive the result.
+  static std::unique_ptr<DiskBackedBlocks> Attach(const BlockStore* store,
+                                                  const std::string& path,
+                                                  size_t pool_pages);
+
+  /// Uninstalls the hook and closes the file.
+  ~DiskBackedBlocks();
+
+  DiskBackedBlocks(const DiskBackedBlocks&) = delete;
+  DiskBackedBlocks& operator=(const DiskBackedBlocks&) = delete;
+
+  /// Re-writes the page of block `id` from the current in-memory content
+  /// (call after an insertion or deletion touched the block).
+  bool FlushBlock(int id);
+
+  /// Decodes the on-disk page of block `id` (verifying its checksum) —
+  /// lets tests prove the disk image matches memory without going through
+  /// the pool.
+  bool ReadBlockFromDisk(int id, std::vector<PointEntry>* out);
+
+  /// True once `Corrupted()` has observed a checksum/read failure during
+  /// hooked accesses (the hook itself cannot return errors).
+  bool io_error() const { return io_error_; }
+
+  const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
+  void ResetStats() {
+    pool_->ResetStats();
+    file_.ResetCounters();
+  }
+  uint64_t disk_reads() const { return file_.page_reads(); }
+  uint64_t disk_writes() const { return file_.page_writes(); }
+  size_t pool_pages() const { return pool_->capacity(); }
+
+ private:
+  explicit DiskBackedBlocks(const BlockStore* store);
+
+  /// Serializes block `id` into `buf` (payload_size bytes).
+  void EncodeBlock(int id, unsigned char* buf) const;
+  /// Appends pages until block `id` has one.
+  bool EnsurePage(int id);
+  void OnAccess(int id);
+
+  const BlockStore* store_;
+  PagedFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  int64_t pages_mapped_ = 0;
+  bool io_error_ = false;
+  std::vector<unsigned char> encode_buf_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_STORAGE_DISK_BACKED_BLOCKS_H_

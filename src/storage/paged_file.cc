@@ -1,0 +1,122 @@
+#include "storage/paged_file.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace rsmi {
+
+PagedFile::~PagedFile() { Close(); }
+
+bool PagedFile::Create(const std::string& path, size_t payload_size) {
+  Close();
+  if (payload_size == 0) return false;
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return false;
+  file_ = f;
+  path_ = path;
+  payload_size_ = payload_size;
+  num_pages_ = 0;
+  scratch_.assign(PageBytes(), 0);
+  if (!WriteHeader()) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool PagedFile::Open(const std::string& path) {
+  Close();
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1) {
+    std::fclose(f);
+    return false;
+  }
+  Header expect = h;
+  expect.crc = 0;
+  if (h.magic != kMagic ||
+      h.crc != Crc32(&expect, sizeof(expect)) ||
+      h.payload_size == 0) {
+    std::fclose(f);
+    return false;
+  }
+  file_ = f;
+  path_ = path;
+  payload_size_ = h.payload_size;
+  num_pages_ = h.num_pages;
+  scratch_.assign(PageBytes(), 0);
+  return true;
+}
+
+void PagedFile::Close() {
+  if (file_ != nullptr) {
+    WriteHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool PagedFile::WriteHeader() {
+  Header h;
+  h.magic = kMagic;
+  h.payload_size = payload_size_;
+  h.num_pages = num_pages_;
+  h.crc = 0;
+  h.crc = Crc32(&h, sizeof(h));
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return false;
+  return std::fwrite(&h, sizeof(h), 1, file_) == 1;
+}
+
+int64_t PagedFile::AllocPage() {
+  if (file_ == nullptr) return -1;
+  const int64_t id = static_cast<int64_t>(num_pages_);
+  std::memset(scratch_.data(), 0, scratch_.size());
+  const uint32_t crc = Crc32(scratch_.data(), payload_size_);
+  std::memcpy(scratch_.data() + payload_size_, &crc, sizeof(crc));
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0) return -1;
+  if (std::fwrite(scratch_.data(), scratch_.size(), 1, file_) != 1) return -1;
+  ++num_pages_;
+  return id;
+}
+
+bool PagedFile::WritePage(int64_t id, const void* payload) {
+  if (file_ == nullptr || id < 0 ||
+      static_cast<uint64_t>(id) >= num_pages_) {
+    return false;
+  }
+  std::memcpy(scratch_.data(), payload, payload_size_);
+  const uint32_t crc = Crc32(scratch_.data(), payload_size_);
+  std::memcpy(scratch_.data() + payload_size_, &crc, sizeof(crc));
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0) return false;
+  if (std::fwrite(scratch_.data(), scratch_.size(), 1, file_) != 1) {
+    return false;
+  }
+  ++page_writes_;
+  return true;
+}
+
+bool PagedFile::ReadPage(int64_t id, void* payload) {
+  if (file_ == nullptr || id < 0 ||
+      static_cast<uint64_t>(id) >= num_pages_) {
+    return false;
+  }
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0) return false;
+  if (std::fread(scratch_.data(), scratch_.size(), 1, file_) != 1) {
+    return false;
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, scratch_.data() + payload_size_, sizeof(stored));
+  if (stored != Crc32(scratch_.data(), payload_size_)) return false;
+  std::memcpy(payload, scratch_.data(), payload_size_);
+  ++page_reads_;
+  return true;
+}
+
+bool PagedFile::Sync() {
+  if (file_ == nullptr) return false;
+  return std::fflush(file_) == 0;
+}
+
+}  // namespace rsmi

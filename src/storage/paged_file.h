@@ -1,0 +1,100 @@
+#ifndef RSMI_STORAGE_PAGED_FILE_H_
+#define RSMI_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rsmi {
+
+/// A binary file of fixed-size pages — the external-memory substrate the
+/// paper's storage model assumes (Section 3: "points storing in external
+/// storage (e.g., a hard drive) in blocks of capacity B"; Section 6.1: "it
+/// is straightforward to place the data blocks in external memory").
+///
+/// Every page carries a trailing CRC-32 of its payload, so torn writes and
+/// corruption are detected at read time instead of silently corrupting
+/// query answers. Reads and writes are counted; the BufferPool divides
+/// these counters by the logical block accesses to report cache hit rates.
+///
+/// Not thread-safe; callers serialize access (the indices are single-
+/// threaded query structures, as in the paper).
+class PagedFile {
+ public:
+  /// Page payload bytes available to callers (page size minus checksum).
+  static constexpr size_t kChecksumBytes = sizeof(uint32_t);
+
+  PagedFile() = default;
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Creates (truncating) a paged file at `path` whose pages hold
+  /// `payload_size` caller bytes each. Returns false on I/O error.
+  bool Create(const std::string& path, size_t payload_size);
+
+  /// Opens an existing paged file; reads the header to recover the page
+  /// geometry. Returns false on I/O error or header mismatch.
+  bool Open(const std::string& path);
+
+  /// Flushes and closes; safe to call twice.
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  size_t payload_size() const { return payload_size_; }
+  uint64_t num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends a zeroed page and returns its id.
+  int64_t AllocPage();
+
+  /// Writes `payload_size` bytes to page `id` (with a fresh checksum).
+  bool WritePage(int64_t id, const void* payload);
+
+  /// Reads page `id` into `payload` (`payload_size` bytes) and verifies
+  /// the checksum. Returns false on I/O error or checksum mismatch.
+  bool ReadPage(int64_t id, void* payload);
+
+  /// Flushes libc buffers to the OS.
+  bool Sync();
+
+  /// Physical I/O counters (reads/writes of data pages since open/reset).
+  uint64_t page_reads() const { return page_reads_; }
+  uint64_t page_writes() const { return page_writes_; }
+  void ResetCounters() {
+    page_reads_ = 0;
+    page_writes_ = 0;
+  }
+
+ private:
+  /// On-disk layout: [header page][data page 0][data page 1]...
+  /// Header: magic, payload size, page count, header checksum.
+  struct Header {
+    uint64_t magic = 0;
+    uint64_t payload_size = 0;
+    uint64_t num_pages = 0;
+    uint32_t crc = 0;
+  };
+  static constexpr uint64_t kMagic = 0x52534D4950414745ull;  // "RSMIPAGE"
+
+  bool WriteHeader();
+  size_t PageBytes() const { return payload_size_ + kChecksumBytes; }
+  long PageOffset(int64_t id) const {
+    return static_cast<long>(sizeof(Header) +
+                             static_cast<size_t>(id) * PageBytes());
+  }
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t payload_size_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t page_reads_ = 0;
+  uint64_t page_writes_ = 0;
+  std::vector<unsigned char> scratch_;  // one page, payload + checksum
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,184 @@
+// Randomized model checking of the BlockStore chain machinery — the
+// substrate every index's range scan and every RSMIr rebuild relies on.
+// A reference std::list of block ids mirrors every Alloc /
+// AllocInsertedAfter / UnlinkRange / SpliceRun, and after each operation
+// the real chain must match the reference exactly (order, links, seq
+// monotonicity, scan semantics).
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/block_store.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+/// Walks the real chain from its head and compares with the reference.
+void ExpectChainEquals(const BlockStore& store, const std::list<int>& ref) {
+  // Find the head: the block with prev == -1 that is on the chain. The
+  // reference's front is the expected head.
+  ASSERT_FALSE(ref.empty());
+  int cur = ref.front();
+  ASSERT_EQ(store.Peek(cur).prev, -1) << "head has a predecessor";
+  int prev = -1;
+  double last_seq = -1e300;
+  size_t count = 0;
+  for (int expected : ref) {
+    ASSERT_EQ(cur, expected) << "chain order diverges at position " << count;
+    const Block& b = store.Peek(cur);
+    ASSERT_EQ(b.prev, prev) << "prev link broken at block " << cur;
+    ASSERT_GT(b.seq, last_seq) << "seq not increasing at block " << cur;
+    last_seq = b.seq;
+    prev = cur;
+    cur = b.next;
+    ++count;
+  }
+  ASSERT_EQ(cur, -1) << "chain longer than reference";
+}
+
+TEST(BlockChainModelTest, RandomSpliceUnlinkSequence) {
+  BlockStore store(4);
+  std::list<int> ref;
+
+  // Seed chain.
+  for (int i = 0; i < 8; ++i) ref.push_back(store.Alloc());
+  ExpectChainEquals(store, ref);
+
+  Rng rng(7);
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op < 3) {
+      // Append a fresh tail block.
+      ref.push_back(store.Alloc());
+    } else if (op < 7) {
+      // Splice an overflow block after a random chain member.
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ref.size()) - 1));
+      auto it = ref.begin();
+      std::advance(it, pos);
+      const int after = *it;
+      const int fresh = store.AllocInsertedAfter(after);
+      ref.insert(std::next(it), fresh);
+      EXPECT_TRUE(store.Peek(fresh).inserted);
+    } else if (ref.size() >= 4) {
+      // Detach a random run and re-splice it at a random gap (what the
+      // RSMIr rebuild does with a leaf's block range).
+      const size_t start = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ref.size()) - 2));
+      const size_t len = 1 + static_cast<size_t>(rng.UniformInt(
+                                 0, std::min<int64_t>(4, static_cast<int64_t>(
+                                                            ref.size() - start) -
+                                                            1)));
+      auto first_it = ref.begin();
+      std::advance(first_it, start);
+      auto last_it = first_it;
+      std::advance(last_it, len - 1);
+      const int run_first = *first_it;
+      const int run_last = *last_it;
+      store.UnlinkRange(run_first, run_last);
+      std::list<int> run;
+      run.splice(run.begin(), ref, first_it, std::next(last_it));
+
+      // Choose a random re-insertion gap in what remains (possibly the
+      // ends). `before` / `after` name the neighbors.
+      const size_t gap = ref.empty()
+                             ? 0
+                             : static_cast<size_t>(rng.UniformInt(
+                                   0, static_cast<int64_t>(ref.size())));
+      int before = -1;
+      int after = -1;
+      auto gap_it = ref.begin();
+      std::advance(gap_it, gap);
+      if (gap_it != ref.begin()) before = *std::prev(gap_it);
+      if (gap_it != ref.end()) after = *gap_it;
+      store.SpliceRun(run_first, run_last, before, after);
+      ref.splice(gap_it, run);
+    }
+    ExpectChainEquals(store, ref);
+  }
+}
+
+TEST(BlockChainModelTest, ScanRangeMatchesReferenceSublist) {
+  BlockStore store(4);
+  std::list<int> ref;
+  for (int i = 0; i < 12; ++i) ref.push_back(store.Alloc());
+  Rng rng(11);
+  // Sprinkle overflow blocks.
+  for (int i = 0; i < 10; ++i) {
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ref.size()) - 1));
+    auto it = ref.begin();
+    std::advance(it, pos);
+    const int fresh = store.AllocInsertedAfter(*it);
+    ref.insert(std::next(it), fresh);
+  }
+
+  const std::vector<int> chain(ref.begin(), ref.end());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Pick two random *build* blocks as scan bounds (in either order).
+    int a = static_cast<int>(rng.UniformInt(0, 11));
+    int b = static_cast<int>(rng.UniformInt(0, 11));
+
+    // Expected: all chain members from min-seq bound through the overflow
+    // run of the max-seq bound (stop at the first non-inserted block with
+    // seq greater than the high bound's).
+    const int lo = store.SeqOf(a) <= store.SeqOf(b) ? a : b;
+    const int hi = lo == a ? b : a;
+    std::vector<int> expected;
+    bool in_range = false;
+    for (int id : chain) {
+      if (id == lo) in_range = true;
+      if (!in_range) continue;
+      if (!store.Peek(id).inserted && store.SeqOf(id) > store.SeqOf(hi)) {
+        break;
+      }
+      expected.push_back(id);
+    }
+
+    std::vector<int> got;
+    store.ScanChainRaw(a, b, [&](int id, const Block&) {
+      got.push_back(id);
+      return false;
+    });
+    ASSERT_EQ(got, expected) << "scan [" << a << "," << b << "]";
+  }
+}
+
+TEST(BlockChainModelTest, ScanCountsOneAccessPerVisitedBlock) {
+  BlockStore store(4);
+  for (int i = 0; i < 6; ++i) store.Alloc();
+  store.ResetAccesses();
+  size_t visited = 0;
+  store.ScanRange(1, 4, [&](const Block&) { ++visited; });
+  EXPECT_EQ(visited, 4u);
+  EXPECT_EQ(store.accesses(), 4u);
+
+  // Early-stopping scan touches only what it visits.
+  store.ResetAccesses();
+  size_t seen = 0;
+  store.ScanRangeUntil(0, 5, [&](const Block&) { return ++seen == 2; });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(store.accesses(), 2u);
+}
+
+TEST(BlockChainModelTest, AccessHookFiresExactlyOnCountedAccesses) {
+  BlockStore store(2);
+  for (int i = 0; i < 4; ++i) store.Alloc();
+  std::vector<int> hooked;
+  store.SetAccessHook([&](int id) { hooked.push_back(id); });
+  store.Access(2);
+  store.Access(0);
+  store.Peek(1);          // uncounted: no hook
+  store.MutableBlock(3);  // uncounted: no hook
+  store.CountAccess(5);   // external pages: counted but no block id
+  EXPECT_EQ(hooked, (std::vector<int>{2, 0}));
+  EXPECT_EQ(store.accesses(), 7u);
+  store.SetAccessHook(nullptr);
+  store.Access(1);
+  EXPECT_EQ(hooked.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rsmi

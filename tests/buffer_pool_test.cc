@@ -1,0 +1,233 @@
+// BufferPool: pin/unpin lifecycle, LRU eviction order, dirty write-back,
+// hit-rate accounting, and behavior when every frame is pinned.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+constexpr size_t kPayload = 64;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A paged file with `pages` pages where page i is filled with byte i.
+void FillFile(PagedFile* f, const std::string& name, int pages) {
+  ASSERT_TRUE(f->Create(TempPath(name), kPayload));
+  std::vector<unsigned char> buf(kPayload);
+  for (int i = 0; i < pages; ++i) {
+    ASSERT_EQ(f->AllocPage(), i);
+    std::memset(buf.data(), i, kPayload);
+    ASSERT_TRUE(f->WritePage(i, buf.data()));
+  }
+  f->ResetCounters();
+}
+
+TEST(BufferPoolTest, PinFaultsInAndCaches) {
+  PagedFile f;
+  FillFile(&f, "bp_basic.pag", 4);
+  BufferPool pool(&f, 2);
+
+  unsigned char* p = pool.Pin(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p[0], 1);
+  pool.Unpin(1);
+
+  // Second pin of the same page is a hit: no new disk read.
+  EXPECT_EQ(f.page_reads(), 1u);
+  p = pool.Pin(1);
+  ASSERT_NE(p, nullptr);
+  pool.Unpin(1);
+  EXPECT_EQ(f.page_reads(), 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  PagedFile f;
+  FillFile(&f, "bp_lru.pag", 4);
+  BufferPool pool(&f, 2);
+
+  pool.Unpin(0, false);  // unbalanced unpin is a no-op
+  for (int id : {0, 1}) {
+    ASSERT_NE(pool.Pin(id), nullptr);
+    pool.Unpin(id);
+  }
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_NE(pool.Pin(0), nullptr);
+  pool.Unpin(0);
+
+  ASSERT_NE(pool.Pin(2), nullptr);  // evicts 1
+  pool.Unpin(2);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+
+  f.ResetCounters();
+  ASSERT_NE(pool.Pin(0), nullptr);  // still cached
+  pool.Unpin(0);
+  EXPECT_EQ(f.page_reads(), 0u);
+  ASSERT_NE(pool.Pin(1), nullptr);  // was evicted, needs a read
+  pool.Unpin(1);
+  EXPECT_EQ(f.page_reads(), 1u);
+}
+
+TEST(BufferPoolTest, PinnedFramesAreNotEvicted) {
+  PagedFile f;
+  FillFile(&f, "bp_pinned.pag", 4);
+  BufferPool pool(&f, 2);
+
+  ASSERT_NE(pool.Pin(0), nullptr);  // stays pinned
+  ASSERT_NE(pool.Pin(1), nullptr);
+  pool.Unpin(1);
+
+  // Page 1 is the only evictable frame.
+  ASSERT_NE(pool.Pin(2), nullptr);
+  pool.Unpin(2);
+  EXPECT_EQ(pool.pages_cached(), 2u);
+
+  // 0 must still be resident without I/O.
+  f.ResetCounters();
+  ASSERT_NE(pool.Pin(0), nullptr);
+  EXPECT_EQ(f.page_reads(), 0u);
+  pool.Unpin(0);
+  pool.Unpin(0);
+}
+
+TEST(BufferPoolTest, AllFramesPinnedFailsCleanly) {
+  PagedFile f;
+  FillFile(&f, "bp_full.pag", 3);
+  BufferPool pool(&f, 2);
+  ASSERT_NE(pool.Pin(0), nullptr);
+  ASSERT_NE(pool.Pin(1), nullptr);
+  EXPECT_EQ(pool.Pin(2), nullptr);  // no evictable frame
+  pool.Unpin(0);
+  EXPECT_NE(pool.Pin(2), nullptr);  // now 0 can be evicted
+  pool.Unpin(1);
+  pool.Unpin(2);
+}
+
+TEST(BufferPoolTest, RecursivePinsRequireMatchingUnpins) {
+  PagedFile f;
+  FillFile(&f, "bp_recursive.pag", 3);
+  BufferPool pool(&f, 1);
+  ASSERT_NE(pool.Pin(0), nullptr);
+  ASSERT_NE(pool.Pin(0), nullptr);  // second pin of the same page
+  pool.Unpin(0);
+  // One pin remains: the only frame is unavailable for another page.
+  EXPECT_EQ(pool.Pin(1), nullptr);
+  pool.Unpin(0);
+  EXPECT_NE(pool.Pin(1), nullptr);
+  pool.Unpin(1);
+}
+
+TEST(BufferPoolTest, DirtyFramesWrittenBackOnEviction) {
+  PagedFile f;
+  FillFile(&f, "bp_dirty.pag", 3);
+  BufferPool pool(&f, 1);
+
+  unsigned char* p = pool.Pin(0);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xEE, kPayload);
+  pool.Unpin(0, /*dirty=*/true);
+
+  // Faulting in another page evicts (and writes back) page 0.
+  ASSERT_NE(pool.Pin(1), nullptr);
+  pool.Unpin(1);
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+
+  std::vector<unsigned char> r(kPayload);
+  ASSERT_TRUE(f.ReadPage(0, r.data()));
+  EXPECT_EQ(r, std::vector<unsigned char>(kPayload, 0xEE));
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
+  PagedFile f;
+  FillFile(&f, "bp_flush.pag", 3);
+  BufferPool pool(&f, 3);
+  for (int id = 0; id < 3; ++id) {
+    unsigned char* p = pool.Pin(id);
+    ASSERT_NE(p, nullptr);
+    p[0] = static_cast<unsigned char>(0x40 + id);
+    pool.Unpin(id, /*dirty=*/true);
+  }
+  ASSERT_TRUE(pool.FlushAll());
+  EXPECT_EQ(pool.stats().writebacks, 3u);
+  std::vector<unsigned char> r(kPayload);
+  for (int id = 0; id < 3; ++id) {
+    ASSERT_TRUE(f.ReadPage(id, r.data()));
+    EXPECT_EQ(r[0], 0x40 + id);
+  }
+  // A second flush has nothing to do.
+  ASSERT_TRUE(pool.FlushAll());
+  EXPECT_EQ(pool.stats().writebacks, 3u);
+}
+
+TEST(BufferPoolTest, DestructorFlushesDirtyFrames) {
+  PagedFile f;
+  FillFile(&f, "bp_dtor.pag", 1);
+  {
+    BufferPool pool(&f, 1);
+    unsigned char* p = pool.Pin(0);
+    ASSERT_NE(p, nullptr);
+    p[0] = 0x77;
+    pool.Unpin(0, /*dirty=*/true);
+  }
+  std::vector<unsigned char> r(kPayload);
+  ASSERT_TRUE(f.ReadPage(0, r.data()));
+  EXPECT_EQ(r[0], 0x77);
+}
+
+TEST(BufferPoolTest, HitRateOverScanPatterns) {
+  PagedFile f;
+  FillFile(&f, "bp_scan.pag", 10);
+  BufferPool pool(&f, 10);
+
+  // First sequential scan: all misses. Second: all hits.
+  for (int round = 0; round < 2; ++round) {
+    for (int id = 0; id < 10; ++id) {
+      ASSERT_NE(pool.Pin(id), nullptr);
+      pool.Unpin(id);
+    }
+  }
+  EXPECT_EQ(pool.stats().misses, 10u);
+  EXPECT_EQ(pool.stats().hits, 10u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 0.5);
+
+  pool.ResetStats();
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 1.0);  // vacuous
+}
+
+TEST(BufferPoolTest, CapacityOnePoolThrashesSequentialScan) {
+  PagedFile f;
+  FillFile(&f, "bp_thrash.pag", 6);
+  BufferPool pool(&f, 1);
+  for (int round = 0; round < 2; ++round) {
+    for (int id = 0; id < 6; ++id) {
+      ASSERT_NE(pool.Pin(id), nullptr);
+      pool.Unpin(id);
+    }
+  }
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 12u);
+}
+
+TEST(BufferPoolTest, PinInvalidPageFails) {
+  PagedFile f;
+  FillFile(&f, "bp_invalid.pag", 2);
+  BufferPool pool(&f, 2);
+  EXPECT_EQ(pool.Pin(99), nullptr);
+  EXPECT_EQ(pool.Pin(-1), nullptr);
+  // The failed pins consumed no frames.
+  ASSERT_NE(pool.Pin(0), nullptr);
+  ASSERT_NE(pool.Pin(1), nullptr);
+  pool.Unpin(0);
+  pool.Unpin(1);
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -1,0 +1,161 @@
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workloads.h"
+
+#include <set>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+class GeneratorTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(GeneratorTest, ProducesNDistinctPointsInUnitSquare) {
+  const auto pts = GenerateDataset(GetParam(), 5000, 123);
+  EXPECT_EQ(pts.size(), 5000u);
+  std::set<std::pair<double, double>> seen;
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    EXPECT_TRUE(seen.emplace(p.x, p.y).second)
+        << "duplicate position " << p.x << "," << p.y;
+  }
+}
+
+TEST_P(GeneratorTest, DeterministicGivenSeed) {
+  const auto a = GenerateDataset(GetParam(), 1000, 9);
+  const auto b = GenerateDataset(GetParam(), 1000, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SamePosition(a[i], b[i]));
+  }
+  const auto c = GenerateDataset(GetParam(), 1000, 10);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (SamePosition(a[i], c[i])) ++same;
+  }
+  EXPECT_LT(same, a.size() / 10);  // different seed -> different data
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, GeneratorTest,
+    ::testing::ValuesIn(AllDistributions()),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      return DistributionName(info.param);
+    });
+
+TEST(GeneratorShapeTest, SkewedMassConcentratesAtLowY) {
+  // y = u^4 pushes ~ 84% of the mass below y = 0.5 (since P(y<0.5) =
+  // 0.5^(1/4) ≈ 0.84).
+  const auto pts = GenerateSkewed(20000, 5);
+  size_t low = 0;
+  for (const auto& p : pts) {
+    if (p.y < 0.5) ++low;
+  }
+  const double frac = static_cast<double>(low) / pts.size();
+  EXPECT_NEAR(frac, 0.8409, 0.02);
+}
+
+TEST(GeneratorShapeTest, NormalMassConcentratesAtCenter) {
+  const auto pts = GenerateNormal(20000, 5);
+  size_t central = 0;
+  const Rect center{{0.25, 0.25}, {0.75, 0.75}};
+  for (const auto& p : pts) {
+    if (center.Contains(p)) ++central;
+  }
+  // ~ (P(|z|<1.47))^2 ≈ 0.74 for stddev 0.17; far above the 25% a uniform
+  // distribution would give.
+  EXPECT_GT(static_cast<double>(central) / pts.size(), 0.6);
+}
+
+TEST(GeneratorShapeTest, OsmAndTigerAreSkewedVsUniform) {
+  // Clustered data has far more close-pair mass: measure the fraction of
+  // points whose cell (32x32 grid) holds > 4x the uniform expectation.
+  auto skew_mass = [](const std::vector<Point>& pts) {
+    constexpr int kSide = 32;
+    std::vector<int> cells(kSide * kSide, 0);
+    for (const auto& p : pts) {
+      const int cx = std::min(kSide - 1, static_cast<int>(p.x * kSide));
+      const int cy = std::min(kSide - 1, static_cast<int>(p.y * kSide));
+      ++cells[cy * kSide + cx];
+    }
+    const double expect =
+        static_cast<double>(pts.size()) / (kSide * kSide);
+    double heavy = 0;
+    for (int c : cells) {
+      if (c > 4 * expect) heavy += c;
+    }
+    return heavy / pts.size();
+  };
+  const auto uni = GenerateUniform(20000, 3);
+  const auto osm = GenerateOsmLike(20000, 3);
+  const auto tig = GenerateTigerLike(20000, 3);
+  EXPECT_LT(skew_mass(uni), 0.01);
+  EXPECT_GT(skew_mass(osm), 0.3);
+  EXPECT_GT(skew_mass(tig), 0.3);
+}
+
+TEST(WorkloadTest, WindowQueriesHaveRequestedAreaAndAspect) {
+  const auto data = GenerateUniform(1000, 1);
+  const double area = 0.0001;  // 0.01% of the unit space
+  for (double aspect : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto qs = GenerateWindowQueries(data, 50, area, aspect, 77);
+    ASSERT_EQ(qs.size(), 50u);
+    for (const auto& q : qs) {
+      EXPECT_NEAR(q.Area(), area, area * 1e-9);
+      const double w = q.hi.x - q.lo.x;
+      const double h = q.hi.y - q.lo.y;
+      EXPECT_NEAR(w / h, aspect, aspect * 1e-9);
+      EXPECT_TRUE(Rect::UnitSquare().ContainsRect(q));
+    }
+  }
+}
+
+TEST(WorkloadTest, QueryPointsFollowData) {
+  const auto data = GenerateOsmLike(2000, 2);
+  const auto qs = GenerateQueryPoints(data, 100, 3);
+  for (const auto& q : qs) {
+    EXPECT_TRUE(BruteForceContains(data, q));  // sampled from the data
+  }
+  const auto jittered = GenerateQueryPoints(data, 100, 3, 1e-4);
+  size_t exact = 0;
+  for (const auto& q : jittered) {
+    if (BruteForceContains(data, q)) ++exact;
+  }
+  EXPECT_LT(exact, 5u);
+}
+
+TEST(GroundTruthTest, KnnMatchesWindowSemantics) {
+  const auto data = GenerateUniform(500, 8);
+  const Point q{0.5, 0.5};
+  const auto knn = BruteForceKnn(data, q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(SquaredDist(knn[i - 1], q), SquaredDist(knn[i], q));
+  }
+  // Every non-member must be at least as far as the kth neighbor.
+  const double kth = SquaredDist(knn.back(), q);
+  for (const auto& p : data) {
+    bool in_knn = false;
+    for (const auto& r : knn) {
+      if (SamePosition(p, r)) in_knn = true;
+    }
+    if (!in_knn) {
+      EXPECT_GE(SquaredDist(p, q), kth);
+    }
+  }
+}
+
+TEST(GroundTruthTest, RecallComputation) {
+  const std::vector<Point> truth = {{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}};
+  const std::vector<Point> result = {{0.1, 0.1}, {0.3, 0.3}, {0.9, 0.9}};
+  EXPECT_NEAR(RecallOf(result, truth), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RecallOf({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -1,0 +1,199 @@
+// Geometric substrate properties: MINDIST lower-bound guarantees (what
+// makes the best-first kNN and block pruning correct), rectangle algebra
+// consistency, and bounding-box invariants — checked over randomized
+// inputs.
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+Rect RandomRect(Rng* rng) {
+  const double x1 = rng->Uniform();
+  const double x2 = rng->Uniform();
+  const double y1 = rng->Uniform();
+  const double y2 = rng->Uniform();
+  return Rect{{std::min(x1, x2), std::min(y1, y2)},
+              {std::max(x1, x2), std::max(y1, y2)}};
+}
+
+TEST(MinDistPropertyTest, LowerBoundsDistanceToEveryContainedPoint) {
+  // MINDIST(q, R) <= dist(q, p) for every p in R — the property that makes
+  // pruning blocks by MBR safe (Algorithm 3 / best-first search [40]).
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect r = RandomRect(&rng);
+    const Point q{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    const double md2 = r.MinDist2(q);
+    for (int s = 0; s < 20; ++s) {
+      const Point inside{rng.Uniform(r.lo.x, r.hi.x),
+                         rng.Uniform(r.lo.y, r.hi.y)};
+      ASSERT_LE(md2, SquaredDist(q, inside) + 1e-12);
+    }
+  }
+}
+
+TEST(MinDistPropertyTest, TightOnTheBoundary) {
+  // The bound is achieved: some point of the rectangle realizes MINDIST.
+  Rng rng(22);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect r = RandomRect(&rng);
+    const Point q{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    const Point nearest{std::clamp(q.x, r.lo.x, r.hi.x),
+                        std::clamp(q.y, r.lo.y, r.hi.y)};
+    ASSERT_NEAR(r.MinDist2(q), SquaredDist(q, nearest), 1e-12);
+  }
+}
+
+TEST(MinDistPropertyTest, ZeroExactlyWhenInside) {
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect r = RandomRect(&rng);
+    const Point q{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    EXPECT_EQ(r.MinDist2(q) == 0.0, r.Contains(q));
+  }
+}
+
+TEST(MinDistPropertyTest, MonotoneUnderExpansion) {
+  // Growing a rectangle can only decrease its MINDIST to any point.
+  Rng rng(24);
+  for (int trial = 0; trial < 300; ++trial) {
+    Rect r = RandomRect(&rng);
+    const Point q{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    const double before = r.MinDist2(q);
+    r.Expand(Point{rng.Uniform(), rng.Uniform()});
+    EXPECT_LE(r.MinDist2(q), before + 1e-15);
+  }
+}
+
+TEST(RectAlgebraPropertyTest, IntersectsIsSymmetricAndSelfTrue) {
+  Rng rng(25);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = RandomRect(&rng);
+    const Rect b = RandomRect(&rng);
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    EXPECT_TRUE(a.Intersects(a));
+  }
+}
+
+TEST(RectAlgebraPropertyTest, ContainmentImpliesIntersection) {
+  Rng rng(26);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = RandomRect(&rng);
+    const Rect b = RandomRect(&rng);
+    if (a.ContainsRect(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_GE(a.Area(), b.Area() - 1e-15);
+    }
+  }
+}
+
+TEST(RectAlgebraPropertyTest, OverlapAreaSymmetricAndBounded) {
+  Rng rng(27);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = RandomRect(&rng);
+    const Rect b = RandomRect(&rng);
+    const double o = a.OverlapArea(b);
+    EXPECT_DOUBLE_EQ(o, b.OverlapArea(a));
+    EXPECT_GE(o, 0.0);
+    EXPECT_LE(o, std::min(a.Area(), b.Area()) + 1e-15);
+    if (o > 0.0) EXPECT_TRUE(a.Intersects(b));
+    if (!a.Intersects(b)) EXPECT_EQ(o, 0.0);
+  }
+}
+
+TEST(RectAlgebraPropertyTest, PositiveOverlapForInteriorIntersections) {
+  // Overlap area is positive whenever the interiors intersect (touching
+  // edges give area zero but still Intersects() == true).
+  Rng rng(28);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = RandomRect(&rng);
+    Rect b = a;
+    // Shift b by less than a's extent: interiors must overlap.
+    const double dx = (a.hi.x - a.lo.x) * 0.5 * rng.Uniform();
+    const double dy = (a.hi.y - a.lo.y) * 0.5 * rng.Uniform();
+    b.lo.x += dx;
+    b.hi.x += dx;
+    b.lo.y += dy;
+    b.hi.y += dy;
+    if (a.Area() > 0.0) {
+      EXPECT_GT(a.OverlapArea(b), 0.0);
+    }
+  }
+}
+
+TEST(RectAlgebraPropertyTest, BoundContainsAllInputs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Point> pts(1 + rng.UniformInt(0, 50));
+    for (auto& p : pts) p = Point{rng.Uniform(), rng.Uniform()};
+    const Rect box = Rect::Bound(pts.begin(), pts.end());
+    ASSERT_TRUE(box.Valid());
+    for (const auto& p : pts) EXPECT_TRUE(box.Contains(p));
+    // Minimality: every side touches at least one point.
+    EXPECT_TRUE(std::any_of(pts.begin(), pts.end(),
+                            [&](const Point& p) { return p.x == box.lo.x; }));
+    EXPECT_TRUE(std::any_of(pts.begin(), pts.end(),
+                            [&](const Point& p) { return p.x == box.hi.x; }));
+    EXPECT_TRUE(std::any_of(pts.begin(), pts.end(),
+                            [&](const Point& p) { return p.y == box.lo.y; }));
+    EXPECT_TRUE(std::any_of(pts.begin(), pts.end(),
+                            [&](const Point& p) { return p.y == box.hi.y; }));
+  }
+}
+
+TEST(RectAlgebraPropertyTest, EmptyRectBehavesAsNeutralElement) {
+  Rect e = Rect::Empty();
+  EXPECT_FALSE(e.Valid());
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_EQ(e.Margin(), 0.0);
+  const Point p{0.3, 0.7};
+  EXPECT_FALSE(e.Contains(p));
+  e.Expand(p);
+  EXPECT_TRUE(e.Valid());
+  EXPECT_TRUE(e.Contains(p));
+  EXPECT_EQ(e.Area(), 0.0);  // degenerate but valid
+
+  // Expanding by an invalid rect is a no-op.
+  Rect r{{0.1, 0.1}, {0.2, 0.2}};
+  r.Expand(Rect::Empty());
+  EXPECT_DOUBLE_EQ(r.lo.x, 0.1);
+  EXPECT_DOUBLE_EQ(r.hi.y, 0.2);
+}
+
+TEST(PointOrderPropertyTest, ComparatorsAreStrictWeakOrders) {
+  Rng rng(30);
+  std::vector<Point> pts(200);
+  for (auto& p : pts) {
+    // Coarse grid => plenty of ties in each single coordinate.
+    p = Point{rng.UniformInt(0, 9) / 10.0, rng.UniformInt(0, 9) / 10.0};
+  }
+  LessByXThenY by_x;
+  LessByYThenX by_y;
+  for (const auto& a : pts) {
+    EXPECT_FALSE(by_x(a, a));
+    EXPECT_FALSE(by_y(a, a));
+  }
+  // Totality over distinct positions: exactly one direction holds.
+  for (size_t i = 0; i < pts.size(); i += 7) {
+    for (size_t j = 0; j < pts.size(); j += 11) {
+      if (SamePosition(pts[i], pts[j])) continue;
+      EXPECT_NE(by_x(pts[i], pts[j]), by_x(pts[j], pts[i]));
+      EXPECT_NE(by_y(pts[i], pts[j]), by_y(pts[j], pts[i]));
+    }
+  }
+  // Sorting with them yields consistent grouped order.
+  std::vector<Point> sorted = pts;
+  std::sort(sorted.begin(), sorted.end(), by_x);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_FALSE(by_x(sorted[i], sorted[i - 1]));
+  }
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -1,0 +1,120 @@
+#include "geom/point.h"
+#include "geom/rect.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+TEST(PointTest, Comparators) {
+  const Point a{1.0, 2.0};
+  const Point b{1.0, 3.0};
+  const Point c{2.0, 0.0};
+  LessByXThenY by_x;
+  EXPECT_TRUE(by_x(a, b));   // tie on x broken by y
+  EXPECT_TRUE(by_x(b, c));
+  EXPECT_FALSE(by_x(c, a));
+  LessByYThenX by_y;
+  EXPECT_TRUE(by_y(c, a));
+  EXPECT_TRUE(by_y(a, b));
+}
+
+TEST(PointTest, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDist(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Dist(a, b), 5.0);
+  EXPECT_TRUE(SamePosition(a, Point{0.0, 0.0}));
+  EXPECT_FALSE(SamePosition(a, b));
+}
+
+TEST(RectTest, EmptyExpands) {
+  Rect r = Rect::Empty();
+  EXPECT_FALSE(r.Valid());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  r.Expand(Point{0.5, 0.5});
+  EXPECT_TRUE(r.Valid());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  r.Expand(Point{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.Area(), 0.5 * 1.5);
+  EXPECT_TRUE(r.Contains(Point{0.7, 1.0}));
+  EXPECT_FALSE(r.Contains(Point{0.4, 1.0}));
+}
+
+TEST(RectTest, ContainsIsClosed) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(r.Contains(Point{0.0, 1.0}));
+}
+
+TEST(RectTest, Intersection) {
+  const Rect a{{0.0, 0.0}, {1.0, 1.0}};
+  const Rect b{{0.5, 0.5}, {2.0, 2.0}};
+  const Rect c{{1.5, 1.5}, {2.0, 2.0}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges intersect (closed rectangles).
+  const Rect d{{1.0, 0.0}, {2.0, 1.0}};
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 0.25);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect a{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(a.ContainsRect(Rect{{0.2, 0.2}, {0.8, 0.8}}));
+  EXPECT_TRUE(a.ContainsRect(a));
+  EXPECT_FALSE(a.ContainsRect(Rect{{0.2, 0.2}, {1.2, 0.8}}));
+}
+
+TEST(RectTest, MinDistInsideIsZero) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{1.0, 1.0}), 0.0);
+}
+
+TEST(RectTest, MinDistOutside) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{2.0, 0.5}), 1.0);       // right side
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{-1.0, -1.0}), 2.0);     // corner
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{0.5, 3.0}), 4.0);       // top
+}
+
+// Property: MINDIST lower-bounds the distance to every point inside.
+TEST(RectTest, MinDistLowerBoundsContainedPoints) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Rect r = Rect::Empty();
+    r.Expand(Point{rng.Uniform(), rng.Uniform()});
+    r.Expand(Point{rng.Uniform(), rng.Uniform()});
+    const Point q{rng.Uniform(-1.0, 2.0), rng.Uniform(-1.0, 2.0)};
+    const double md2 = r.MinDist2(q);
+    for (int i = 0; i < 20; ++i) {
+      const Point inside{rng.Uniform(r.lo.x, r.hi.x),
+                         rng.Uniform(r.lo.y, r.hi.y)};
+      EXPECT_LE(md2, SquaredDist(q, inside) + 1e-12);
+    }
+  }
+}
+
+TEST(RectTest, Margin) {
+  const Rect r{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+}
+
+TEST(RectTest, BoundOfPoints) {
+  const std::vector<Point> pts = {{0.3, 0.9}, {0.1, 0.5}, {0.7, 0.2}};
+  const Rect r = Rect::Bound(pts.begin(), pts.end());
+  EXPECT_DOUBLE_EQ(r.lo.x, 0.1);
+  EXPECT_DOUBLE_EQ(r.lo.y, 0.2);
+  EXPECT_DOUBLE_EQ(r.hi.x, 0.7);
+  EXPECT_DOUBLE_EQ(r.hi.y, 0.9);
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -1,0 +1,209 @@
+// PagedFile: page allocation, read/write round-trips, checksum detection
+// of corruption, reopen semantics, and I/O counters.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "storage/paged_file.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<unsigned char> Pattern(size_t len, unsigned seed) {
+  std::vector<unsigned char> v(len);
+  unsigned x = seed * 2654435761u + 1;
+  for (auto& b : v) {
+    x = x * 1664525u + 1013904223u;
+    b = static_cast<unsigned char>(x >> 24);
+  }
+  return v;
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The standard test vector: CRC-32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const char* s = "hello, paged world";
+  const uint32_t whole = Crc32(s, 18);
+  const uint32_t first = Crc32(s, 7);
+  EXPECT_EQ(Crc32(s + 7, 11, first), whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  auto buf = Pattern(512, 3);
+  const uint32_t before = Crc32(buf.data(), buf.size());
+  buf[137] ^= 0x10;
+  EXPECT_NE(Crc32(buf.data(), buf.size()), before);
+}
+
+TEST(PagedFileTest, CreateAllocWriteRead) {
+  PagedFile f;
+  ASSERT_TRUE(f.Create(TempPath("pf_basic.pag"), 256));
+  EXPECT_TRUE(f.is_open());
+  EXPECT_EQ(f.payload_size(), 256u);
+  EXPECT_EQ(f.num_pages(), 0u);
+
+  EXPECT_EQ(f.AllocPage(), 0);
+  EXPECT_EQ(f.AllocPage(), 1);
+  EXPECT_EQ(f.num_pages(), 2u);
+
+  const auto w0 = Pattern(256, 10);
+  const auto w1 = Pattern(256, 11);
+  ASSERT_TRUE(f.WritePage(0, w0.data()));
+  ASSERT_TRUE(f.WritePage(1, w1.data()));
+
+  std::vector<unsigned char> r(256);
+  ASSERT_TRUE(f.ReadPage(0, r.data()));
+  EXPECT_EQ(r, w0);
+  ASSERT_TRUE(f.ReadPage(1, r.data()));
+  EXPECT_EQ(r, w1);
+}
+
+TEST(PagedFileTest, FreshPageReadsAsZeros) {
+  PagedFile f;
+  ASSERT_TRUE(f.Create(TempPath("pf_zero.pag"), 64));
+  ASSERT_EQ(f.AllocPage(), 0);
+  std::vector<unsigned char> r(64, 0xAB);
+  ASSERT_TRUE(f.ReadPage(0, r.data()));
+  EXPECT_EQ(r, std::vector<unsigned char>(64, 0));
+}
+
+TEST(PagedFileTest, RejectsOutOfRangeIds) {
+  PagedFile f;
+  ASSERT_TRUE(f.Create(TempPath("pf_range.pag"), 64));
+  std::vector<unsigned char> buf(64);
+  EXPECT_FALSE(f.ReadPage(0, buf.data()));
+  EXPECT_FALSE(f.WritePage(0, buf.data()));
+  ASSERT_EQ(f.AllocPage(), 0);
+  EXPECT_FALSE(f.ReadPage(1, buf.data()));
+  EXPECT_FALSE(f.ReadPage(-1, buf.data()));
+  EXPECT_FALSE(f.WritePage(7, buf.data()));
+}
+
+TEST(PagedFileTest, CreateWithZeroPayloadFails) {
+  PagedFile f;
+  EXPECT_FALSE(f.Create(TempPath("pf_bad.pag"), 0));
+  EXPECT_FALSE(f.is_open());
+}
+
+TEST(PagedFileTest, OpenMissingFileFails) {
+  PagedFile f;
+  EXPECT_FALSE(f.Open(TempPath("pf_does_not_exist.pag")));
+}
+
+TEST(PagedFileTest, ReopenRecoversGeometryAndData) {
+  const std::string path = TempPath("pf_reopen.pag");
+  const auto w = Pattern(128, 42);
+  {
+    PagedFile f;
+    ASSERT_TRUE(f.Create(path, 128));
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(f.AllocPage(), i);
+    ASSERT_TRUE(f.WritePage(3, w.data()));
+  }
+  PagedFile f;
+  ASSERT_TRUE(f.Open(path));
+  EXPECT_EQ(f.payload_size(), 128u);
+  EXPECT_EQ(f.num_pages(), 5u);
+  std::vector<unsigned char> r(128);
+  ASSERT_TRUE(f.ReadPage(3, r.data()));
+  EXPECT_EQ(r, w);
+}
+
+TEST(PagedFileTest, OpenRejectsCorruptHeader) {
+  const std::string path = TempPath("pf_hdr.pag");
+  {
+    PagedFile f;
+    ASSERT_TRUE(f.Create(path, 128));
+    f.AllocPage();
+  }
+  // Flip a byte inside the header region.
+  std::FILE* raw = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_EQ(std::fseek(raw, 9, SEEK_SET), 0);
+  const unsigned char junk = 0xFF;
+  ASSERT_EQ(std::fwrite(&junk, 1, 1, raw), 1u);
+  std::fclose(raw);
+
+  PagedFile f;
+  EXPECT_FALSE(f.Open(path));
+}
+
+TEST(PagedFileTest, ChecksumDetectsPayloadCorruption) {
+  const std::string path = TempPath("pf_corrupt.pag");
+  const auto w = Pattern(128, 7);
+  {
+    PagedFile f;
+    ASSERT_TRUE(f.Create(path, 128));
+    ASSERT_EQ(f.AllocPage(), 0);
+    ASSERT_TRUE(f.WritePage(0, w.data()));
+  }
+  {
+    // Corrupt one payload byte of page 0 behind the file's back.
+    std::FILE* raw = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(raw, nullptr);
+    // Page 0 starts right after the 32-byte header (8-aligned struct of
+    // three uint64s and a uint32); byte 17 is inside its payload.
+    const long offset = 32 + 17;
+    ASSERT_EQ(std::fseek(raw, offset, SEEK_SET), 0);
+    unsigned char b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, raw), 1u);
+    b ^= 0x01;
+    ASSERT_EQ(std::fseek(raw, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&b, 1, 1, raw), 1u);
+    std::fclose(raw);
+  }
+  PagedFile f;
+  ASSERT_TRUE(f.Open(path));
+  std::vector<unsigned char> r(128);
+  EXPECT_FALSE(f.ReadPage(0, r.data()));
+}
+
+TEST(PagedFileTest, CountersTrackPhysicalIo) {
+  PagedFile f;
+  ASSERT_TRUE(f.Create(TempPath("pf_count.pag"), 64));
+  f.AllocPage();
+  f.AllocPage();
+  EXPECT_EQ(f.page_reads(), 0u);
+  EXPECT_EQ(f.page_writes(), 0u);
+
+  std::vector<unsigned char> buf(64, 1);
+  f.WritePage(0, buf.data());
+  f.WritePage(1, buf.data());
+  f.ReadPage(0, buf.data());
+  EXPECT_EQ(f.page_writes(), 2u);
+  EXPECT_EQ(f.page_reads(), 1u);
+
+  f.ResetCounters();
+  EXPECT_EQ(f.page_reads(), 0u);
+  EXPECT_EQ(f.page_writes(), 0u);
+}
+
+TEST(PagedFileTest, ManyPagesRoundTrip) {
+  PagedFile f;
+  ASSERT_TRUE(f.Create(TempPath("pf_many.pag"), 96));
+  constexpr int kPages = 300;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_EQ(f.AllocPage(), i);
+    const auto w = Pattern(96, static_cast<unsigned>(i));
+    ASSERT_TRUE(f.WritePage(i, w.data()));
+  }
+  // Read back in a scrambled order.
+  std::vector<unsigned char> r(96);
+  for (int i = 0; i < kPages; ++i) {
+    const int id = (i * 151) % kPages;
+    ASSERT_TRUE(f.ReadPage(id, r.data()));
+    EXPECT_EQ(r, Pattern(96, static_cast<unsigned>(id))) << "page " << id;
+  }
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -1,0 +1,137 @@
+// Save/Load round-trip tests for the RSMI: a reloaded index must answer
+// every query identically to the original and remain fully updatable.
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/rsmi_index.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workloads.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+RsmiConfig TestConfig() {
+  RsmiConfig cfg;
+  cfg.block_capacity = 20;
+  cfg.partition_threshold = 400;
+  cfg.train.epochs = 60;
+  cfg.train.batch_size = 128;
+  cfg.internal_sample_cap = 2048;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PersistenceTest, RoundTripAnswersIdentically) {
+  const auto data = GenerateDataset(Distribution::kOsm, 3000, 5);
+  RsmiIndex original(data, TestConfig());
+  const std::string path = TempPath("rsmi.idx");
+  ASSERT_TRUE(original.Save(path));
+  auto loaded = RsmiIndex::Load(path);
+  ASSERT_NE(loaded, nullptr);
+
+  // Identical structure.
+  EXPECT_EQ(loaded->Stats().num_points, original.Stats().num_points);
+  EXPECT_EQ(loaded->Stats().height, original.Stats().height);
+  EXPECT_EQ(loaded->Stats().num_models, original.Stats().num_models);
+  EXPECT_EQ(loaded->MaxErrBelow(), original.MaxErrBelow());
+  EXPECT_EQ(loaded->MaxErrAbove(), original.MaxErrAbove());
+
+  // Identical point-query results for every indexed point.
+  for (size_t i = 0; i < data.size(); i += 3) {
+    const auto a = original.PointQuery(data[i]);
+    const auto b = loaded->PointQuery(data[i]);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->id, b->id);
+  }
+
+  // Identical window and kNN answers (the models are bit-identical).
+  const auto windows = GenerateWindowQueries(data, 20, 0.001, 1.0, 7);
+  for (const auto& w : windows) {
+    EXPECT_EQ(original.WindowQuery(w).size(), loaded->WindowQuery(w).size());
+    EXPECT_EQ(original.WindowQueryExact(w).size(),
+              loaded->WindowQueryExact(w).size());
+  }
+  const auto queries = GenerateQueryPoints(data, 15, 9, 1e-4);
+  for (const auto& q : queries) {
+    const auto a = original.KnnQuery(q, 10);
+    const auto b = loaded->KnnQuery(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(SamePosition(a[i], b[i]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadedIndexAcceptsUpdatesAndRebuilds) {
+  const auto data = GenerateDataset(Distribution::kSkewed, 1500, 11);
+  RsmiIndex original(data, TestConfig());
+  const std::string path = TempPath("rsmi_upd.idx");
+  ASSERT_TRUE(original.Save(path));
+  auto loaded = RsmiIndex::Load(path);
+  ASSERT_NE(loaded, nullptr);
+
+  std::vector<Point> all = data;
+  const auto extra = GenerateDataset(Distribution::kSkewed, 3000, 12);
+  for (const auto& p : extra) {
+    if (BruteForceContains(all, p)) continue;
+    loaded->Insert(p);
+    all.push_back(p);
+  }
+  // RSMIr rebuild retrains sub-models: requires the persisted training
+  // config to survive the round trip.
+  EXPECT_GE(loaded->RebuildOverflowingSubtrees(), 1);
+  for (size_t i = 0; i < all.size(); i += 5) {
+    ASSERT_TRUE(loaded->PointQuery(all[i]).has_value());
+  }
+  EXPECT_TRUE(loaded->Delete(all[0]));
+  EXPECT_FALSE(loaded->PointQuery(all[0]).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, SaveAfterUpdatesPreservesOverflowChains) {
+  const auto data = GenerateDataset(Distribution::kUniform, 1000, 13);
+  RsmiIndex index(data, TestConfig());
+  std::vector<Point> all = data;
+  Rng rng(14);
+  for (int i = 0; i < 600; ++i) {
+    // Hotspot inserts: guarantees overflow blocks in the chain.
+    const Point p{0.3 + rng.Uniform() * 0.02, 0.3 + rng.Uniform() * 0.02};
+    index.Insert(p);
+    all.push_back(p);
+  }
+  const std::string path = TempPath("rsmi_chain.idx");
+  ASSERT_TRUE(index.Save(path));
+  auto loaded = RsmiIndex::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Stats().num_points, all.size());
+  for (size_t i = 0; i < all.size(); i += 4) {
+    ASSERT_TRUE(loaded->PointQuery(all[i]).has_value()) << i;
+  }
+  // Window scans walk the persisted chain including overflow splices.
+  const Rect hot{{0.29, 0.29}, {0.33, 0.33}};
+  EXPECT_EQ(loaded->WindowQueryExact(hot).size(),
+            BruteForceWindow(all, hot).size());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(RsmiIndex::Load("/nonexistent/index.idx"), nullptr);
+  const std::string path = TempPath("garbage.idx");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not an index", f);
+  std::fclose(f);
+  EXPECT_EQ(RsmiIndex::Load(path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rsmi

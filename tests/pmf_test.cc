@@ -1,0 +1,111 @@
+#include "core/pmf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+TEST(PmfTest, EmptyAndSingleton) {
+  Pmf empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Cdf(0.5), 0.0);
+
+  Pmf single({0.5}, 10);
+  EXPECT_FALSE(single.empty());
+  EXPECT_DOUBLE_EQ(single.Cdf(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(single.Cdf(0.6), 1.0);
+}
+
+TEST(PmfTest, UniformCdfIsNearlyLinear) {
+  std::vector<double> vals(10000);
+  Rng rng(3);
+  for (double& v : vals) v = rng.Uniform();
+  const Pmf pmf(vals, 100);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(pmf.Cdf(q), q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(PmfTest, CdfIsMonotoneAndBounded) {
+  const auto pts = GenerateSkewed(5000, 7);
+  std::vector<double> ys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ys[i] = pts[i].y;
+  const Pmf pmf(ys, 100);
+  double prev = -1.0;
+  for (double q = -0.1; q <= 1.1; q += 0.01) {
+    const double c = pmf.Cdf(q);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev - 1e-12);  // monotone non-decreasing
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(pmf.Cdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.Cdf(1.1), 1.0);
+}
+
+TEST(PmfTest, CdfApproximatesEmpiricalCdf) {
+  const auto pts = GenerateSkewed(20000, 9);
+  std::vector<double> ys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ys[i] = pts[i].y;
+  const Pmf pmf(ys, 100);
+  // Empirical comparison at several quantile points.
+  std::vector<double> sorted = ys;
+  std::sort(sorted.begin(), sorted.end());
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double q = sorted[static_cast<size_t>(frac * (sorted.size() - 1))];
+    EXPECT_NEAR(pmf.Cdf(q), frac, 0.03) << "frac=" << frac;
+  }
+}
+
+TEST(PmfTest, SlopeAlphaReflectsDensity) {
+  // Skewed data (y = u^4): dense near 0, sparse near 1. The skew factor
+  // alpha (Eq. 6) must be small where dense and large where sparse.
+  const auto pts = GenerateSkewed(20000, 11);
+  std::vector<double> ys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ys[i] = pts[i].y;
+  const Pmf pmf(ys, 100);
+  const double alpha_dense = pmf.SlopeAlpha(0.05, 0.01);
+  const double alpha_sparse = pmf.SlopeAlpha(0.9, 0.01);
+  EXPECT_LT(alpha_dense, alpha_sparse);
+  EXPECT_LT(alpha_dense, 1.0);   // denser than uniform
+  EXPECT_GT(alpha_sparse, 1.0);  // sparser than uniform
+}
+
+TEST(PmfTest, SlopeAlphaUniformIsAboutOne) {
+  std::vector<double> vals(50000);
+  Rng rng(13);
+  for (double& v : vals) v = rng.Uniform();
+  const Pmf pmf(vals, 100);
+  for (double q : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(pmf.SlopeAlpha(q, 0.01), 1.0, 0.25) << "q=" << q;
+  }
+}
+
+TEST(PmfTest, SlopeAlphaCapsOnEmptyRegions) {
+  // All mass in [0, 0.1]: querying the empty region must hit the cap,
+  // not divide by zero.
+  std::vector<double> vals(1000);
+  Rng rng(17);
+  for (double& v : vals) v = rng.Uniform(0.0, 0.1);
+  const Pmf pmf(vals, 50);
+  EXPECT_DOUBLE_EQ(pmf.SlopeAlpha(0.9, 0.01, /*cap=*/1e6), 1e6);
+  EXPECT_DOUBLE_EQ(pmf.SlopeAlpha(0.9, 0.01, /*cap=*/42.0), 42.0);
+}
+
+TEST(PmfTest, SizeBytesScalesWithGamma) {
+  std::vector<double> vals(10000);
+  Rng rng(19);
+  for (double& v : vals) v = rng.Uniform();
+  const Pmf small(vals, 10);
+  const Pmf big(vals, 100);
+  EXPECT_LT(small.SizeBytes(), big.SizeBytes());
+  EXPECT_LE(big.SizeBytes(), (100 + 1) * 2 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace rsmi

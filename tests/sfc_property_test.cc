@@ -1,0 +1,248 @@
+// Space-filling-curve property suite: bijectivity, completeness,
+// recursive-nesting, and adjacency invariants, parameterized over curve
+// type and grid order. These invariants are what the rank-space ordering
+// (Section 3.1) relies on.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "sfc/curve.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+class CurveOrderTest
+    : public ::testing::TestWithParam<std::tuple<CurveType, int>> {
+ protected:
+  CurveType curve() const { return std::get<0>(GetParam()); }
+  int order() const { return std::get<1>(GetParam()); }
+  uint32_t side() const { return 1u << order(); }
+  uint64_t cells() const { return uint64_t{1} << (2 * order()); }
+};
+
+TEST_P(CurveOrderTest, EncodeDecodeRoundTripsEveryCell) {
+  if (order() > 6) GTEST_SKIP() << "full sweep only for small grids";
+  for (uint32_t x = 0; x < side(); ++x) {
+    for (uint32_t y = 0; y < side(); ++y) {
+      const uint64_t code = CurveEncode(curve(), x, y, order());
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      CurveDecode(curve(), code, order(), &rx, &ry);
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+    }
+  }
+}
+
+TEST_P(CurveOrderTest, EncodeIsABijectionOntoTheCodomain) {
+  if (order() > 6) GTEST_SKIP() << "full sweep only for small grids";
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < side(); ++x) {
+    for (uint32_t y = 0; y < side(); ++y) {
+      const uint64_t code = CurveEncode(curve(), x, y, order());
+      ASSERT_LT(code, cells());
+      ASSERT_TRUE(seen.insert(code).second)
+          << "duplicate code " << code << " at (" << x << "," << y << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), cells());
+}
+
+TEST_P(CurveOrderTest, SampledRoundTripAtLargeOrders) {
+  Rng rng(7 + order());
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t x =
+        static_cast<uint32_t>(rng.UniformInt(0, side() - 1));
+    const uint32_t y =
+        static_cast<uint32_t>(rng.UniformInt(0, side() - 1));
+    const uint64_t code = CurveEncode(curve(), x, y, order());
+    ASSERT_LT(code, cells());
+    uint32_t rx = 0;
+    uint32_t ry = 0;
+    CurveDecode(curve(), code, order(), &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST_P(CurveOrderTest, DecodeOfConsecutiveCodesCoversTheGrid) {
+  if (order() > 5) GTEST_SKIP() << "full sweep only for small grids";
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint64_t code = 0; code < cells(); ++code) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    CurveDecode(curve(), code, order(), &x, &y);
+    ASSERT_LT(x, side());
+    ASSERT_LT(y, side());
+    ASSERT_TRUE(seen.insert({x, y}).second);
+  }
+  EXPECT_EQ(seen.size(), cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurvesAndOrders, CurveOrderTest,
+    ::testing::Combine(::testing::Values(CurveType::kZ, CurveType::kHilbert),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12, 14,
+                                         16)),
+    [](const auto& info) {
+      return CurveName(std::get<0>(info.param)) + "_order" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class HilbertOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrderTest, ConsecutiveCodesAreGridNeighbors) {
+  // The defining property of the Hilbert curve (and why it bounds the
+  // curve-value gaps better than the Z-curve, Section 3.1): each step of
+  // the curve moves to a 4-neighbor cell.
+  const int order = GetParam();
+  const uint64_t cells = uint64_t{1} << (2 * order);
+  uint32_t px = 0;
+  uint32_t py = 0;
+  HilbertDecode(0, order, &px, &py);
+  for (uint64_t code = 1; code < cells; ++code) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertDecode(code, order, &x, &y);
+    const uint32_t manhattan = (x > px ? x - px : px - x) +
+                               (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "step " << code << " jumps";
+    px = x;
+    py = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "order" + std::to_string(info.param);
+                         });
+
+TEST(ZCurveStructureTest, CodeIsBitInterleavingOfCoordinates) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int order = 1 + static_cast<int>(rng.UniformInt(0, 15));
+    const uint32_t side = 1u << order;
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    uint64_t expected = 0;
+    for (int b = order - 1; b >= 0; --b) {
+      expected = (expected << 1) | ((y >> b) & 1);
+      expected = (expected << 1) | ((x >> b) & 1);
+    }
+    // Either bit-interleaving convention (x-high or y-high) is a valid
+    // Z-curve; this library interleaves with y in the higher bit.
+    ASSERT_EQ(ZEncode(x, y, order), expected);
+  }
+}
+
+TEST(ZCurveStructureTest, QuadrantsHaveContiguousCodeRanges) {
+  // Recursive nesting: the four quadrants of the grid own the four
+  // contiguous quarters of the code space.
+  const int order = 6;
+  const uint32_t side = 1u << order;
+  const uint32_t half = side / 2;
+  const uint64_t quarter = (uint64_t{1} << (2 * order)) / 4;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      const uint64_t code = ZEncode(x, y, order);
+      const int qx = x >= half ? 1 : 0;
+      const int qy = y >= half ? 1 : 0;
+      const uint64_t quadrant = code / quarter;
+      ASSERT_EQ(quadrant, static_cast<uint64_t>(2 * qy + qx));
+    }
+  }
+}
+
+TEST(ZCurveStructureTest, ChildCellsRefineParentCodes) {
+  // Prefix property: cell (x, y) at order k contains exactly the cells
+  // (2x+dx, 2y+dy) at order k+1, whose codes are 4*code + {0,1,2,3}.
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const int order = 1 + static_cast<int>(rng.UniformInt(0, 14));
+    const uint32_t side = 1u << order;
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    const uint64_t code = ZEncode(x, y, order);
+    std::set<uint64_t> child_codes;
+    for (uint32_t dx = 0; dx < 2; ++dx) {
+      for (uint32_t dy = 0; dy < 2; ++dy) {
+        child_codes.insert(
+            ZEncode(2 * x + dx, 2 * y + dy, order + 1));
+      }
+    }
+    ASSERT_EQ(child_codes.size(), 4u);
+    ASSERT_EQ(*child_codes.begin(), 4 * code);
+    ASSERT_EQ(*child_codes.rbegin(), 4 * code + 3);
+  }
+}
+
+TEST(HilbertStructureTest, ChildCellsOccupyParentQuarterOfCodeSpace) {
+  // The Hilbert curve also nests recursively: the four order-(k+1) cells
+  // inside an order-k cell occupy that cell's quarter of the code space
+  // (in some internal order).
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const int order = 1 + static_cast<int>(rng.UniformInt(0, 14));
+    const uint32_t side = 1u << order;
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+    const uint64_t code = HilbertEncode(x, y, order);
+    for (uint32_t dx = 0; dx < 2; ++dx) {
+      for (uint32_t dy = 0; dy < 2; ++dy) {
+        const uint64_t child =
+            HilbertEncode(2 * x + dx, 2 * y + dy, order + 1);
+        ASSERT_GE(child, 4 * code);
+        ASSERT_LT(child, 4 * code + 4);
+      }
+    }
+  }
+}
+
+TEST(CurveLocalityTest, HilbertStepsStayLocalWhereZJumps) {
+  // Hilbert's locality guarantee runs from the curve to the space: one
+  // step along the curve is one grid step (HilbertOrderTest), while a
+  // Z-curve step can jump across half the grid. This is what keeps the
+  // curve-value gaps of adjacently *ranked* points bounded (Section 3.1).
+  // (The converse does not hold — two neighboring cells can sit far apart
+  // on a Hilbert curve, which is exactly why the paper's window algorithm
+  // must fall back to all four window corners for Hilbert, Section 4.2.)
+  const int order = 8;
+  const uint64_t cells = uint64_t{1} << (2 * order);
+  Rng rng(19);
+  double z_sum = 0.0;
+  double h_sum = 0.0;
+  double z_max = 0.0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t c = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(cells) - 2));
+    uint32_t x0 = 0;
+    uint32_t y0 = 0;
+    uint32_t x1 = 0;
+    uint32_t y1 = 0;
+    const auto manhattan = [](uint32_t a0, uint32_t b0, uint32_t a1,
+                              uint32_t b1) {
+      return static_cast<double>((a0 > a1 ? a0 - a1 : a1 - a0) +
+                                 (b0 > b1 ? b0 - b1 : b1 - b0));
+    };
+    ZDecode(c, order, &x0, &y0);
+    ZDecode(c + 1, order, &x1, &y1);
+    const double z_step = manhattan(x0, y0, x1, y1);
+    z_sum += z_step;
+    z_max = std::max(z_max, z_step);
+    HilbertDecode(c, order, &x0, &y0);
+    HilbertDecode(c + 1, order, &x1, &y1);
+    h_sum += manhattan(x0, y0, x1, y1);
+  }
+  EXPECT_DOUBLE_EQ(h_sum, samples);  // every Hilbert step is a unit move
+  EXPECT_GT(z_sum, h_sum);           // Z steps jump on average
+  EXPECT_GT(z_max, 2.0);             // and sometimes jump far
+}
+
+}  // namespace
+}  // namespace rsmi

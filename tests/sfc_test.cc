@@ -1,0 +1,123 @@
+#include "sfc/curve.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+TEST(ZCurveTest, KnownValues) {
+  // Bit interleaving: (x=1,y=0) -> 1, (x=0,y=1) -> 2, (x=1,y=1) -> 3.
+  EXPECT_EQ(ZEncode(0, 0, 4), 0u);
+  EXPECT_EQ(ZEncode(1, 0, 4), 1u);
+  EXPECT_EQ(ZEncode(0, 1, 4), 2u);
+  EXPECT_EQ(ZEncode(1, 1, 4), 3u);
+  EXPECT_EQ(ZEncode(2, 0, 4), 4u);
+  EXPECT_EQ(ZEncode(3, 3, 4), 15u);
+}
+
+TEST(HilbertCurveTest, KnownValuesOrder1) {
+  // Canonical order-1 Hilbert curve: (0,0)->0, (0,1)->1, (1,1)->2, (1,0)->3.
+  EXPECT_EQ(HilbertEncode(0, 0, 1), 0u);
+  EXPECT_EQ(HilbertEncode(0, 1, 1), 1u);
+  EXPECT_EQ(HilbertEncode(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertEncode(1, 0, 1), 3u);
+}
+
+TEST(HilbertCurveTest, AdjacencyProperty) {
+  // Consecutive Hilbert values correspond to grid-adjacent cells — the
+  // locality property that motivates using the Hilbert curve (Section 2).
+  const int order = 5;
+  const uint32_t side = 1u << order;
+  uint32_t px = 0;
+  uint32_t py = 0;
+  HilbertDecode(0, order, &px, &py);
+  for (uint64_t d = 1; d < static_cast<uint64_t>(side) * side; ++d) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertDecode(d, order, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    EXPECT_EQ(manhattan, 1u) << "at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+class CurveBijection : public ::testing::TestWithParam<
+                           std::tuple<CurveType, int>> {};
+
+TEST_P(CurveBijection, EncodeDecodeRoundTrip) {
+  const auto [type, order] = GetParam();
+  const uint32_t side = 1u << order;
+  if (order <= 5) {
+    // Exhaustive check plus distinctness (bijection onto [0, side^2)).
+    std::set<uint64_t> seen;
+    for (uint32_t x = 0; x < side; ++x) {
+      for (uint32_t y = 0; y < side; ++y) {
+        const uint64_t d = CurveEncode(type, x, y, order);
+        EXPECT_LT(d, static_cast<uint64_t>(side) * side);
+        EXPECT_TRUE(seen.insert(d).second) << "duplicate curve value " << d;
+        uint32_t rx = 0;
+        uint32_t ry = 0;
+        CurveDecode(type, d, order, &rx, &ry);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+      }
+    }
+  } else {
+    // Randomized round-trips at high orders.
+    Rng rng(123 + order);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextU64()) & (side - 1);
+      const uint32_t y = static_cast<uint32_t>(rng.NextU64()) & (side - 1);
+      const uint64_t d = CurveEncode(type, x, y, order);
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      CurveDecode(type, d, order, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurvesAndOrders, CurveBijection,
+    ::testing::Combine(::testing::Values(CurveType::kZ, CurveType::kHilbert),
+                       ::testing::Values(1, 2, 3, 4, 5, 10, 16, 24, 31)),
+    [](const ::testing::TestParamInfo<std::tuple<CurveType, int>>& info) {
+      return CurveName(std::get<0>(info.param)) + "_order" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ZCurveTest, MonotoneInQuadrants) {
+  // All curve values in the lower-left quadrant precede those in the
+  // upper-right quadrant (Z-curve block property used by window queries:
+  // ql = bottom-left corner, qh = top-right corner, Section 4.2).
+  const int order = 6;
+  const uint32_t half = 1u << (order - 1);
+  uint64_t max_ll = 0;
+  uint64_t min_ur = ~0ull;
+  for (uint32_t x = 0; x < half; ++x) {
+    for (uint32_t y = 0; y < half; ++y) {
+      max_ll = std::max(max_ll, ZEncode(x, y, order));
+      min_ur = std::min(min_ur, ZEncode(x + half, y + half, order));
+    }
+  }
+  EXPECT_LT(max_ll, min_ur);
+}
+
+TEST(SpreadCompactTest, Inverse) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextU64() & 0xFFFFFFFFull;
+    EXPECT_EQ(CompactBits(SpreadBits(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace rsmi

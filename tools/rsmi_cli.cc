@@ -1,0 +1,382 @@
+// rsmi_cli — command-line front end for the RSMI library.
+//
+// Typical session:
+//   rsmi_cli generate --dist=osm --n=100000 --out=/tmp/points.csv
+//   rsmi_cli build    --data=/tmp/points.csv --index=/tmp/poi.rsmi
+//   rsmi_cli stats    --index=/tmp/poi.rsmi
+//   rsmi_cli point    --index=/tmp/poi.rsmi --x=0.31 --y=0.72
+//   rsmi_cli window   --index=/tmp/poi.rsmi --rect=0.2,0.2,0.4,0.4
+//   rsmi_cli knn      --index=/tmp/poi.rsmi --x=0.5 --y=0.5 --k=10
+//   rsmi_cli insert   --index=/tmp/poi.rsmi --data=/tmp/more.csv --rebuild
+//   rsmi_cli bench    --data=/tmp/points.csv --queries=500
+//
+// Every command prints one result per line on stdout; diagnostics go to
+// stderr. Exit status 0 on success, 1 on usage errors or I/O failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/rsmi_index.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/io.h"
+#include "data/workloads.h"
+
+namespace rsmi {
+namespace {
+
+/// Minimal --key=value flag parser; positional arguments are rejected.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        ok_ = false;
+        bad_ = arg;
+        return;
+      }
+      const char* eq = std::strchr(arg + 2, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "true";
+      } else {
+        values_[std::string(arg + 2, eq)] = std::string(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  int64_t GetInt(const std::string& key, int64_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rsmi_cli <command> [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --n=COUNT [--dist=uniform|normal|skewed|tiger|osm]\n"
+      "            [--seed=S] --out=FILE[.csv|.bin]\n"
+      "  build     --data=FILE --index=FILE [--block=100]\n"
+      "            [--threshold=10000] [--curve=hilbert|z] [--fill=1.0]\n"
+      "            [--strategy=overflow|buffer] [--epochs=300]\n"
+      "  stats     --index=FILE\n"
+      "  point     --index=FILE --x=X --y=Y\n"
+      "  window    --index=FILE --rect=XLO,YLO,XHI,YHI [--exact]\n"
+      "  knn       --index=FILE --x=X --y=Y [--k=10] [--exact]\n"
+      "  insert    --index=FILE --data=FILE [--rebuild] [--out=FILE]\n"
+      "  delete    --index=FILE --x=X --y=Y [--out=FILE]\n"
+      "  bench     --data=FILE [--queries=200] [--k=25] [--area=0.0001]\n");
+  return 1;
+}
+
+bool LoadPoints(const std::string& path, std::vector<Point>* out) {
+  const bool binary =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  return binary ? LoadPointsBinary(path, out) : LoadPointsCsv(path, out);
+}
+
+bool ParseDistribution(const std::string& name, Distribution* out) {
+  for (Distribution d : AllDistributions()) {
+    std::string n = DistributionName(d);
+    for (char& c : n) c = static_cast<char>(std::tolower(c));
+    if (n == name) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+RsmiConfig ConfigFromFlags(const Flags& flags) {
+  RsmiConfig cfg;
+  cfg.block_capacity = static_cast<int>(flags.GetInt("block", 100));
+  cfg.partition_threshold =
+      static_cast<int>(flags.GetInt("threshold", 10000));
+  cfg.curve = flags.Get("curve", "hilbert") == "z" ? CurveType::kZ
+                                                   : CurveType::kHilbert;
+  cfg.build_fill_factor = flags.GetDouble("fill", 1.0);
+  if (flags.Get("strategy", "overflow") == "buffer") {
+    cfg.update_strategy = UpdateStrategy::kLeafBuffer;
+  }
+  cfg.train.epochs = static_cast<int>(flags.GetInt("epochs", 300));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return cfg;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 0));
+  const std::string out = flags.Get("out", "");
+  if (n == 0 || out.empty()) return Usage();
+  Distribution dist = Distribution::kUniform;
+  if (!ParseDistribution(flags.Get("dist", "uniform"), &dist)) {
+    std::fprintf(stderr, "unknown --dist\n");
+    return 1;
+  }
+  const auto pts =
+      GenerateDataset(dist, n, static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  const bool binary =
+      out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0;
+  if (!(binary ? SavePointsBinary(out, pts) : SavePointsCsv(out, pts))) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu points to %s\n", pts.size(), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  const std::string index_path = flags.Get("index", "");
+  if (data_path.empty() || index_path.empty()) return Usage();
+  std::vector<Point> pts;
+  if (!LoadPoints(data_path, &pts)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  DeduplicatePositions(&pts, 42);
+  std::fprintf(stderr, "building RSMI over %zu points...\n", pts.size());
+  WallTimer t;
+  RsmiIndex index(pts, ConfigFromFlags(flags));
+  std::fprintf(stderr, "built in %.2fs\n", t.ElapsedSeconds());
+  if (!index.Save(index_path)) {
+    std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
+    return 1;
+  }
+  const IndexStats st = index.Stats();
+  std::printf("points=%zu height=%d models=%zu size_mb=%.2f err=(%d,%d)\n",
+              st.num_points, st.height, st.num_models,
+              st.size_bytes / 1048576.0, index.MaxErrBelow(),
+              index.MaxErrAbove());
+  return 0;
+}
+
+std::unique_ptr<RsmiIndex> LoadIndexOrDie(const Flags& flags) {
+  const std::string path = flags.Get("index", "");
+  if (path.empty()) return nullptr;
+  auto index = RsmiIndex::Load(path);
+  if (index == nullptr) {
+    std::fprintf(stderr, "cannot load index %s\n", path.c_str());
+  }
+  return index;
+}
+
+int CmdStats(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  if (index == nullptr) return 1;
+  const IndexStats st = index->Stats();
+  std::printf("points      %zu\n", st.num_points);
+  std::printf("height      %d\n", st.height);
+  std::printf("models      %zu\n", st.num_models);
+  std::printf("blocks      %zu\n", index->block_store().NumBlocks());
+  std::printf("size_mb     %.3f\n", st.size_bytes / 1048576.0);
+  std::printf("err_bounds  (%d, %d)\n", index->MaxErrBelow(),
+              index->MaxErrAbove());
+  std::printf("curve       %s\n",
+              CurveName(index->config().curve).c_str());
+  std::printf("block_cap   %d\n", index->config().block_capacity);
+  std::printf("threshold   %d\n", index->config().partition_threshold);
+  return 0;
+}
+
+int CmdPoint(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  if (index == nullptr || !flags.Has("x") || !flags.Has("y")) return Usage();
+  const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
+  const auto hit = index->PointQuery(q);
+  if (!hit.has_value()) {
+    std::printf("not found\n");
+    return 0;
+  }
+  std::printf("%.17g,%.17g id=%lld\n", hit->pt.x, hit->pt.y,
+              static_cast<long long>(hit->id));
+  return 0;
+}
+
+bool ParseRect(const std::string& spec, Rect* out) {
+  double v[4];
+  char c1 = 0;
+  char c2 = 0;
+  char c3 = 0;
+  if (std::sscanf(spec.c_str(), "%lf%c%lf%c%lf%c%lf", &v[0], &c1, &v[1], &c2,
+                  &v[2], &c3, &v[3]) != 7) {
+    return false;
+  }
+  *out = Rect{{std::min(v[0], v[2]), std::min(v[1], v[3])},
+              {std::max(v[0], v[2]), std::max(v[1], v[3])}};
+  return true;
+}
+
+int CmdWindow(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  Rect w;
+  if (index == nullptr || !ParseRect(flags.Get("rect", ""), &w)) {
+    return Usage();
+  }
+  WallTimer t;
+  const auto result =
+      flags.Has("exact") ? index->WindowQueryExact(w) : index->WindowQuery(w);
+  const double us = t.ElapsedMicros();
+  for (const Point& p : result) std::printf("%.17g,%.17g\n", p.x, p.y);
+  std::fprintf(stderr, "%zu points in %.1f us (%llu block accesses)\n",
+               result.size(), us,
+               static_cast<unsigned long long>(index->block_accesses()));
+  return 0;
+}
+
+int CmdKnn(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  if (index == nullptr || !flags.Has("x") || !flags.Has("y")) return Usage();
+  const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  WallTimer t;
+  const auto result =
+      flags.Has("exact") ? index->KnnQueryExact(q, k) : index->KnnQuery(q, k);
+  const double us = t.ElapsedMicros();
+  for (const Point& p : result) {
+    std::printf("%.17g,%.17g dist=%.6g\n", p.x, p.y, Dist(q, p));
+  }
+  std::fprintf(stderr, "%zu neighbors in %.1f us\n", result.size(), us);
+  return 0;
+}
+
+int CmdInsert(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  const std::string data_path = flags.Get("data", "");
+  if (index == nullptr || data_path.empty()) return Usage();
+  std::vector<Point> pts;
+  if (!LoadPoints(data_path, &pts)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  WallTimer t;
+  for (const Point& p : pts) index->Insert(p);
+  std::fprintf(stderr, "inserted %zu points in %.2fs\n", pts.size(),
+               t.ElapsedSeconds());
+  if (flags.Has("rebuild")) {
+    const int rebuilt = index->RebuildOverflowingSubtrees();
+    std::fprintf(stderr, "rebuilt %d subtrees\n", rebuilt);
+  }
+  const std::string out = flags.Get("out", flags.Get("index", ""));
+  if (!index->Save(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("points=%zu\n", index->Stats().num_points);
+  return 0;
+}
+
+int CmdDelete(const Flags& flags) {
+  auto index = LoadIndexOrDie(flags);
+  if (index == nullptr || !flags.Has("x") || !flags.Has("y")) return Usage();
+  const Point p{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
+  const bool removed = index->Delete(p);
+  std::printf(removed ? "deleted\n" : "not found\n");
+  const std::string out = flags.Get("out", flags.Get("index", ""));
+  if (removed && !index->Save(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdBench(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  if (data_path.empty()) return Usage();
+  std::vector<Point> pts;
+  if (!LoadPoints(data_path, &pts)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  DeduplicatePositions(&pts, 42);
+
+  WallTimer build_timer;
+  RsmiIndex index(pts, ConfigFromFlags(flags));
+  const double build_s = build_timer.ElapsedSeconds();
+
+  const size_t nq = static_cast<size_t>(flags.GetInt("queries", 200));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 25));
+  const double area = flags.GetDouble("area", 0.0001);
+
+  const auto points = GenerateQueryPoints(pts, nq, 4242);
+  const auto windows = GenerateWindowQueries(pts, nq, area, 1.0, 4242);
+
+  index.ResetBlockAccesses();
+  WallTimer pt;
+  for (const auto& q : points) index.PointQuery(q);
+  const double p_us = pt.ElapsedMicros() / nq;
+  const double p_blocks = static_cast<double>(index.block_accesses()) / nq;
+
+  index.ResetBlockAccesses();
+  WallTimer wt;
+  double recall_sum = 0.0;
+  for (const auto& w : windows) {
+    const auto got = index.WindowQuery(w);
+    const auto want = BruteForceWindow(pts, w);
+    recall_sum += want.empty() ? 1.0
+                               : std::min(1.0, static_cast<double>(got.size()) /
+                                                   want.size());
+  }
+  const double w_ms = wt.ElapsedMicros() / 1000.0 / nq;
+
+  WallTimer kt;
+  for (const auto& q : points) index.KnnQuery(q, k);
+  const double k_ms = kt.ElapsedMicros() / 1000.0 / nq;
+
+  std::printf("n=%zu build_s=%.2f\n", pts.size(), build_s);
+  std::printf("point:  %.3f us/query  %.2f blocks/query\n", p_us, p_blocks);
+  std::printf("window: %.3f ms/query  recall=%.4f (area=%g)\n", w_ms,
+              recall_sum / nq, area);
+  std::printf("knn:    %.3f ms/query (k=%zu)\n", k_ms, k);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "bad argument: %s\n", flags.bad().c_str());
+    return Usage();
+  }
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "point") return CmdPoint(flags);
+  if (cmd == "window") return CmdWindow(flags);
+  if (cmd == "knn") return CmdKnn(flags);
+  if (cmd == "insert") return CmdInsert(flags);
+  if (cmd == "delete") return CmdDelete(flags);
+  if (cmd == "bench") return CmdBench(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rsmi
+
+int main(int argc, char** argv) { return rsmi::Run(argc, argv); }
