@@ -49,7 +49,14 @@ inline const Scale& GetScale() {
       s.point_queries = 5000;
     }
     const int64_t n = GetEnvInt64("RSMI_BENCH_N", 0);
-    if (n > 0) s.default_n = static_cast<size_t>(n);
+    if (n > 0) {
+      // An explicit point count also rescales the sweep (capped at n) so
+      // that smoke runs (tiny RSMI_BENCH_N) keep the scale benches tiny.
+      s.default_n = static_cast<size_t>(n);
+      s.sweep_n.clear();
+      if (s.default_n / 2 > 0) s.sweep_n.push_back(s.default_n / 2);
+      s.sweep_n.push_back(s.default_n);
+    }
     const int64_t q = GetEnvInt64("RSMI_BENCH_QUERIES", 0);
     if (q > 0) s.queries = static_cast<size_t>(q);
     return s;

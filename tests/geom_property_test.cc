@@ -102,8 +102,12 @@ TEST(RectAlgebraPropertyTest, OverlapAreaSymmetricAndBounded) {
     EXPECT_DOUBLE_EQ(o, b.OverlapArea(a));
     EXPECT_GE(o, 0.0);
     EXPECT_LE(o, std::min(a.Area(), b.Area()) + 1e-15);
-    if (o > 0.0) EXPECT_TRUE(a.Intersects(b));
-    if (!a.Intersects(b)) EXPECT_EQ(o, 0.0);
+    if (o > 0.0) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+    if (!a.Intersects(b)) {
+      EXPECT_EQ(o, 0.0);
+    }
   }
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Run the RSMI benchmark drivers.
+#
+# Usage:
+#   tools/run_benches.sh [--smoke] [--build-dir DIR] [--out DIR] [FILTER]
+#
+#   --smoke       Tiny configuration (RSMI_BENCH_N=2000, 20 queries,
+#                 min benchmark time 0.01s) — the same setup CI uses via
+#                 the `bench_smoke` ctest label. Seconds per bench.
+#   --build-dir   Build tree containing bench/ binaries (default: build).
+#   --out         Write one JSON file per bench into DIR
+#                 (--benchmark_out, format json).
+#   FILTER        Only run benches whose name contains this substring.
+set -euo pipefail
+
+build_dir=build
+out_dir=""
+smoke=0
+filter=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out_dir="$2"; shift 2 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) filter="$1"; shift ;;
+  esac
+done
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found — build first (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+extra_args=()
+if [[ $smoke -eq 1 ]]; then
+  export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
+  extra_args+=(--benchmark_min_time=0.01 --benchmark_repetitions=1)
+fi
+[[ -n "$out_dir" ]] && mkdir -p "$out_dir"
+
+status=0
+for bench in "$bench_dir"/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  [[ -n "$filter" && "$name" != *"$filter"* ]] && continue
+  echo "=== $name ==="
+  # ${arr[@]+...} guards empty-array expansion under `set -u` on bash < 4.4.
+  args=(${extra_args[@]+"${extra_args[@]}"})
+  [[ -n "$out_dir" ]] && args+=(--benchmark_out="$out_dir/$name.json" --benchmark_out_format=json)
+  if ! "$bench" ${args[@]+"${args[@]}"}; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+exit $status
