@@ -186,16 +186,17 @@ struct QueryMetrics {
 inline QueryMetrics RunPointQueries(SpatialIndex* index,
                                     const std::vector<Point>& queries) {
   QueryMetrics m;
-  index->ResetBlockAccesses();
+  QueryContext ctx;
   size_t found = 0;
   WallTimer t;
   for (const auto& q : queries) {
-    if (index->PointQuery(q).has_value()) ++found;
+    if (index->PointQuery(q, ctx).has_value()) ++found;
   }
   m.time_us_per_query = t.ElapsedMicros() / queries.size();
   m.blocks_per_query =
-      static_cast<double>(index->block_accesses()) / queries.size();
+      static_cast<double>(ctx.block_accesses) / queries.size();
   m.recall = static_cast<double>(found) / queries.size();
+  index->AggregateQueryContext(ctx);  // keep Stats()' avg depth fed
   return m;
 }
 
@@ -203,15 +204,16 @@ inline QueryMetrics RunWindowQueries(SpatialIndex* index,
                                      const std::vector<Rect>& windows,
                                      const std::vector<Point>* truth_data) {
   QueryMetrics m;
-  index->ResetBlockAccesses();
+  QueryContext ctx;
   std::vector<size_t> result_sizes(windows.size());
   WallTimer t;
   for (size_t i = 0; i < windows.size(); ++i) {
-    result_sizes[i] = index->WindowQuery(windows[i]).size();
+    result_sizes[i] = index->WindowQuery(windows[i], ctx).size();
   }
   m.time_us_per_query = t.ElapsedMicros() / windows.size();
   m.blocks_per_query =
-      static_cast<double>(index->block_accesses()) / windows.size();
+      static_cast<double>(ctx.block_accesses) / windows.size();
+  index->AggregateQueryContext(ctx);
   if (truth_data != nullptr) {
     // Learned-index answers have no false positives, so recall reduces to
     // |result| / |truth| (Section 6.2.3); exact indices score 1.
@@ -234,15 +236,16 @@ inline QueryMetrics RunKnnQueries(SpatialIndex* index,
                                   const std::vector<Point>& queries, size_t k,
                                   const std::vector<Point>* truth_data) {
   QueryMetrics m;
-  index->ResetBlockAccesses();
+  QueryContext ctx;
   std::vector<std::vector<Point>> results(queries.size());
   WallTimer t;
   for (size_t i = 0; i < queries.size(); ++i) {
-    results[i] = index->KnnQuery(queries[i], k);
+    results[i] = index->KnnQuery(queries[i], k, ctx);
   }
   m.time_us_per_query = t.ElapsedMicros() / queries.size();
   m.blocks_per_query =
-      static_cast<double>(index->block_accesses()) / queries.size();
+      static_cast<double>(ctx.block_accesses) / queries.size();
+  index->AggregateQueryContext(ctx);
   if (truth_data != nullptr) {
     double recall_sum = 0.0;
     for (size_t i = 0; i < queries.size(); ++i) {

@@ -54,15 +54,15 @@ int main(int argc, char** argv) {
 
   // Intersection query: "all buildings touching this map tile".
   const Rect tile{{0.40, 0.40}, {0.45, 0.45}};
-  index.ResetBlockAccesses();
+  QueryContext approx_ctx;
   WallTimer wq_timer;
-  const auto approx = index.WindowQuery(tile);
+  const auto approx = index.WindowQuery(tile, approx_ctx);
   const double approx_ms = wq_timer.ElapsedMicros() / 1000.0;
-  const auto approx_accesses = index.block_accesses();
+  const auto approx_accesses = approx_ctx.block_accesses;
 
-  index.ResetBlockAccesses();
+  QueryContext exact_ctx;
   WallTimer exact_timer;
-  const auto exact = index.WindowQueryExact(tile);
+  const auto exact = index.WindowQueryExact(tile, exact_ctx);
   const double exact_ms = exact_timer.ElapsedMicros() / 1000.0;
 
   std::printf("Tile [0.40,0.45]^2 intersection query:\n");
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(approx_accesses));
   std::printf("  exact:       %4zu buildings  %.3f ms  %llu block accesses\n",
               exact.size(), exact_ms,
-              static_cast<unsigned long long>(index.block_accesses()));
+              static_cast<unsigned long long>(exact_ctx.block_accesses));
   if (!exact.empty()) {
     std::printf("  recall: %.1f%%\n",
                 100.0 * approx.size() / exact.size());

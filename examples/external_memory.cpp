@@ -49,14 +49,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to attach disk storage\n");
       return 1;
     }
-    index.ResetBlockAccesses();
     disk->ResetStats();
+    QueryContext ctx;
     WallTimer timer;
     size_t results = 0;
-    for (const Rect& w : windows) results += index.WindowQuery(w).size();
+    for (const Rect& w : windows) results += index.WindowQuery(w, ctx).size();
     const double ms = timer.ElapsedMicros() / 1000.0 / windows.size();
     std::printf("%10.0f%% %14.2f %14.2f %9.1f%% %12.3f\n", fraction * 100,
-                static_cast<double>(index.block_accesses()) / windows.size(),
+                static_cast<double>(ctx.block_accesses) / windows.size(),
                 static_cast<double>(disk->disk_reads()) / windows.size(),
                 disk->pool_stats().HitRate() * 100, ms);
     (void)results;

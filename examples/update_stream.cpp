@@ -56,12 +56,15 @@ int main(int argc, char** argv) {
     }
 
     if (i % report_every == 0) {
-      // Probe query health: 1000 point queries over live objects.
+      // Probe query health: 1000 point queries over live objects. Costs
+      // go to a per-batch QueryContext (the context-free shims would work
+      // too, but would mix these probes into the index-wide aggregate).
       const auto probes = GenerateQueryPoints(live, 1000, 17 + i);
+      QueryContext probe_ctx;
       WallTimer t;
       size_t found = 0;
       for (const auto& q : probes) {
-        if (index.PointQuery(q).has_value()) ++found;
+        if (index.PointQuery(q, probe_ctx).has_value()) ++found;
       }
       std::printf("%8zu %12zu %14.2f %14.2f %10d\n", i, live.size(),
                   inserts == 0 ? 0.0 : insert_us / inserts,

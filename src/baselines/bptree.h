@@ -5,7 +5,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "storage/block_store.h"
+#include "core/query_context.h"
 
 namespace rsmi {
 
@@ -17,16 +17,15 @@ namespace rsmi {
 /// Implemented as implicit array levels: the leaf level stores the sorted
 /// values in pages of `fanout`; each inner level stores its children's
 /// first keys. A lookup descends one page per level, charging one block
-/// access per page to the shared counter.
+/// access per page to the caller's QueryContext. The structure is frozen
+/// after construction, so lookups are safe from any number of threads.
 class BPlusTree {
  public:
   BPlusTree() = default;
 
-  /// `values` must be sorted ascending. `counter` (may be null) receives
-  /// one access per level visited on each lookup.
-  BPlusTree(std::vector<double> values, int fanout,
-            const BlockStore* counter)
-      : fanout_(fanout), counter_(counter), leaves_(std::move(values)) {
+  /// `values` must be sorted ascending.
+  BPlusTree(std::vector<double> values, int fanout)
+      : fanout_(fanout), leaves_(std::move(values)) {
     std::vector<double>* prev = &leaves_;
     while (prev->size() > static_cast<size_t>(fanout_)) {
       std::vector<double> level;
@@ -41,18 +40,19 @@ class BPlusTree {
 
   /// Number of stored values strictly less than `v` (the rank of `v` in
   /// the rank space; ties resolved like the rank-space transform's sort).
-  /// Set `charge=false` for internal maintenance lookups that should not
-  /// count towards query/insert block accesses.
-  size_t RankLower(double v, bool charge = true) const {
-    if (charge) ChargeDescent();
+  /// `ctx` is charged one block access per level; pass nullptr for
+  /// internal maintenance lookups that should not count towards
+  /// query/insert block accesses.
+  size_t RankLower(double v, QueryContext* ctx) const {
+    ChargeDescent(ctx);
     return static_cast<size_t>(
         std::lower_bound(leaves_.begin(), leaves_.end(), v) -
         leaves_.begin());
   }
 
   /// Number of stored values less than or equal to `v` (upper rank bound).
-  size_t RankUpper(double v, bool charge = true) const {
-    if (charge) ChargeDescent();
+  size_t RankUpper(double v, QueryContext* ctx) const {
+    ChargeDescent(ctx);
     return static_cast<size_t>(
         std::upper_bound(leaves_.begin(), leaves_.end(), v) -
         leaves_.begin());
@@ -67,14 +67,13 @@ class BPlusTree {
   }
 
  private:
-  void ChargeDescent() const {
-    if (counter_ != nullptr && !leaves_.empty()) {
-      counter_->CountAccess(static_cast<uint64_t>(height()));
+  void ChargeDescent(QueryContext* ctx) const {
+    if (ctx != nullptr && !leaves_.empty()) {
+      ctx->CountBlockAccess(static_cast<uint64_t>(height()));
     }
   }
 
   int fanout_ = 100;
-  const BlockStore* counter_ = nullptr;
   std::vector<double> leaves_;
   std::vector<std::vector<double>> inner_;
 };

@@ -102,20 +102,37 @@ class RsmiView : public SpatialIndex {
   explicit RsmiView(std::shared_ptr<RsmiIndex> impl)
       : impl_(std::move(impl)) {}
   std::string Name() const override { return impl_->Name(); }
-  std::optional<PointEntry> PointQuery(const Point& q) const override {
-    return impl_->PointQuery(q);
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override {
+    return impl_->PointQuery(q, ctx);
   }
-  std::vector<Point> WindowQuery(const Rect& w) const override {
-    return impl_->WindowQuery(w);
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override {
+    return impl_->WindowQuery(w, ctx);
   }
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override {
-    return impl_->KnnQuery(q, k);
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override {
+    return impl_->KnnQuery(q, k, ctx);
   }
   void Insert(const Point& p) override { impl_->Insert(p); }
   bool Delete(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override { return impl_->Stats(); }
+  void AggregateQueryContext(const QueryContext& ctx) const override {
+    impl_->AggregateQueryContext(ctx);
+  }
   uint64_t block_accesses() const override { return impl_->block_accesses(); }
+  // Forwards the deprecated shim to the shared impl (see RsmiaView).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
   void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   const BlockStore& block_store() const override {
     return impl_->block_store();
   }

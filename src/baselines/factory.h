@@ -60,14 +60,20 @@ class RsmiaView : public SpatialIndex {
       : impl_(std::move(impl)) {}
 
   std::string Name() const override { return "RSMIa"; }
-  std::optional<PointEntry> PointQuery(const Point& q) const override {
-    return impl_->PointQuery(q);
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override {
+    return impl_->PointQuery(q, ctx);
   }
-  std::vector<Point> WindowQuery(const Rect& w) const override {
-    return impl_->WindowQueryExact(w);
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override {
+    return impl_->WindowQueryExact(w, ctx);
   }
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override {
-    return impl_->KnnQueryExact(q, k);
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override {
+    return impl_->KnnQueryExact(q, k, ctx);
   }
   void Insert(const Point& p) override { impl_->Insert(p); }
   bool Delete(const Point& p) override { return impl_->Delete(p); }
@@ -76,8 +82,20 @@ class RsmiaView : public SpatialIndex {
     s.name = Name();
     return s;
   }
+  void AggregateQueryContext(const QueryContext& ctx) const override {
+    impl_->AggregateQueryContext(ctx);
+  }
   uint64_t block_accesses() const override { return impl_->block_accesses(); }
+  // Forwards the deprecated shim to the shared impl (suppressed: the
+  // override must keep existing so legacy callers hit the shared RSMI).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
   void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   const BlockStore& block_store() const override {
     return impl_->block_store();
   }

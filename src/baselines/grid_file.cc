@@ -70,9 +70,10 @@ Rect GridFile::CellRect(int cx, int cy) const {
                data_bounds_.lo.y + span_y_ * (cy + 1) / side_}};
 }
 
-std::optional<PointEntry> GridFile::PointQuery(const Point& q) const {
+std::optional<PointEntry> GridFile::PointQuery(const Point& q,
+                                               QueryContext& ctx) const {
   for (int id : cells_[CellOf(q)]) {
-    const Block& b = store_.Access(id);
+    const Block& b = store_.Access(id, ctx);
     for (const auto& e : b.entries) {
       if (SamePosition(e.pt, q)) return e;
     }
@@ -80,7 +81,8 @@ std::optional<PointEntry> GridFile::PointQuery(const Point& q) const {
   return std::nullopt;
 }
 
-std::vector<Point> GridFile::WindowQuery(const Rect& w) const {
+std::vector<Point> GridFile::WindowQuery(const Rect& w,
+                                         QueryContext& ctx) const {
   std::vector<Point> out;
   const int x0 = CellX(w.lo.x);
   const int x1 = CellX(w.hi.x);
@@ -89,7 +91,7 @@ std::vector<Point> GridFile::WindowQuery(const Rect& w) const {
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) {
       for (int id : cells_[cy * side_ + cx]) {
-        const Block& b = store_.Access(id);
+        const Block& b = store_.Access(id, ctx);
         for (const auto& e : b.entries) {
           if (w.Contains(e.pt)) out.push_back(e.pt);
         }
@@ -99,7 +101,8 @@ std::vector<Point> GridFile::WindowQuery(const Rect& w) const {
   return out;
 }
 
-std::vector<Point> GridFile::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> GridFile::KnnQuery(const Point& q, size_t k,
+                                      QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   struct FirstLess {
     bool operator()(const std::pair<double, Point>& a,
@@ -138,7 +141,7 @@ std::vector<Point> GridFile::KnnQuery(const Point& q, size_t k) const {
           continue;
         }
         for (int id : cells_[cy * side_ + cx]) {
-          const Block& b = store_.Access(id);
+          const Block& b = store_.Access(id, ctx);
           for (const auto& e : b.entries) {
             const double d2 = SquaredDist(e.pt, q);
             if (heap.size() < k) {
@@ -168,34 +171,41 @@ std::vector<Point> GridFile::KnnQuery(const Point& q, size_t k) const {
 void GridFile::Insert(const Point& p) {
   // "Grid adds a new point p to the last block in the cell enclosing p"
   // (Section 6.2.5).
+  QueryContext ctx;
   auto& chain = cells_[CellOf(p)];
   if (chain.empty() ||
       static_cast<int>(store_.Peek(chain.back()).entries.size()) >=
           cfg_.block_capacity) {
     chain.push_back(store_.Alloc());
   } else {
-    store_.CountAccess();  // reading the last block to append
+    ctx.CountBlockAccess();  // reading the last block to append
   }
   Block& blk = store_.MutableBlock(chain.back());
   blk.entries.push_back(PointEntry{p, next_id_++});
   blk.mbr.Expand(p);
   ++live_points_;
+  AggregateQueryContext(ctx);
 }
 
 bool GridFile::Delete(const Point& p) {
+  QueryContext ctx;
+  bool removed = false;
   for (int id : cells_[CellOf(p)]) {
-    const Block& b = store_.Access(id);
+    const Block& b = store_.Access(id, ctx);
     for (size_t i = 0; i < b.entries.size(); ++i) {
       if (SamePosition(b.entries[i].pt, p)) {
         Block& mb = store_.MutableBlock(id);
         mb.entries[i] = mb.entries.back();
         mb.entries.pop_back();
         --live_points_;
-        return true;
+        removed = true;
+        break;
       }
     }
+    if (removed) break;
   }
-  return false;
+  AggregateQueryContext(ctx);
+  return removed;
 }
 
 IndexStats GridFile::Stats() const {

@@ -40,8 +40,8 @@ HrrTree::HrrTree(const std::vector<Point>& pts, const HrrConfig& cfg)
     }
     std::sort(xs.begin(), xs.end());
     std::sort(ys.begin(), ys.end());
-    btree_x_ = BPlusTree(std::move(xs), cfg_.node_fanout, &store_);
-    btree_y_ = BPlusTree(std::move(ys), cfg_.node_fanout, &store_);
+    btree_x_ = BPlusTree(std::move(xs), cfg_.node_fanout);
+    btree_y_ = BPlusTree(std::move(ys), cfg_.node_fanout);
   }
 
   // Pack B points per leaf in curve order.
@@ -94,7 +94,8 @@ HrrTree::HrrTree(const std::vector<Point>& pts, const HrrConfig& cfg)
 
 HrrTree::~HrrTree() = default;
 
-std::optional<PointEntry> HrrTree::PointQuery(const Point& q) const {
+std::optional<PointEntry> HrrTree::PointQuery(const Point& q,
+                                              QueryContext& ctx) const {
   // Standard R-tree point search on the original-space MBRs (may visit
   // several paths when MBRs overlap after insertions).
   std::vector<const Node*> stack = {root_.get()};
@@ -102,13 +103,13 @@ std::optional<PointEntry> HrrTree::PointQuery(const Point& q) const {
     const Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (const auto& e : b.entries) {
         if (SamePosition(e.pt, q)) return e;
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->orig_mbr.Contains(q)) stack.push_back(child.get());
     }
@@ -116,7 +117,8 @@ std::optional<PointEntry> HrrTree::PointQuery(const Point& q) const {
   return std::nullopt;
 }
 
-std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
+std::vector<Point> HrrTree::WindowQuery(const Rect& w,
+                                        QueryContext& ctx) const {
   // Map the window to rank space through the B+-trees (the HRR query
   // procedure), then traverse the rank-space MBRs; points are verified
   // against the original window at the leaves. The half-rank margins pair
@@ -124,13 +126,13 @@ std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
   // stay exact after updates (build points have integer ranks, which the
   // margins neither include nor exclude incorrectly).
   const double rx_lo =
-      static_cast<double>(btree_x_.RankLower(w.lo.x)) - 0.5;
+      static_cast<double>(btree_x_.RankLower(w.lo.x, &ctx)) - 0.5;
   const double rx_hi =
-      static_cast<double>(btree_x_.RankUpper(w.hi.x)) - 0.5;
+      static_cast<double>(btree_x_.RankUpper(w.hi.x, &ctx)) - 0.5;
   const double ry_lo =
-      static_cast<double>(btree_y_.RankLower(w.lo.y)) - 0.5;
+      static_cast<double>(btree_y_.RankLower(w.lo.y, &ctx)) - 0.5;
   const double ry_hi =
-      static_cast<double>(btree_y_.RankUpper(w.hi.y)) - 0.5;
+      static_cast<double>(btree_y_.RankUpper(w.hi.y, &ctx)) - 0.5;
   const Rect rank_w{{rx_lo, ry_lo}, {rx_hi, ry_hi}};
 
   std::vector<Point> out;
@@ -139,13 +141,13 @@ std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
     const Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (const auto& e : b.entries) {
         if (w.Contains(e.pt)) out.push_back(e.pt);
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->rank_mbr.Intersects(rank_w)) stack.push_back(child.get());
     }
@@ -153,7 +155,8 @@ std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
   return out;
 }
 
-std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k,
+                                     QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   struct Cand {
     double d2;
@@ -181,7 +184,7 @@ std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k) const {
     pq.pop();
     if (heap.size() >= k && c.d2 >= kth()) break;
     if (c.node->leaf) {
-      const Block& b = store_.Access(c.node->block);
+      const Block& b = store_.Access(c.node->block, ctx);
       for (const auto& e : b.entries) {
         const double d2 = SquaredDist(e.pt, q);
         if (heap.size() < k) {
@@ -193,7 +196,7 @@ std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k) const {
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : c.node->children) {
       pq.push({child->orig_mbr.MinDist2(q), child.get()});
     }
@@ -216,13 +219,14 @@ void HrrTree::Insert(const Point& p) {
   // (its position between the frozen build ranks), which extend the rank
   // MBRs and keep window queries exact — see the margin comment in
   // WindowQuery.
-  const double rx = static_cast<double>(btree_x_.RankLower(p.x)) - 0.5;
-  const double ry = static_cast<double>(btree_y_.RankLower(p.y)) - 0.5;
+  QueryContext ctx;
+  const double rx = static_cast<double>(btree_x_.RankLower(p.x, &ctx)) - 0.5;
+  const double ry = static_cast<double>(btree_y_.RankLower(p.y, &ctx)) - 0.5;
 
   Node* cur = root_.get();
   std::vector<Node*> path;
   while (!cur->leaf) {
-    store_.CountAccess();
+    ctx.CountNodePage();
     path.push_back(cur);
     Node* best = nullptr;
     double best_grow = kInf;
@@ -243,7 +247,7 @@ void HrrTree::Insert(const Point& p) {
   path.push_back(cur);
 
   Block& blk = store_.MutableBlock(cur->block);
-  store_.CountAccess();
+  ctx.CountBlockAccess();
   if (static_cast<int>(blk.entries.size()) < cfg_.block_capacity) {
     blk.entries.push_back(PointEntry{p, next_id_++});
     blk.mbr.Expand(p);
@@ -274,11 +278,11 @@ void HrrTree::Insert(const Point& p) {
     // lookups are not charged as block accesses.
     auto expand_rank = [this](Rect* mbr, const Point& pt) {
       mbr->Expand(Point{
-          static_cast<double>(btree_x_.RankLower(pt.x, false)) - 0.5,
-          static_cast<double>(btree_y_.RankLower(pt.y, false)) - 0.5});
+          static_cast<double>(btree_x_.RankLower(pt.x, nullptr)) - 0.5,
+          static_cast<double>(btree_y_.RankLower(pt.y, nullptr)) - 0.5});
       mbr->Expand(Point{
-          static_cast<double>(btree_x_.RankUpper(pt.x, false)) - 0.5,
-          static_cast<double>(btree_y_.RankUpper(pt.y, false)) - 0.5});
+          static_cast<double>(btree_x_.RankUpper(pt.x, nullptr)) - 0.5,
+          static_cast<double>(btree_y_.RankUpper(pt.y, nullptr)) - 0.5});
     };
     cur->rank_mbr = Rect::Empty();
     for (const auto& e : blk.entries) expand_rank(&cur->rank_mbr, e.pt);
@@ -328,31 +332,35 @@ void HrrTree::Insert(const Point& p) {
     n->rank_mbr.Expand(Point{rx, ry});
   }
   ++live_points_;
+  AggregateQueryContext(ctx);
 }
 
 bool HrrTree::Delete(const Point& p) {
+  QueryContext ctx;
   std::vector<Node*> stack = {root_.get()};
   while (!stack.empty()) {
     Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (size_t i = 0; i < b.entries.size(); ++i) {
         if (SamePosition(b.entries[i].pt, p)) {
           Block& mb = store_.MutableBlock(node->block);
           mb.entries[i] = mb.entries.back();
           mb.entries.pop_back();
           --live_points_;
+          AggregateQueryContext(ctx);
           return true;
         }
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->orig_mbr.Contains(p)) stack.push_back(child.get());
     }
   }
+  AggregateQueryContext(ctx);
   return false;
 }
 

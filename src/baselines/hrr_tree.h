@@ -37,15 +37,19 @@ class HrrTree : public SpatialIndex {
 
   std::string Name() const override { return "HRR"; }
 
-  std::optional<PointEntry> PointQuery(const Point& q) const override;
-  std::vector<Point> WindowQuery(const Rect& w) const override;
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
   IndexStats Stats() const override;
-  uint64_t block_accesses() const override { return store_.accesses(); }
-  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
   const BlockStore& block_store() const override { return store_; }
 
   /// Checks the packed R-tree invariants: child MBRs (in both rank and

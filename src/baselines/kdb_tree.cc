@@ -144,10 +144,11 @@ std::unique_ptr<KdbTree::Node> KdbTree::Build(std::vector<PointEntry> pts,
   return node;
 }
 
-std::optional<PointEntry> KdbTree::PointQuery(const Point& q) const {
+std::optional<PointEntry> KdbTree::PointQuery(const Point& q,
+                                              QueryContext& ctx) const {
   const Node* cur = root_.get();
   while (cur != nullptr && !cur->leaf) {
-    store_.CountAccess();  // region page read
+    ctx.CountNodePage();  // region page read
     const Node* next = nullptr;
     for (const auto& child : cur->children) {
       if (RegionOwns(child->region, q)) {
@@ -158,27 +159,28 @@ std::optional<PointEntry> KdbTree::PointQuery(const Point& q) const {
     cur = next;
   }
   if (cur == nullptr) return std::nullopt;
-  const Block& b = store_.Access(cur->block);
+  const Block& b = store_.Access(cur->block, ctx);
   for (const auto& e : b.entries) {
     if (SamePosition(e.pt, q)) return e;
   }
   return std::nullopt;
 }
 
-std::vector<Point> KdbTree::WindowQuery(const Rect& w) const {
+std::vector<Point> KdbTree::WindowQuery(const Rect& w,
+                                        QueryContext& ctx) const {
   std::vector<Point> out;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (const auto& e : b.entries) {
         if (w.Contains(e.pt)) out.push_back(e.pt);
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->region.Intersects(w)) stack.push_back(child.get());
     }
@@ -186,7 +188,8 @@ std::vector<Point> KdbTree::WindowQuery(const Rect& w) const {
   return out;
 }
 
-std::vector<Point> KdbTree::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> KdbTree::KnnQuery(const Point& q, size_t k,
+                                     QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   // Best-first search [40] over the disjoint regions.
   struct Cand {
@@ -215,7 +218,7 @@ std::vector<Point> KdbTree::KnnQuery(const Point& q, size_t k) const {
     pq.pop();
     if (heap.size() >= k && c.d2 >= kth()) break;
     if (c.node->leaf) {
-      const Block& b = store_.Access(c.node->block);
+      const Block& b = store_.Access(c.node->block, ctx);
       for (const auto& e : b.entries) {
         const double d2 = SquaredDist(e.pt, q);
         if (heap.size() < k) {
@@ -227,7 +230,7 @@ std::vector<Point> KdbTree::KnnQuery(const Point& q, size_t k) const {
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : c.node->children) {
       pq.push({child->region.MinDist2(q), child.get()});
     }
@@ -400,11 +403,11 @@ void KdbTree::SplitByPlane(KdbTree* tree, std::unique_ptr<Node> child,
   *right = rnode->children.empty() ? nullptr : std::move(rnode);
 }
 
-std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node,
-                                                  const Point& p) {
+std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node, const Point& p,
+                                                  QueryContext& ctx) {
   if (node->leaf) {
     Block& blk = store_.MutableBlock(node->block);
-    store_.CountAccess();
+    ctx.CountBlockAccess();
     if (static_cast<int>(blk.entries.size()) < cfg_.block_capacity) {
       blk.entries.push_back(PointEntry{p, next_id_});
       blk.mbr.Expand(p);
@@ -418,7 +421,7 @@ std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node,
     tb.mbr.Expand(p);
     return sibling;
   }
-  store_.CountAccess();
+  ctx.CountNodePage();
   Node* child = nullptr;
   for (const auto& c : node->children) {
     if (RegionOwns(c->region, p)) {
@@ -427,7 +430,7 @@ std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node,
     }
   }
   if (child == nullptr) return nullptr;  // cannot happen: regions tile space
-  auto sibling = InsertRec(child, p);
+  auto sibling = InsertRec(child, p, ctx);
   if (sibling != nullptr) node->children.push_back(std::move(sibling));
   if (node->children.size() > static_cast<size_t>(cfg_.fanout)) {
     return SplitNode(node);
@@ -436,7 +439,8 @@ std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node,
 }
 
 void KdbTree::Insert(const Point& p) {
-  auto sibling = InsertRec(root_.get(), p);
+  QueryContext ctx;
+  auto sibling = InsertRec(root_.get(), p, ctx);
   if (sibling != nullptr) {
     auto new_root = std::make_unique<Node>();
     new_root->leaf = false;
@@ -447,12 +451,14 @@ void KdbTree::Insert(const Point& p) {
   }
   ++next_id_;
   ++live_points_;
+  AggregateQueryContext(ctx);
 }
 
 bool KdbTree::Delete(const Point& p) {
+  QueryContext ctx;
   Node* cur = root_.get();
   while (cur != nullptr && !cur->leaf) {
-    store_.CountAccess();
+    ctx.CountNodePage();
     Node* next = nullptr;
     for (const auto& child : cur->children) {
       if (RegionOwns(child->region, p)) {
@@ -462,8 +468,12 @@ bool KdbTree::Delete(const Point& p) {
     }
     cur = next;
   }
-  if (cur == nullptr) return false;
-  const Block& b = store_.Access(cur->block);
+  if (cur == nullptr) {
+    AggregateQueryContext(ctx);
+    return false;
+  }
+  const Block& b = store_.Access(cur->block, ctx);
+  AggregateQueryContext(ctx);
   for (size_t i = 0; i < b.entries.size(); ++i) {
     if (SamePosition(b.entries[i].pt, p)) {
       Block& mb = store_.MutableBlock(cur->block);

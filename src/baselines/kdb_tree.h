@@ -34,15 +34,19 @@ class KdbTree : public SpatialIndex {
 
   std::string Name() const override { return "KDB"; }
 
-  std::optional<PointEntry> PointQuery(const Point& q) const override;
-  std::vector<Point> WindowQuery(const Rect& w) const override;
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
   IndexStats Stats() const override;
-  uint64_t block_accesses() const override { return store_.accesses(); }
-  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
   const BlockStore& block_store() const override { return store_; }
 
   /// Checks the defining K-D-B invariants: child regions are pairwise
@@ -60,7 +64,8 @@ class KdbTree : public SpatialIndex {
 
   /// Inserts into the subtree; returns a new right sibling if the node had
   /// to split (the caller adds it next to `node`).
-  std::unique_ptr<Node> InsertRec(Node* node, const Point& p);
+  std::unique_ptr<Node> InsertRec(Node* node, const Point& p,
+                                  QueryContext& ctx);
   std::unique_ptr<Node> SplitNode(Node* node);
   /// Splits `child` by plane dim=v into left/right pieces (either may be
   /// null if empty) — the K-D-B downward split.

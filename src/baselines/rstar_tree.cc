@@ -125,18 +125,21 @@ RStarTree::RStarTree(const std::vector<Point>& pts, const RStarConfig& cfg)
   root_->block = store_.Alloc();
   // Tuple-at-a-time construction ("created by means of top-down
   // insertions", Section 6.2.2) — the reason RR* builds slowly in Fig. 7b.
+  QueryContext ctx;
   for (const auto& p : pts) {
-    InsertEntry(PointEntry{p, next_id_++}, /*allow_reinsert=*/true);
+    InsertEntry(PointEntry{p, next_id_++}, /*allow_reinsert=*/true, ctx);
     ++live_points_;
   }
+  AggregateQueryContext(ctx);
 }
 
 RStarTree::~RStarTree() = default;
 
-RStarTree::Node* RStarTree::ChooseSubtree(const Point& p) const {
+RStarTree::Node* RStarTree::ChooseSubtree(const Point& p,
+                                          QueryContext& ctx) const {
   Node* cur = root_.get();
   while (!cur->leaf) {
-    store_.CountAccess();
+    ctx.CountNodePage();
     Node* best = nullptr;
     double best_primary = kInf;
     double best_area = kInf;
@@ -295,7 +298,8 @@ void RStarTree::SplitUpwards(Node* node) {
   }
 }
 
-void RStarTree::HandleLeafOverflow(Node* leaf, bool allow_reinsert) {
+void RStarTree::HandleLeafOverflow(Node* leaf, bool allow_reinsert,
+                                   QueryContext& ctx) {
   if (allow_reinsert && leaf->parent != nullptr) {
     // Forced reinsertion (R* overflow treatment): remove the 30% of
     // entries farthest from the node's center and reinsert them.
@@ -317,43 +321,47 @@ void RStarTree::HandleLeafOverflow(Node* leaf, bool allow_reinsert) {
       RecomputeMbr(cur);
     }
     for (const auto& e : evicted) {
-      InsertEntry(e, /*allow_reinsert=*/false);
+      InsertEntry(e, /*allow_reinsert=*/false, ctx);
     }
     return;
   }
   SplitUpwards(leaf);
 }
 
-void RStarTree::InsertEntry(const PointEntry& e, bool allow_reinsert) {
-  Node* leaf = ChooseSubtree(e.pt);
+void RStarTree::InsertEntry(const PointEntry& e, bool allow_reinsert,
+                            QueryContext& ctx) {
+  Node* leaf = ChooseSubtree(e.pt, ctx);
   Block& blk = store_.MutableBlock(leaf->block);
-  store_.CountAccess();
+  ctx.CountBlockAccess();
   blk.entries.push_back(e);
   blk.mbr.Expand(e.pt);
   ExpandUpwards(leaf, e.pt);
   if (static_cast<int>(blk.entries.size()) > cfg_.block_capacity) {
-    HandleLeafOverflow(leaf, allow_reinsert);
+    HandleLeafOverflow(leaf, allow_reinsert, ctx);
   }
 }
 
 void RStarTree::Insert(const Point& p) {
-  InsertEntry(PointEntry{p, next_id_++}, /*allow_reinsert=*/true);
+  QueryContext ctx;
+  InsertEntry(PointEntry{p, next_id_++}, /*allow_reinsert=*/true, ctx);
   ++live_points_;
+  AggregateQueryContext(ctx);
 }
 
-std::optional<PointEntry> RStarTree::PointQuery(const Point& q) const {
+std::optional<PointEntry> RStarTree::PointQuery(const Point& q,
+                                                QueryContext& ctx) const {
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (const auto& e : b.entries) {
         if (SamePosition(e.pt, q)) return e;
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->mbr.Contains(q)) stack.push_back(child.get());
     }
@@ -361,20 +369,21 @@ std::optional<PointEntry> RStarTree::PointQuery(const Point& q) const {
   return std::nullopt;
 }
 
-std::vector<Point> RStarTree::WindowQuery(const Rect& w) const {
+std::vector<Point> RStarTree::WindowQuery(const Rect& w,
+                                          QueryContext& ctx) const {
   std::vector<Point> out;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (const auto& e : b.entries) {
         if (w.Contains(e.pt)) out.push_back(e.pt);
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->mbr.Intersects(w)) stack.push_back(child.get());
     }
@@ -382,7 +391,8 @@ std::vector<Point> RStarTree::WindowQuery(const Rect& w) const {
   return out;
 }
 
-std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k,
+                                       QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   struct Cand {
     double d2;
@@ -410,7 +420,7 @@ std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
     pq.pop();
     if (heap.size() >= k && c.d2 >= kth()) break;
     if (c.node->leaf) {
-      const Block& b = store_.Access(c.node->block);
+      const Block& b = store_.Access(c.node->block, ctx);
       for (const auto& e : b.entries) {
         const double d2 = SquaredDist(e.pt, q);
         if (heap.size() < k) {
@@ -422,7 +432,7 @@ std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : c.node->children) {
       pq.push({child->mbr.MinDist2(q), child.get()});
     }
@@ -441,6 +451,7 @@ std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
 
 bool RStarTree::Delete(const Point& p) {
   // Find the leaf containing p.
+  QueryContext ctx;
   std::vector<Node*> stack = {root_.get()};
   Node* found_leaf = nullptr;
   size_t found_pos = 0;
@@ -448,7 +459,7 @@ bool RStarTree::Delete(const Point& p) {
     Node* node = stack.back();
     stack.pop_back();
     if (node->leaf) {
-      const Block& b = store_.Access(node->block);
+      const Block& b = store_.Access(node->block, ctx);
       for (size_t i = 0; i < b.entries.size(); ++i) {
         if (SamePosition(b.entries[i].pt, p)) {
           found_leaf = node;
@@ -458,11 +469,12 @@ bool RStarTree::Delete(const Point& p) {
       }
       continue;
     }
-    store_.CountAccess();
+    ctx.CountNodePage();
     for (const auto& child : node->children) {
       if (child->mbr.Contains(p)) stack.push_back(child.get());
     }
   }
+  AggregateQueryContext(ctx);
   if (found_leaf == nullptr) return false;
   Block& blk = store_.MutableBlock(found_leaf->block);
   blk.entries[found_pos] = blk.entries.back();

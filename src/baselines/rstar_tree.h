@@ -36,15 +36,19 @@ class RStarTree : public SpatialIndex {
 
   std::string Name() const override { return "RR*"; }
 
-  std::optional<PointEntry> PointQuery(const Point& q) const override;
-  std::vector<Point> WindowQuery(const Rect& w) const override;
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
   IndexStats Stats() const override;
-  uint64_t block_accesses() const override { return store_.accesses(); }
-  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
   const BlockStore& block_store() const override { return store_; }
 
   /// Checks the R-tree invariants: every child MBR (and every stored
@@ -55,11 +59,13 @@ class RStarTree : public SpatialIndex {
  private:
   struct Node;
 
-  void InsertEntry(const PointEntry& e, bool allow_reinsert);
-  Node* ChooseSubtree(const Point& p) const;
+  void InsertEntry(const PointEntry& e, bool allow_reinsert,
+                   QueryContext& ctx);
+  Node* ChooseSubtree(const Point& p, QueryContext& ctx) const;
   /// Handles an overflowing leaf: forced reinsert on first overflow per
-  /// insertion, split otherwise. Splits propagate upward.
-  void HandleLeafOverflow(Node* leaf, bool allow_reinsert);
+  /// insertion, split otherwise. Splits propagate upward. Reinserted
+  /// entries charge their descents to `ctx`.
+  void HandleLeafOverflow(Node* leaf, bool allow_reinsert, QueryContext& ctx);
   void SplitUpwards(Node* node);
   std::unique_ptr<Node> SplitNode(Node* node);
   void AttachSibling(Node* node, std::unique_ptr<Node> sibling);

@@ -178,9 +178,13 @@ double ZmIndex::NormZ(uint64_t z) const {
   return static_cast<double>(z) / zmax;
 }
 
-ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z) const {
+ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z,
+                                          QueryContext& ctx) const {
   Prediction out;
   if (n_build_ == 0 || root_ == nullptr) return out;
+  // One three-level RMI descent (root, mid, leaf model).
+  ctx.model_invocations += 3;
+  ++ctx.descents;
   const double zn = NormZ(z);
   const double p0 = root_->Predict1(zn);
   const size_t b1 = std::min<size_t>(
@@ -211,10 +215,11 @@ ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z) const {
   return out;
 }
 
-std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
+std::optional<PointEntry> ZmIndex::PointQuery(const Point& q,
+                                              QueryContext& ctx) const {
   if (n_build_ == 0 && !has_insertions_) return std::nullopt;
   const uint64_t zq = ZValue(q);
-  const Prediction pred = PredictBlock(zq);
+  const Prediction pred = PredictBlock(zq, ctx);
   int lo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
   int hi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
 
@@ -223,7 +228,7 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
   int cand = -1;
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
-    const Block& b = store_.Access(mid);
+    const Block& b = store_.Access(mid, ctx);
     if (b.entries.empty() || zq < b.cv_lo) {
       hi = mid - 1;
     } else if (zq > b.cv_hi) {
@@ -236,7 +241,8 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
   auto scan_run = [&](int start) -> std::optional<PointEntry> {
     // Scan the candidate block and the overflow run spliced after it.
     for (int cur = start; cur >= 0;) {
-      const Block& b = cur == start ? store_.Peek(cur) : store_.Access(cur);
+      const Block& b =
+          cur == start ? store_.Peek(cur) : store_.Access(cur, ctx);
       for (const auto& e : b.entries) {
         if (SamePosition(e.pt, q)) return e;
       }
@@ -253,7 +259,7 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
          b >= 0 && !store_.Peek(b).entries.empty() &&
          store_.Peek(b).cv_hi >= zq;
          --b) {
-      if (b != cand) store_.CountAccess();
+      if (b != cand) ctx.CountBlockAccess();
       if (auto r = scan_run(b)) return r;
       if (store_.Peek(b).cv_lo > zq) break;
     }
@@ -261,7 +267,7 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
          b < num_build_blocks_ && !store_.Peek(b).entries.empty() &&
          store_.Peek(b).cv_lo <= zq;
          ++b) {
-      store_.CountAccess();
+      ctx.CountBlockAccess();
       if (auto r = scan_run(b)) return r;
     }
     if (!has_insertions_) return std::nullopt;
@@ -275,7 +281,7 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
   const int flo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
   const int fhi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
   std::optional<PointEntry> found;
-  store_.ScanRangeUntil(flo, fhi, [&](const Block& blk) {
+  store_.ScanRangeUntil(flo, fhi, ctx, [&](const Block& blk) {
     for (const auto& e : blk.entries) {
       if (SamePosition(e.pt, q)) {
         found = e;
@@ -287,21 +293,23 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q) const {
   return found;
 }
 
-std::pair<int, int> ZmIndex::WindowBlockRange(const Rect& w) const {
+std::pair<int, int> ZmIndex::WindowBlockRange(const Rect& w,
+                                              QueryContext& ctx) const {
   // Z-curve: the window's min/max curve values are at the bottom-left and
   // top-right corners (Section 4.2).
-  const Prediction pl = PredictBlock(ZValue(w.lo));
-  const Prediction ph = PredictBlock(ZValue(w.hi));
+  const Prediction pl = PredictBlock(ZValue(w.lo), ctx);
+  const Prediction ph = PredictBlock(ZValue(w.hi), ctx);
   const int begin = Clamp(pl.block - pl.err_below, 0, num_build_blocks_ - 1);
   const int end = Clamp(ph.block + ph.err_above, 0, num_build_blocks_ - 1);
   return {begin, std::max(begin, end)};
 }
 
-std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
+std::vector<Point> ZmIndex::WindowQuery(const Rect& w,
+                                        QueryContext& ctx) const {
   if (n_build_ == 0 && !has_insertions_) return {};
-  const auto [begin, end] = WindowBlockRange(w);
+  const auto [begin, end] = WindowBlockRange(w, ctx);
   std::vector<Point> out;
-  store_.ScanRange(begin, end, [&](const Block& blk) {
+  store_.ScanRange(begin, end, ctx, [&](const Block& blk) {
     for (const auto& e : blk.entries) {
       if (w.Contains(e.pt)) out.push_back(e.pt);
     }
@@ -309,7 +317,8 @@ std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
   return out;
 }
 
-std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k,
+                                     QueryContext& ctx) const {
   // The paper: "ZM does not come with a kNN algorithm, so we use our kNN
   // algorithm for it" (Section 6.2.4) — Algorithm 3 on the ZM layout.
   if (k == 0 || live_points_ == 0) return {};
@@ -338,11 +347,11 @@ std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
   for (int round = 0; round < 64; ++round) {
     const Rect wq{{q.x - width / 2, q.y - height / 2},
                   {q.x + width / 2, q.y + height / 2}};
-    const auto [begin, end] = WindowBlockRange(wq);
+    const auto [begin, end] = WindowBlockRange(wq, ctx);
     store_.ScanChainRaw(begin, end, [&](int id, const Block& blk) {
       if (!visited.insert(id).second) return false;
       if (heap.size() >= k && blk.mbr.MinDist2(q) >= kth()) return false;
-      const Block& b = store_.Access(id);
+      const Block& b = store_.Access(id, ctx);
       for (const auto& e : b.entries) {
         const double d2 = SquaredDist(e.pt, q);
         if (heap.size() < k) {
@@ -383,13 +392,14 @@ std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
 void ZmIndex::Insert(const Point& p) {
   // Update handling adopted from RSMI (Section 6.2.5): place into the
   // predicted block, overflow into an inserted block spliced after it.
+  QueryContext ctx;
   const uint64_t zp = ZValue(p);
-  const Prediction pred = PredictBlock(zp);
+  const Prediction pred = PredictBlock(zp, ctx);
   const int gid = Clamp(pred.block, 0, num_build_blocks_ - 1);
   int placed = -1;
   int last = gid;
   for (int cur = gid;;) {
-    const Block& b = store_.Access(cur);
+    const Block& b = store_.Access(cur, ctx);
     if (static_cast<int>(b.entries.size()) < cfg_.block_capacity) {
       placed = cur;
       break;
@@ -412,17 +422,19 @@ void ZmIndex::Insert(const Point& p) {
   blk.mbr.Expand(p);
   ++live_points_;
   has_insertions_ = true;
+  AggregateQueryContext(ctx);
 }
 
 bool ZmIndex::Delete(const Point& p) {
+  QueryContext ctx;
   const uint64_t zp = ZValue(p);
-  const Prediction pred = PredictBlock(zp);
+  const Prediction pred = PredictBlock(zp, ctx);
   const int lo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
   const int hi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
   int found_id = -1;
   size_t found_pos = 0;
   store_.ScanChainRaw(lo, hi, [&](int id, const Block& b) {
-    store_.CountAccess();
+    ctx.CountBlockAccess();
     for (size_t i = 0; i < b.entries.size(); ++i) {
       if (SamePosition(b.entries[i].pt, p)) {
         found_id = id;
@@ -432,6 +444,7 @@ bool ZmIndex::Delete(const Point& p) {
     }
     return false;
   });
+  AggregateQueryContext(ctx);
   if (found_id < 0) return false;
   Block& blk = store_.MutableBlock(found_id);
   blk.entries[found_pos] = blk.entries.back();

@@ -52,15 +52,19 @@ class ZmIndex : public SpatialIndex {
 
   std::string Name() const override { return "ZM"; }
 
-  std::optional<PointEntry> PointQuery(const Point& q) const override;
-  std::vector<Point> WindowQuery(const Rect& w) const override;
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
   IndexStats Stats() const override;
-  uint64_t block_accesses() const override { return store_.accesses(); }
-  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
   const BlockStore& block_store() const override { return store_; }
 
   /// Maximum leaf-model error bounds in blocks (Table 4).
@@ -84,15 +88,16 @@ class ZmIndex : public SpatialIndex {
   double NormZ(uint64_t z) const;
 
   /// Model descent: predicted block plus that leaf model's error bounds.
+  /// Charges the three-level RMI descent to `ctx`.
   struct Prediction {
     int block = 0;
     int err_below = 0;
     int err_above = 0;
   };
-  Prediction PredictBlock(uint64_t z) const;
+  Prediction PredictBlock(uint64_t z, QueryContext& ctx) const;
 
   /// Blocks to scan for a window query (corner predictions, Alg. 2 style).
-  std::pair<int, int> WindowBlockRange(const Rect& w) const;
+  std::pair<int, int> WindowBlockRange(const Rect& w, QueryContext& ctx) const;
 
   ZmConfig cfg_;
   BlockStore store_;

@@ -40,22 +40,43 @@ class RsmiExtentIndex {
 
   /// Objects intersecting `w` (approximate: inherits the underlying
   /// window query's recall; never returns a non-intersecting object).
-  std::vector<Rect> WindowQuery(const Rect& w) const {
-    return Filter(index_->WindowQueryEntries(Expand(w)), w);
+  /// Costs are charged to `ctx`; concurrent calls are safe.
+  std::vector<Rect> WindowQuery(const Rect& w, QueryContext& ctx) const {
+    return Filter(index_->WindowQueryEntries(Expand(w), ctx), w);
   }
 
   /// Exact variant via the RSMIa traversal.
-  std::vector<Rect> WindowQueryExact(const Rect& w) const {
-    return Filter(index_->WindowQueryExactEntries(Expand(w)), w);
+  std::vector<Rect> WindowQueryExact(const Rect& w, QueryContext& ctx) const {
+    return Filter(index_->WindowQueryExactEntries(Expand(w), ctx), w);
   }
 
   /// Objects containing the query point (stabbing query).
+  std::vector<Rect> StabQuery(const Point& p, QueryContext& ctx) const {
+    return WindowQueryExact(Rect{p, p}, ctx);
+  }
+
+  /// Context-free shims (\deprecated — fold into the legacy aggregate
+  /// like the SpatialIndex wrappers).
+  std::vector<Rect> WindowQuery(const Rect& w) const {
+    QueryContext ctx;
+    auto r = WindowQuery(w, ctx);
+    index_->AggregateQueryContext(ctx);
+    return r;
+  }
+  std::vector<Rect> WindowQueryExact(const Rect& w) const {
+    QueryContext ctx;
+    auto r = WindowQueryExact(w, ctx);
+    index_->AggregateQueryContext(ctx);
+    return r;
+  }
   std::vector<Rect> StabQuery(const Point& p) const {
-    return WindowQueryExact(Rect{p, p});
+    QueryContext ctx;
+    auto r = StabQuery(p, ctx);
+    index_->AggregateQueryContext(ctx);
+    return r;
   }
 
   uint64_t block_accesses() const { return index_->block_accesses(); }
-  void ResetBlockAccesses() const { index_->ResetBlockAccesses(); }
   const RsmiIndex& index() const { return *index_; }
 
  private:

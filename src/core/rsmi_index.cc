@@ -363,12 +363,16 @@ int RsmiIndex::PredictLeafBlock(const Node& leaf, const Point& p) const {
   return Clamp(static_cast<int>(std::lround(pred * (m - 1))), 0, m - 1);
 }
 
-const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p) const {
-  return const_cast<RsmiIndex*>(this)->DescendNearestMutable(p, nullptr);
+const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p,
+                                                 QueryContext& ctx) const {
+  // Safe const_cast: with a null path the mutable descent only reads the
+  // tree; all bookkeeping goes into the caller's context.
+  return const_cast<RsmiIndex*>(this)->DescendNearestMutable(p, nullptr, ctx);
 }
 
 RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
-                                                  std::vector<Node*>* path) {
+                                                  std::vector<Node*>* path,
+                                                  QueryContext& ctx) {
   Node* cur = root_.get();
   uint64_t depth = 0;
   while (!cur->leaf) {
@@ -392,8 +396,8 @@ RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
     cur = child;  // internal nodes always have at least one child
   }
   if (path != nullptr) path->push_back(cur);
-  descend_invocations_ += depth + 1;
-  ++descend_count_;
+  ctx.model_invocations += depth + 1;
+  ++ctx.descents;
   return cur;
 }
 
@@ -409,23 +413,24 @@ std::pair<int, int> RsmiIndex::LeafPredictRange(const Node& leaf,
 // Point queries (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-std::optional<PointEntry> RsmiIndex::PointQuery(const Point& q) const {
+std::optional<PointEntry> RsmiIndex::PointQuery(const Point& q,
+                                                QueryContext& ctx) const {
   // Nearest-slot descent: matches the path insertions take, so points
   // inserted into previously empty regions stay findable (Section 5).
-  const Node* leaf = DescendNearest(q);
+  const Node* leaf = DescendNearest(q, ctx);
   int block_id = -1;
   size_t pos = 0;
-  if (FindEntry(*leaf, q, &block_id, &pos)) {
+  if (FindEntry(*leaf, q, ctx, &block_id, &pos)) {
     return store_.Peek(block_id).entries[pos];
   }
-  if (const PointEntry* e = FindInBuffer(*leaf, q)) return *e;
+  if (const PointEntry* e = FindInBuffer(*leaf, q, ctx)) return *e;
   return std::nullopt;
 }
 
-const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf,
-                                          const Point& q) const {
+const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf, const Point& q,
+                                          QueryContext& ctx) const {
   if (leaf.buffer.empty()) return nullptr;
-  store_.CountAccess();  // the buffer occupies one block-sized page
+  ctx.CountBlockAccess();  // the buffer occupies one block-sized page
   const auto it = std::lower_bound(
       leaf.buffer.begin(), leaf.buffer.end(), q,
       [](const PointEntry& a, const Point& b) {
@@ -435,7 +440,8 @@ const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf,
   return nullptr;
 }
 
-bool RsmiIndex::FindEntry(const Node& leaf, const Point& q, int* block_id,
+bool RsmiIndex::FindEntry(const Node& leaf, const Point& q,
+                          QueryContext& ctx, int* block_id,
                           size_t* pos) const {
   // Expand outward from the predicted block within the error interval —
   // the predicted block is right most of the time, which is what makes
@@ -447,7 +453,7 @@ bool RsmiIndex::FindEntry(const Node& leaf, const Point& q, int* block_id,
   auto scan_run = [&](int local) {
     // Scans one build block plus the overflow run spliced after it.
     for (int cur = leaf.first_block + local; cur >= 0;) {
-      const Block& b = store_.Access(cur);
+      const Block& b = store_.Access(cur, ctx);
       for (size_t i = 0; i < b.entries.size(); ++i) {
         if (SamePosition(b.entries[i].pt, q)) {
           *block_id = cur;
@@ -479,7 +485,8 @@ bool RsmiIndex::FindEntry(const Node& leaf, const Point& q, int* block_id,
 // Window queries (Algorithm 2)
 // ---------------------------------------------------------------------------
 
-std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w) const {
+std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w,
+                                                QueryContext& ctx) const {
   // For the Z-curve, the window's minimum/maximum curve values are at the
   // bottom-left and top-right corners; for the Hilbert curve they lie on
   // the boundary, so all four corners are used heuristically (Section 4.2).
@@ -499,7 +506,7 @@ std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w) const {
   int begin = -1;
   int end = -1;
   for (size_t i = 0; i < ncorners; ++i) {
-    const Node* leaf = DescendNearest(corners[i]);
+    const Node* leaf = DescendNearest(corners[i], ctx);
     const auto [lo, hi] = LeafPredictRange(*leaf, corners[i]);
     if (begin < 0 || store_.SeqOf(lo) < store_.SeqOf(begin)) begin = lo;
     if (end < 0 || store_.SeqOf(hi) > store_.SeqOf(end)) end = hi;
@@ -507,53 +514,57 @@ std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w) const {
   return {begin, end};
 }
 
-std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
+std::vector<Point> RsmiIndex::WindowQuery(const Rect& w,
+                                          QueryContext& ctx) const {
   std::vector<Point> out;
-  const auto entries = WindowQueryEntries(w);
+  const auto entries = WindowQueryEntries(w, ctx);
   out.reserve(entries.size());
   for (const auto& e : entries) out.push_back(e.pt);
   return out;
 }
 
-std::vector<PointEntry> RsmiIndex::WindowQueryEntries(const Rect& w) const {
-  const auto [begin, end] = WindowBlockRange(w);
+std::vector<PointEntry> RsmiIndex::WindowQueryEntries(
+    const Rect& w, QueryContext& ctx) const {
+  const auto [begin, end] = WindowBlockRange(w, ctx);
   std::vector<PointEntry> out;
-  store_.ScanRange(begin, end, [&](const Block& blk) {
+  store_.ScanRange(begin, end, ctx, [&](const Block& blk) {
     for (const auto& e : blk.entries) {
       if (w.Contains(e.pt)) out.push_back(e);
     }
   });
-  CollectBufferedInWindow(root_.get(), w, &out);
+  CollectBufferedInWindow(root_.get(), w, ctx, &out);
   return out;
 }
 
 void RsmiIndex::CollectBufferedInWindow(const Node* node, const Rect& w,
+                                        QueryContext& ctx,
                                         std::vector<PointEntry>* out) const {
   if (cfg_.update_strategy != UpdateStrategy::kLeafBuffer) return;
   if (!node->mbr.Valid() || !node->mbr.Intersects(w)) return;
   if (node->leaf) {
     if (node->buffer.empty()) return;
-    store_.CountAccess();  // one buffer page per leaf
+    ctx.CountBlockAccess();  // one buffer page per leaf
     for (const auto& e : node->buffer) {
       if (w.Contains(e.pt)) out->push_back(e);
     }
     return;
   }
   for (const auto& child : node->children) {
-    if (child != nullptr) CollectBufferedInWindow(child.get(), w, out);
+    if (child != nullptr) CollectBufferedInWindow(child.get(), w, ctx, out);
   }
 }
 
-std::vector<Point> RsmiIndex::WindowQueryExact(const Rect& w) const {
+std::vector<Point> RsmiIndex::WindowQueryExact(const Rect& w,
+                                               QueryContext& ctx) const {
   std::vector<Point> out;
-  const auto entries = WindowQueryExactEntries(w);
+  const auto entries = WindowQueryExactEntries(w, ctx);
   out.reserve(entries.size());
   for (const auto& e : entries) out.push_back(e.pt);
   return out;
 }
 
 std::vector<PointEntry> RsmiIndex::WindowQueryExactEntries(
-    const Rect& w) const {
+    const Rect& w, QueryContext& ctx) const {
   // RSMIa: R-tree-style traversal over sub-model MBRs; at the leaf level,
   // per-block MBRs (stored with the leaf's page) prune block reads.
   std::vector<PointEntry> out;
@@ -561,7 +572,7 @@ std::vector<PointEntry> RsmiIndex::WindowQueryExactEntries(
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    store_.CountAccess();  // reading this sub-model's page
+    ctx.CountNodePage();  // reading this sub-model's page
     if (!node->leaf) {
       for (const auto& child : node->children) {
         if (child != nullptr && child->mbr.Intersects(w)) {
@@ -574,14 +585,14 @@ std::vector<PointEntry> RsmiIndex::WindowQueryExactEntries(
                         node->first_block + node->num_blocks - 1,
                         [&](int id, const Block& blk) {
                           if (!blk.mbr.Intersects(w)) return false;
-                          const Block& b = store_.Access(id);
+                          const Block& b = store_.Access(id, ctx);
                           for (const auto& e : b.entries) {
                             if (w.Contains(e.pt)) out.push_back(e);
                           }
                           return false;
                         });
     if (!node->buffer.empty()) {
-      store_.CountAccess();
+      ctx.CountBlockAccess();
       for (const auto& e : node->buffer) {
         if (w.Contains(e.pt)) out.push_back(e);
       }
@@ -643,7 +654,8 @@ class KnnHeap {
 
 }  // namespace
 
-std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
+std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k,
+                                       QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   const size_t reachable = std::min(k, live_points_);
   KnnHeap heap(k);
@@ -663,13 +675,13 @@ std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
   for (int round = 0; round < 64; ++round) {
     const Rect wq{{q.x - width / 2, q.y - height / 2},
                   {q.x + width / 2, q.y + height / 2}};
-    const auto [begin, end] = WindowBlockRange(wq);
+    const auto [begin, end] = WindowBlockRange(wq, ctx);
     store_.ScanChainRaw(begin, end, [&](int id, const Block& blk) {
       if (!visited.insert(id).second) return false;  // Alg. 3: "unvisited"
       if (heap.size() >= k && blk.mbr.MinDist2(q) >= heap.KthDist2()) {
         return false;  // MINDIST pruning (Alg. 3 line 7)
       }
-      const Block& b = store_.Access(id);
+      const Block& b = store_.Access(id, ctx);
       for (const auto& e : b.entries) heap.Offer(SquaredDist(e.pt, q), e.pt);
       return false;
     });
@@ -680,13 +692,13 @@ std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
         const Rect& wq;
         const Point& q;
         KnnHeap& heap;
-        const BlockStore& store;
+        QueryContext& ctx;
         std::unordered_set<const Node*>& seen;
         void Visit(const Node* node) {
           if (!node->mbr.Valid() || !node->mbr.Intersects(wq)) return;
           if (node->leaf) {
             if (node->buffer.empty() || !seen.insert(node).second) return;
-            store.CountAccess();
+            ctx.CountBlockAccess();
             for (const auto& e : node->buffer) {
               heap.Offer(SquaredDist(e.pt, q), e.pt);
             }
@@ -697,7 +709,7 @@ std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
           }
         }
       };
-      BufferWalker{wq, q, heap, store_, visited_buffers}.Visit(root_.get());
+      BufferWalker{wq, q, heap, ctx, visited_buffers}.Visit(root_.get());
     }
 
     const bool exhausted = wq.ContainsRect(data_bounds_);
@@ -719,7 +731,8 @@ std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
   return heap.Sorted();
 }
 
-std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k) const {
+std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k,
+                                            QueryContext& ctx) const {
   if (k == 0 || live_points_ == 0) return {};
   KnnHeap result(k);
 
@@ -740,11 +753,11 @@ std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k) const {
     pq.pop();
     if (result.size() >= k && c.d2 >= result.KthDist2()) break;
     if (c.node == nullptr) {
-      const Block& b = store_.Access(c.block_id);
+      const Block& b = store_.Access(c.block_id, ctx);
       for (const auto& e : b.entries) result.Offer(SquaredDist(e.pt, q), e.pt);
       continue;
     }
-    store_.CountAccess();  // reading this sub-model's page
+    ctx.CountNodePage();  // reading this sub-model's page
     if (c.node->leaf) {
       store_.ScanChainRaw(c.node->first_block,
                           c.node->first_block + c.node->num_blocks - 1,
@@ -753,7 +766,7 @@ std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k) const {
                             return false;
                           });
       if (!c.node->buffer.empty()) {
-        store_.CountAccess();  // the leaf's buffer page
+        ctx.CountBlockAccess();  // the leaf's buffer page
         for (const auto& e : c.node->buffer) {
           result.Offer(SquaredDist(e.pt, q), e.pt);
         }
@@ -774,13 +787,17 @@ std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k) const {
 // ---------------------------------------------------------------------------
 
 void RsmiIndex::Insert(const Point& p) {
+  // Writes require exclusive access; their costs go through a local
+  // context folded into the legacy aggregate at the end, so insertion
+  // block accesses keep showing up in block_accesses() as before.
+  QueryContext ctx;
   std::vector<Node*> path;
-  Node* leaf = DescendNearestMutable(p, &path);
+  Node* leaf = DescendNearestMutable(p, &path, ctx);
 
   if (cfg_.update_strategy == UpdateStrategy::kLeafBuffer) {
     // FITing-tree-style buffering [14]: the new point goes into the
     // leaf's sorted buffer (one block access: the buffer page).
-    store_.CountAccess();
+    ctx.CountBlockAccess();
     const PointEntry e{p, next_id_++};
     auto it = std::lower_bound(
         leaf->buffer.begin(), leaf->buffer.end(), e,
@@ -796,6 +813,7 @@ void RsmiIndex::Insert(const Point& p) {
     if (static_cast<int>(leaf->buffer.size()) >= cap) {
       MergeLeafBuffer(leaf, path);
     }
+    AggregateQueryContext(ctx);
     return;
   }
 
@@ -808,7 +826,7 @@ void RsmiIndex::Insert(const Point& p) {
   int placed = -1;
   int last = gid;
   for (int cur = gid;;) {
-    const Block& b = store_.Access(cur);
+    const Block& b = store_.Access(cur, ctx);
     if (static_cast<int>(b.entries.size()) < cfg_.block_capacity) {
       placed = cur;
       break;
@@ -826,6 +844,7 @@ void RsmiIndex::Insert(const Point& p) {
   for (Node* n : path) n->mbr.Expand(p);  // recursive MBR maintenance
   ++leaf->extra_points;
   ++live_points_;
+  AggregateQueryContext(ctx);
 }
 
 void RsmiIndex::MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path) {
@@ -847,11 +866,12 @@ void RsmiIndex::MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path) {
 }
 
 bool RsmiIndex::Delete(const Point& p) {
+  QueryContext ctx;
   std::vector<Node*> path;
-  Node* leaf = DescendNearestMutable(p, &path);
+  Node* leaf = DescendNearestMutable(p, &path, ctx);
   int found_id = -1;
   size_t found_pos = 0;
-  if (FindEntry(*leaf, p, &found_id, &found_pos)) {
+  if (FindEntry(*leaf, p, ctx, &found_id, &found_pos)) {
     // "Swap p with the last point in this block and mark it deleted": the
     // freed slot becomes reusable by later insertions. Blocks are never
     // deallocated on underflow, preserving the error-bound validity.
@@ -859,15 +879,18 @@ bool RsmiIndex::Delete(const Point& p) {
     blk.entries[found_pos] = blk.entries.back();
     blk.entries.pop_back();
     --live_points_;
+    AggregateQueryContext(ctx);
     return true;
   }
   // The point may still sit in the leaf's insert buffer (kLeafBuffer).
-  if (const PointEntry* e = FindInBuffer(*leaf, p)) {
+  if (const PointEntry* e = FindInBuffer(*leaf, p, ctx)) {
     const size_t idx = static_cast<size_t>(e - leaf->buffer.data());
     leaf->buffer.erase(leaf->buffer.begin() + idx);
     --live_points_;
+    AggregateQueryContext(ctx);
     return true;
   }
+  AggregateQueryContext(ctx);
   return false;
 }
 
@@ -1016,9 +1039,9 @@ int RsmiIndex::MaxErrAbove() const {
 }
 
 double RsmiIndex::AvgQueryDepth() const {
-  return descend_count_ == 0
-             ? 0.0
-             : static_cast<double>(descend_invocations_) / descend_count_;
+  const uint64_t count = descend_count_.load(std::memory_order_relaxed);
+  const uint64_t inv = descend_invocations_.load(std::memory_order_relaxed);
+  return count == 0 ? 0.0 : static_cast<double>(inv) / count;
 }
 
 bool RsmiIndex::ValidateStructure(std::string* error) const {

@@ -1,6 +1,7 @@
 #ifndef RSMI_CORE_RSMI_INDEX_H_
 #define RSMI_CORE_RSMI_INDEX_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -44,21 +45,60 @@ class RsmiIndex : public SpatialIndex {
 
   std::string Name() const override { return "RSMI"; }
 
-  std::optional<PointEntry> PointQuery(const Point& q) const override;
-  std::vector<Point> WindowQuery(const Rect& w) const override;
-  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  // Context-threaded read path (thread-safe for concurrent readers; see
+  // the SpatialIndex contract). The context-free overloads inherited from
+  // SpatialIndex remain available as compatibility shims.
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
 
   /// RSMIa: exact window query via an R-tree-style traversal of the
   /// sub-model MBRs and per-block MBRs (end of Section 4.2).
-  std::vector<Point> WindowQueryExact(const Rect& w) const;
+  std::vector<Point> WindowQueryExact(const Rect& w, QueryContext& ctx) const;
 
   /// Entry-returning variants of the window queries, for callers that
   /// need the stored record ids (e.g. the extent-object adapter).
-  std::vector<PointEntry> WindowQueryEntries(const Rect& w) const;
-  std::vector<PointEntry> WindowQueryExactEntries(const Rect& w) const;
+  std::vector<PointEntry> WindowQueryEntries(const Rect& w,
+                                             QueryContext& ctx) const;
+  std::vector<PointEntry> WindowQueryExactEntries(const Rect& w,
+                                                  QueryContext& ctx) const;
 
   /// RSMIa: exact kNN via best-first search over MBRs [40].
-  std::vector<Point> KnnQueryExact(const Point& q, size_t k) const;
+  std::vector<Point> KnnQueryExact(const Point& q, size_t k,
+                                   QueryContext& ctx) const;
+
+  /// Context-free shims for the exact/entry variants (\deprecated — same
+  /// aggregation semantics as the SpatialIndex wrappers).
+  std::vector<Point> WindowQueryExact(const Rect& w) const {
+    QueryContext ctx;
+    auto r = WindowQueryExact(w, ctx);
+    AggregateQueryContext(ctx);
+    return r;
+  }
+  std::vector<PointEntry> WindowQueryEntries(const Rect& w) const {
+    QueryContext ctx;
+    auto r = WindowQueryEntries(w, ctx);
+    AggregateQueryContext(ctx);
+    return r;
+  }
+  std::vector<PointEntry> WindowQueryExactEntries(const Rect& w) const {
+    QueryContext ctx;
+    auto r = WindowQueryExactEntries(w, ctx);
+    AggregateQueryContext(ctx);
+    return r;
+  }
+  std::vector<Point> KnnQueryExact(const Point& q, size_t k) const {
+    QueryContext ctx;
+    auto r = KnnQueryExact(q, k, ctx);
+    AggregateQueryContext(ctx);
+    return r;
+  }
 
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
@@ -69,9 +109,16 @@ class RsmiIndex : public SpatialIndex {
   int RebuildOverflowingSubtrees();
 
   IndexStats Stats() const override;
-  uint64_t block_accesses() const override { return store_.accesses(); }
-  void ResetBlockAccesses() const override { store_.ResetAccesses(); }
   const BlockStore& block_store() const override { return store_; }
+
+  /// Extends the base aggregation with the query-depth bookkeeping
+  /// (Section 6.2.2 "average depth"). Thread-safe.
+  void AggregateQueryContext(const QueryContext& ctx) const override {
+    store_.AggregateAccesses(ctx.block_accesses);
+    descend_invocations_.fetch_add(ctx.model_invocations,
+                                   std::memory_order_relaxed);
+    descend_count_.fetch_add(ctx.descents, std::memory_order_relaxed);
+  }
 
   /// Persists the trained index (models, blocks, PMFs) so it can be
   /// reloaded without retraining — the "build offline, query online"
@@ -136,10 +183,11 @@ class RsmiIndex : public SpatialIndex {
   /// to the nearest non-empty child slot so a leaf is always reached.
   /// Insertions take the same path, which keeps every stored point
   /// findable (DESIGN.md key decision #4).
-  const Node* DescendNearest(const Point& p) const;
+  const Node* DescendNearest(const Point& p, QueryContext& ctx) const;
   /// Mutable robust descent collecting the root-to-leaf path (insertion
   /// needs it for recursive MBR maintenance, Section 5).
-  Node* DescendNearestMutable(const Point& p, std::vector<Node*>* path);
+  Node* DescendNearestMutable(const Point& p, std::vector<Node*>* path,
+                              QueryContext& ctx);
 
   /// Predicted global block range of `p` within `leaf`, clamped.
   std::pair<int, int> LeafPredictRange(const Node& leaf,
@@ -148,8 +196,8 @@ class RsmiIndex : public SpatialIndex {
   /// Locates the entry at exactly position `q` inside `leaf`, expanding
   /// outward from the predicted block (Algorithm 1's scan, nearest
   /// candidate first). Returns false if absent.
-  bool FindEntry(const Node& leaf, const Point& q, int* block_id,
-                 size_t* pos) const;
+  bool FindEntry(const Node& leaf, const Point& q, QueryContext& ctx,
+                 int* block_id, size_t* pos) const;
 
   // --- update strategies (Section 5 + the Section 2 alternatives) ---
   /// Entries packed per block at (re)build time: B * build_fill_factor.
@@ -157,18 +205,20 @@ class RsmiIndex : public SpatialIndex {
   /// Binary-searches `leaf`'s insert buffer (kLeafBuffer strategy) for the
   /// entry at exactly `q`; nullptr if absent. Counts one block access when
   /// the buffer is non-empty.
-  const PointEntry* FindInBuffer(const Node& leaf, const Point& q) const;
+  const PointEntry* FindInBuffer(const Node& leaf, const Point& q,
+                                 QueryContext& ctx) const;
   /// FITing-tree merge: rebuilds `leaf` (whose owning slot is found via
   /// `path`) folding its full insert buffer into the packed blocks.
   void MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path);
   /// Adds buffered points inside `w` from every leaf under `node` whose
   /// MBR intersects `w` (one counted access per non-empty buffer).
   void CollectBufferedInWindow(const Node* node, const Rect& w,
+                               QueryContext& ctx,
                                std::vector<PointEntry>* out) const;
 
   /// Block-id range to scan for window `w` (the begin/end bounds computed
   /// by Algorithm 2 from the window-corner point queries).
-  std::pair<int, int> WindowBlockRange(const Rect& w) const;
+  std::pair<int, int> WindowBlockRange(const Rect& w, QueryContext& ctx) const;
 
   // --- stats/maintenance ---
   void CollectLeaves(const Node* node, std::vector<const Node*>* out) const;
@@ -189,9 +239,11 @@ class RsmiIndex : public SpatialIndex {
   /// Non-null only while the constructor runs with build_threads > 1:
   /// BuildLeaf queues its training here instead of running it inline.
   std::vector<LeafTrainJob>* leaf_jobs_ = nullptr;
-  // Query-depth bookkeeping (Section 6.2.2 "average depth").
-  mutable uint64_t descend_invocations_ = 0;
-  mutable uint64_t descend_count_ = 0;
+  // Query-depth bookkeeping (Section 6.2.2 "average depth"): a thread-
+  // safe aggregate fed from finished QueryContexts (queries themselves
+  // record depth in their context, never here).
+  mutable std::atomic<uint64_t> descend_invocations_{0};
+  mutable std::atomic<uint64_t> descend_count_{0};
 };
 
 }  // namespace rsmi

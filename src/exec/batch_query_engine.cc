@@ -1,0 +1,195 @@
+#include "exec/batch_query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "data/workloads.h"
+
+namespace rsmi {
+namespace {
+
+/// Operations a worker claims per cursor bump: large enough to amortize
+/// the atomic, small enough that a straggler window query cannot leave a
+/// worker idle while another sits on a long private run.
+constexpr size_t kOpsPerGrab = 16;
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::vector<QueryOp> BuildMixedWorkload(const std::vector<Point>& data,
+                                        size_t count, const WorkloadMix& mix,
+                                        uint64_t seed) {
+  // Out-of-range fractions (CLI flags arrive unvalidated) are clamped so
+  // the remainder arithmetic below cannot underflow.
+  const double point_frac = std::min(1.0, std::max(0.0, mix.point_frac));
+  const double window_frac = std::min(1.0, std::max(0.0, mix.window_frac));
+  const size_t n_point =
+      static_cast<size_t>(point_frac * static_cast<double>(count));
+  const size_t n_window = std::min(
+      count - n_point,
+      static_cast<size_t>(window_frac * static_cast<double>(count)));
+  const size_t n_knn = count - n_point - n_window;
+
+  // Distinct generator seeds per query class so changing the mix does not
+  // silently change which locations each class samples.
+  const auto pq = GenerateQueryPoints(data, n_point, seed * 3 + 1);
+  const auto wq = GenerateWindowQueries(data, n_window, mix.window_area,
+                                        mix.window_aspect, seed * 3 + 2);
+  const auto kq = GenerateQueryPoints(data, n_knn, seed * 3 + 3);
+
+  std::vector<QueryOp> ops;
+  ops.reserve(count);
+  for (const Point& p : pq) {
+    QueryOp op;
+    op.type = QueryOp::Type::kPoint;
+    op.pt = p;
+    ops.push_back(op);
+  }
+  for (const Rect& w : wq) {
+    QueryOp op;
+    op.type = QueryOp::Type::kWindow;
+    op.window = w;
+    ops.push_back(op);
+  }
+  for (const Point& p : kq) {
+    QueryOp op;
+    op.type = QueryOp::Type::kKnn;
+    op.pt = p;
+    op.k = mix.k;
+    ops.push_back(op);
+  }
+  // Interleave the classes so every drained chunk is a mixed load.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::shuffle(ops.begin(), ops.end(), rng.gen());
+  return ops;
+}
+
+uint64_t ExecuteQueryOp(const SpatialIndex& index, const QueryOp& op,
+                        QueryContext& ctx) {
+  switch (op.type) {
+    case QueryOp::Type::kPoint:
+      return index.PointQuery(op.pt, ctx).has_value() ? 1 : 0;
+    case QueryOp::Type::kWindow:
+      return index.WindowQuery(op.window, ctx).size();
+    case QueryOp::Type::kKnn:
+      return index.KnnQuery(op.pt, op.k, ctx).size();
+  }
+  return 0;
+}
+
+BatchQueryEngine::BatchQueryEngine(int threads) {
+  const int n = std::max(1, threads);
+  worker_costs_.resize(static_cast<size_t>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+BatchQueryEngine::~BatchQueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
+  const std::vector<QueryOp>& ops = *job->ops;
+  const SpatialIndex& index = *job->index;
+  // Stack-local accumulator: adjacent worker_costs_ elements share cache
+  // lines, and every block access bumps a counter — fold once at the end
+  // instead of ping-ponging the line between workers all batch long.
+  QueryContext local;
+  uint64_t results = 0;
+  for (;;) {
+    const size_t begin = job->next.fetch_add(kOpsPerGrab);
+    if (begin >= ops.size()) break;
+    const size_t end = std::min(begin + kOpsPerGrab, ops.size());
+    for (size_t i = begin; i < end; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      results += ExecuteQueryOp(index, ops[i], local);
+      (*job->latency_us)[i] =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  }
+  ctx->Add(local);
+  job->total_results.fetch_add(results, std::memory_order_relaxed);
+}
+
+void BatchQueryEngine::WorkerLoop(int worker_id) {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || batch_seq_ != seen_seq; });
+      if (shutdown_) return;
+      seen_seq = batch_seq_;
+      job = job_;
+    }
+    DrainJob(job, &worker_costs_[static_cast<size_t>(worker_id)]);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_busy_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
+                                      const std::vector<QueryOp>& ops) {
+  std::vector<double> latency_us(ops.size(), 0.0);
+  Job job;
+  job.index = &index;
+  job.ops = &ops;
+  job.latency_us = &latency_us;
+
+  for (QueryContext& c : worker_costs_) c = QueryContext{};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    workers_busy_ = workers_.size();
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+    job_ = nullptr;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  BatchQueryStats stats;
+  stats.queries = ops.size();
+  stats.threads = threads();
+  stats.wall_seconds = wall;
+  stats.throughput_qps =
+      wall > 0.0 ? static_cast<double>(ops.size()) / wall : 0.0;
+  stats.total_results = job.total_results.load(std::memory_order_relaxed);
+  for (const QueryContext& c : worker_costs_) stats.cost.Add(c);
+
+  std::sort(latency_us.begin(), latency_us.end());
+  stats.p50_us = PercentileSorted(latency_us, 0.50);
+  stats.p99_us = PercentileSorted(latency_us, 0.99);
+  stats.max_us = latency_us.empty() ? 0.0 : latency_us.back();
+  return stats;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,128 @@
+#ifndef RSMI_EXEC_BATCH_QUERY_ENGINE_H_
+#define RSMI_EXEC_BATCH_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query_context.h"
+#include "core/spatial_index.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsmi {
+
+/// One operation of a replayed mixed workload.
+struct QueryOp {
+  enum class Type : uint8_t { kPoint, kWindow, kKnn };
+  Type type = Type::kPoint;
+  /// Query location (point and kNN queries).
+  Point pt{0.0, 0.0};
+  /// Query window (window queries only).
+  Rect window = Rect::Empty();
+  /// Neighbor count (kNN queries only).
+  uint32_t k = 0;
+};
+
+/// Mix and shape of a generated workload (defaults follow the paper's
+/// query setup: windows of 0.01% area and aspect 1, k = 25).
+struct WorkloadMix {
+  /// Fractions of point / window queries; the remainder is kNN.
+  double point_frac = 0.6;
+  double window_frac = 0.3;
+  double window_area = 0.0001;
+  double window_aspect = 1.0;
+  uint32_t k = 25;
+};
+
+/// Builds a deterministic shuffled mixed workload of `count` operations
+/// whose locations/windows follow the data distribution (the same
+/// generators the figure benches replay, data/workloads.h).
+std::vector<QueryOp> BuildMixedWorkload(const std::vector<Point>& data,
+                                        size_t count, const WorkloadMix& mix,
+                                        uint64_t seed);
+
+/// Result of one BatchQueryEngine::Run.
+struct BatchQueryStats {
+  size_t queries = 0;
+  int threads = 1;
+  double wall_seconds = 0.0;
+  /// Completed queries per second of wall time.
+  double throughput_qps = 0.0;
+  /// Per-query latency percentiles, microseconds.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  /// Sum of result cardinalities (keeps the work observable and lets
+  /// callers check against a single-threaded replay).
+  uint64_t total_results = 0;
+  /// All workers' per-query costs folded together.
+  QueryContext cost;
+};
+
+/// Replays a batch of mixed queries against any SpatialIndex on a fixed
+/// pool of worker threads.
+///
+/// The engine is the consumer of the SpatialIndex thread-safety contract
+/// (reads concurrent, writes exclusive): each worker drains operations
+/// from a shared cursor and runs the context-taking query overloads with
+/// a thread-local QueryContext, so no query touches shared index state.
+/// Workers are spawned once in the constructor and reused across Run
+/// calls; Run itself is serialized (one batch in flight per engine).
+class BatchQueryEngine {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit BatchQueryEngine(int threads);
+  ~BatchQueryEngine();
+
+  BatchQueryEngine(const BatchQueryEngine&) = delete;
+  BatchQueryEngine& operator=(const BatchQueryEngine&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Replays `ops` against `index` on all workers and blocks until every
+  /// operation completed. The index must not be mutated while Run is in
+  /// flight.
+  BatchQueryStats Run(const SpatialIndex& index,
+                      const std::vector<QueryOp>& ops);
+
+ private:
+  /// Shared state of the batch currently in flight.
+  struct Job {
+    const SpatialIndex* index = nullptr;
+    const std::vector<QueryOp>* ops = nullptr;
+    /// Per-operation latency slots (each op writes only its own).
+    std::vector<double>* latency_us = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> total_results{0};
+  };
+
+  void WorkerLoop(int worker_id);
+  /// Drains `job` from the shared cursor, folding costs into `ctx`.
+  static void DrainJob(Job* job, QueryContext* ctx);
+
+  std::vector<std::thread> workers_;
+  /// One per worker, re-zeroed at the start of each Run.
+  std::vector<QueryContext> worker_costs_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // Run waits for the batch to drain
+  uint64_t batch_seq_ = 0;            // bumped once per Run
+  size_t workers_busy_ = 0;
+  bool shutdown_ = false;
+  Job* job_ = nullptr;
+};
+
+/// Runs one operation against `index`, charging `ctx`; returns the result
+/// cardinality. Shared by the engine, the throughput bench, and the
+/// concurrency tests' single-threaded ground-truth replays.
+uint64_t ExecuteQueryOp(const SpatialIndex& index, const QueryOp& op,
+                        QueryContext& ctx);
+
+}  // namespace rsmi
+
+#endif  // RSMI_EXEC_BATCH_QUERY_ENGINE_H_

@@ -2,6 +2,7 @@
 #define RSMI_STORAGE_BLOCK_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstddef>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "core/query_context.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 
@@ -46,14 +48,23 @@ struct Block {
   Rect mbr = Rect::Empty();
 };
 
-/// Append-only block arena with an access counter.
+/// Append-only block arena.
 ///
 /// All indices in this repository store their data points in a BlockStore
-/// and report `accesses()` as the external-memory cost indicator, exactly
-/// like the paper's "# block accesses" metric. Reading a block through
-/// Access() counts; structural mutation through MutableBlock() does not
-/// (mutators call CountAccess() explicitly where the paper's cost model
-/// says an access happens).
+/// and report block accesses as the external-memory cost indicator,
+/// exactly like the paper's "# block accesses" metric. Reading a block
+/// through Access() charges the caller's QueryContext; structural
+/// mutation through MutableBlock() does not (mutators charge their
+/// context explicitly where the paper's cost model says an access
+/// happens).
+///
+/// Thread-safety contract: all read methods (Access, Peek, scans, SeqOf,
+/// NumBlocks) may run concurrently from any number of threads, because
+/// each caller accumulates costs into its own QueryContext. The legacy
+/// index-wide counter survives as a lock-free aggregate fed by
+/// AggregateAccesses(). Mutation (Alloc, MutableBlock, Unlink/Splice,
+/// ReadFrom) requires exclusive access, as does installing an access
+/// hook.
 class BlockStore {
  public:
   explicit BlockStore(int capacity) : capacity_(capacity) {}
@@ -99,11 +110,12 @@ class BlockStore {
     return id;
   }
 
-  /// Counted read access. When an access hook is installed (external-
-  /// memory mode, see DiskBackedBlocks), the hook runs first and performs
-  /// the physical page fetch that this logical access models.
-  const Block& Access(int id) const {
-    ++accesses_;
+  /// Counted read access, charged to the caller's QueryContext. When an
+  /// access hook is installed (external-memory mode, see
+  /// DiskBackedBlocks), the hook runs first and performs the physical
+  /// page fetch that this logical access models.
+  const Block& Access(int id, QueryContext& ctx) const {
+    ++ctx.block_accesses;
     if (access_hook_) access_hook_(id);
     return blocks_[id];
   }
@@ -111,7 +123,8 @@ class BlockStore {
   /// Installs (or clears, with nullptr) a callback invoked on every
   /// counted block access with the block id. DiskBackedBlocks uses this to
   /// route accesses through a buffer pool over a paged file, turning the
-  /// paper's "# block accesses" cost model into real disk reads.
+  /// paper's "# block accesses" cost model into real disk reads. Must not
+  /// race in-flight queries (attach/detach while readers are quiescent).
   using AccessHook = std::function<void(int)>;
   void SetAccessHook(AccessHook hook) const {
     access_hook_ = std::move(hook);
@@ -121,14 +134,29 @@ class BlockStore {
   Block& MutableBlock(int id) { return blocks_[id]; }
   const Block& Peek(int id) const { return blocks_[id]; }
 
-  /// Records `n` block accesses that happen outside the store (tree nodes,
-  /// directory pages, ...), so every index reports one unified counter.
-  void CountAccess(uint64_t n = 1) const { accesses_ += n; }
-
   size_t NumBlocks() const { return blocks_.size(); }
 
-  uint64_t accesses() const { return accesses_; }
-  void ResetAccesses() const { accesses_ = 0; }
+  /// Legacy index-wide counter (compatibility shim).
+  ///
+  /// \deprecated New code should read costs from its own QueryContext.
+  /// The aggregate only exists so pre-context callers (the figure benches
+  /// and examples) keep seeing one unified number: the SpatialIndex
+  /// convenience wrappers fold every finished context in here via
+  /// AggregateAccesses(). Thread-safe (relaxed atomic) — but two threads
+  /// interleaving queries against the same index obviously cannot
+  /// attribute the aggregate to "their" queries; that is exactly what
+  /// QueryContext is for.
+  uint64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  void ResetAccesses() const {
+    accesses_.store(0, std::memory_order_relaxed);
+  }
+  /// Folds `n` block accesses from a finished QueryContext into the
+  /// legacy aggregate.
+  void AggregateAccesses(uint64_t n) const {
+    accesses_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Visits blocks from `begin` to `end` (inclusive) following the chain
   /// without counting accesses — callers decide what counts (e.g. the
@@ -153,18 +181,19 @@ class BlockStore {
 
   /// Counted scan over [begin, end] (see ScanChainRaw for range semantics).
   template <typename Fn>
-  void ScanRange(int begin, int end, Fn&& fn) const {
+  void ScanRange(int begin, int end, QueryContext& ctx, Fn&& fn) const {
     ScanChainRaw(begin, end, [&](int id, const Block&) {
-      fn(Access(id));
+      fn(Access(id, ctx));
       return false;
     });
   }
 
   /// Counted scan that stops early when `fn` returns true.
   template <typename Fn>
-  void ScanRangeUntil(int begin, int end, Fn&& fn) const {
+  void ScanRangeUntil(int begin, int end, QueryContext& ctx,
+                      Fn&& fn) const {
     ScanChainRaw(begin, end,
-                 [&](int id, const Block&) { return fn(Access(id)); });
+                 [&](int id, const Block&) { return fn(Access(id, ctx)); });
   }
 
   /// Detaches the chain range [first, last] (given in chain order) and
@@ -267,7 +296,8 @@ class BlockStore {
   int capacity_;
   int tail_ = -1;
   std::vector<Block> blocks_;
-  mutable uint64_t accesses_ = 0;
+  /// Legacy aggregate only — per-query costs live in QueryContexts.
+  mutable std::atomic<uint64_t> accesses_{0};
   mutable AccessHook access_hook_;
 };
 

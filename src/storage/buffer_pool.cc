@@ -41,13 +41,16 @@ void BufferPool::LruRemove(int frame) {
   f.lru_next = -1;
 }
 
-int BufferPool::EvictOne() {
+int BufferPool::EvictOne(bool* io_failed) {
   // Walk from the LRU tail towards the head for the first unpinned frame.
   for (int cur = lru_tail_; cur >= 0; cur = frames_[cur].lru_prev) {
     Frame& f = frames_[cur];
     if (f.pins > 0) continue;
     if (f.dirty) {
-      if (!file_->WritePage(f.page_id, f.payload.data())) return -1;
+      if (!file_->WritePage(f.page_id, f.payload.data())) {
+        if (io_failed != nullptr) *io_failed = true;
+        return -1;
+      }
       f.dirty = false;
       ++stats_.writebacks;
     }
@@ -60,7 +63,8 @@ int BufferPool::EvictOne() {
   return -1;
 }
 
-unsigned char* BufferPool::Pin(int64_t page_id) {
+unsigned char* BufferPool::PinLocked(int64_t page_id, PinFailure* why) {
+  if (why != nullptr) *why = PinFailure::kNone;
   if (auto it = map_.find(page_id); it != map_.end()) {
     Frame& f = frames_[it->second];
     ++f.pins;
@@ -69,18 +73,26 @@ unsigned char* BufferPool::Pin(int64_t page_id) {
     ++stats_.hits;
     return f.payload.data();
   }
-  ++stats_.misses;
   int frame = -1;
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
     free_frames_.pop_back();
   } else {
-    frame = EvictOne();
-    if (frame < 0) return nullptr;  // everything pinned or write-back failed
+    bool io_failed = false;
+    frame = EvictOne(&io_failed);
+    if (frame < 0) {
+      if (why != nullptr) {
+        *why = io_failed ? PinFailure::kIoError : PinFailure::kAllPinned;
+      }
+      return nullptr;
+    }
   }
+  ++stats_.misses;
   Frame& f = frames_[frame];
   if (!file_->ReadPage(page_id, f.payload.data())) {
     free_frames_.push_back(frame);
+    unpin_cv_.notify_one();  // the freed frame can serve a waiter
+    if (why != nullptr) *why = PinFailure::kIoError;
     return nullptr;
   }
   f.page_id = page_id;
@@ -91,15 +103,35 @@ unsigned char* BufferPool::Pin(int64_t page_id) {
   return f.payload.data();
 }
 
+unsigned char* BufferPool::Pin(int64_t page_id, PinFailure* why) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinLocked(page_id, why);
+}
+
+unsigned char* BufferPool::PinBlocking(int64_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    PinFailure why = PinFailure::kNone;
+    unsigned char* payload = PinLocked(page_id, &why);
+    if (payload != nullptr || why != PinFailure::kAllPinned) return payload;
+    // Every frame is pinned by other threads mid-cycle; wait for one of
+    // their Unpins and retry (the page may even be cached by then).
+    unpin_cv_.wait(lock);
+  }
+}
+
 void BufferPool::Unpin(int64_t page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(page_id);
   if (it == map_.end()) return;
   Frame& f = frames_[it->second];
   if (f.pins > 0) --f.pins;
   f.dirty = f.dirty || dirty;
+  if (f.pins == 0) unpin_cv_.notify_one();
 }
 
 bool BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   bool ok = true;
   for (Frame& f : frames_) {
     if (f.page_id >= 0 && f.dirty) {

@@ -1,7 +1,9 @@
 #ifndef RSMI_STORAGE_BUFFER_POOL_H_
 #define RSMI_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -20,7 +22,11 @@ namespace rsmi {
 /// Unpinned frames are evicted in LRU order; dirty frames are written back
 /// on eviction and on FlushAll().
 ///
-/// Not thread-safe (single-threaded query structures, as in the paper).
+/// Internally synchronized: Pin/Unpin/FlushAll/stats may be called from
+/// any number of threads (the block-access hook runs on every query
+/// thread under the concurrent-reads contract of SpatialIndex). A single
+/// mutex serializes frame management — the pool models one disk arm, so
+/// contention here is the simulated storage bottleneck, not a bug.
 class BufferPool {
  public:
   /// Statistics since construction or ResetStats().
@@ -44,10 +50,25 @@ class BufferPool {
 
   ~BufferPool();
 
+  /// Why a Pin returned nullptr.
+  enum class PinFailure {
+    kNone,       // pin succeeded
+    kIoError,    // read or write-back failed
+    kAllPinned,  // every frame is pinned right now (transient)
+  };
+
   /// Pins page `id` and returns its payload (payload_size() bytes), or
-  /// nullptr on I/O failure / invalid id / all frames pinned. A page may
-  /// be pinned recursively; every Pin must be matched by an Unpin.
-  unsigned char* Pin(int64_t page_id);
+  /// nullptr on I/O failure / invalid id / all frames pinned (`why`, if
+  /// non-null, says which). Never blocks. A page may be pinned
+  /// recursively; every Pin must be matched by an Unpin.
+  unsigned char* Pin(int64_t page_id, PinFailure* why = nullptr);
+
+  /// Like Pin, but when every frame is momentarily pinned by other
+  /// threads, waits for an Unpin and retries instead of failing — the
+  /// right call for concurrent readers doing short pin/unpin cycles
+  /// (the DiskBackedBlocks access hook). Still returns nullptr on real
+  /// I/O errors. Deadlocks if the caller itself holds all pins.
+  unsigned char* PinBlocking(int64_t page_id);
 
   /// Releases one pin of `page_id`; `dirty` marks the frame for
   /// write-back. Unbalanced Unpins are ignored.
@@ -58,9 +79,20 @@ class BufferPool {
   bool FlushAll();
 
   size_t capacity() const { return capacity_; }
-  size_t pages_cached() const { return map_.size(); }
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  size_t pages_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  /// Snapshot of the counters (by value: the pool may be concurrently
+  /// updating them).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats{};
+  }
 
  private:
   struct Frame {
@@ -76,9 +108,17 @@ class BufferPool {
 
   void LruPushFront(int frame);
   void LruRemove(int frame);
-  /// Frees the least recently used unpinned frame; -1 if none.
-  int EvictOne();
+  /// Frees the least recently used unpinned frame; -1 if none (sets
+  /// `*io_failed` when the blocker was a failed write-back, not pins).
+  int EvictOne(bool* io_failed);
+  /// Pin body; mu_ must be held.
+  unsigned char* PinLocked(int64_t page_id, PinFailure* why);
 
+  /// Serializes all frame/LRU/stats state below (see class comment).
+  mutable std::mutex mu_;
+  /// Signaled whenever a pin is released or a frame is freed, so
+  /// PinBlocking waiters can retry.
+  std::condition_variable unpin_cv_;
   PagedFile* file_;
   size_t capacity_;
   std::vector<Frame> frames_;

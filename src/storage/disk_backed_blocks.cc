@@ -57,6 +57,7 @@ void DiskBackedBlocks::EncodeBlock(int id, unsigned char* buf) const {
 }
 
 bool DiskBackedBlocks::EnsurePage(int id) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   while (pages_mapped_ <= id) {
     const int64_t page = file_.AllocPage();
     if (page < 0) return false;
@@ -72,7 +73,10 @@ void DiskBackedBlocks::OnAccess(int id) {
     io_error_ = true;
     return;
   }
-  unsigned char* payload = pool_->Pin(id);
+  // Blocking pin: with more query threads than pool frames, every frame
+  // can be transiently pinned by peers mid-cycle — that is back-pressure,
+  // not an I/O error, so wait for an Unpin instead of failing.
+  unsigned char* payload = pool_->PinBlocking(id);
   if (payload == nullptr) {
     io_error_ = true;
     return;
@@ -82,6 +86,7 @@ void DiskBackedBlocks::OnAccess(int id) {
 
 bool DiskBackedBlocks::FlushBlock(int id) {
   if (!EnsurePage(id)) return false;
+  std::lock_guard<std::mutex> lock(map_mu_);
   EncodeBlock(id, encode_buf_.data());
   if (!file_.WritePage(id, encode_buf_.data())) return false;
   // Drop any stale cached copy by re-reading through the pool on next use:

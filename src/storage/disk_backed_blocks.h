@@ -1,7 +1,9 @@
 #ifndef RSMI_STORAGE_DISK_BACKED_BLOCKS_H_
 #define RSMI_STORAGE_DISK_BACKED_BLOCKS_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,9 +54,9 @@ class DiskBackedBlocks {
 
   /// True once `Corrupted()` has observed a checksum/read failure during
   /// hooked accesses (the hook itself cannot return errors).
-  bool io_error() const { return io_error_; }
+  bool io_error() const { return io_error_.load(std::memory_order_relaxed); }
 
-  const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
+  BufferPool::Stats pool_stats() const { return pool_->stats(); }
   void ResetStats() {
     pool_->ResetStats();
     file_.ResetCounters();
@@ -75,8 +77,12 @@ class DiskBackedBlocks {
   const BlockStore* store_;
   PagedFile file_;
   std::unique_ptr<BufferPool> pool_;
+  /// Serializes lazy page mapping (EnsurePage) and encode_buf_ reuse —
+  /// the access hook runs on every query thread, so OnAccess must be
+  /// safe to enter concurrently (the pool has its own lock).
+  std::mutex map_mu_;
   int64_t pages_mapped_ = 0;
-  bool io_error_ = false;
+  std::atomic<bool> io_error_{false};
   std::vector<unsigned char> encode_buf_;
 };
 

@@ -70,6 +70,7 @@ bool PagedFile::WriteHeader() {
 }
 
 int64_t PagedFile::AllocPage() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return -1;
   const int64_t id = static_cast<int64_t>(num_pages_);
   std::memset(scratch_.data(), 0, scratch_.size());
@@ -82,6 +83,7 @@ int64_t PagedFile::AllocPage() {
 }
 
 bool PagedFile::WritePage(int64_t id, const void* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr || id < 0 ||
       static_cast<uint64_t>(id) >= num_pages_) {
     return false;
@@ -98,6 +100,7 @@ bool PagedFile::WritePage(int64_t id, const void* payload) {
 }
 
 bool PagedFile::ReadPage(int64_t id, void* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr || id < 0 ||
       static_cast<uint64_t>(id) >= num_pages_) {
     return false;
@@ -115,6 +118,7 @@ bool PagedFile::ReadPage(int64_t id, void* payload) {
 }
 
 bool PagedFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return false;
   return std::fflush(file_) == 0;
 }

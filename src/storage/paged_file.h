@@ -1,8 +1,10 @@
 #ifndef RSMI_STORAGE_PAGED_FILE_H_
 #define RSMI_STORAGE_PAGED_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,8 +20,13 @@ namespace rsmi {
 /// query answers. Reads and writes are counted; the BufferPool divides
 /// these counters by the logical block accesses to report cache hit rates.
 ///
-/// Not thread-safe; callers serialize access (the indices are single-
-/// threaded query structures, as in the paper).
+/// Internally synchronized: page I/O (AllocPage/WritePage/ReadPage/Sync)
+/// may be called from any number of threads — required because the
+/// BufferPool (under its own lock) and DiskBackedBlocks' lazy page
+/// mapping (under another) both drive the same file from concurrent
+/// query threads. One mutex serializes the shared FILE* and scratch
+/// buffer; it models a single disk arm, like the pool. Open/Create/Close
+/// remain exclusive-setup operations.
 class PagedFile {
  public:
   /// Page payload bytes available to callers (page size minus checksum).
@@ -61,11 +68,15 @@ class PagedFile {
   bool Sync();
 
   /// Physical I/O counters (reads/writes of data pages since open/reset).
-  uint64_t page_reads() const { return page_reads_; }
-  uint64_t page_writes() const { return page_writes_; }
+  uint64_t page_reads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t page_writes() const {
+    return page_writes_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    page_reads_ = 0;
-    page_writes_ = 0;
+    page_reads_.store(0, std::memory_order_relaxed);
+    page_writes_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -86,12 +97,15 @@ class PagedFile {
                              static_cast<size_t>(id) * PageBytes());
   }
 
+  /// Serializes the FILE* position, scratch_, and num_pages_ (see class
+  /// comment).
+  mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
   std::string path_;
   size_t payload_size_ = 0;
   uint64_t num_pages_ = 0;
-  uint64_t page_reads_ = 0;
-  uint64_t page_writes_ = 0;
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
   std::vector<unsigned char> scratch_;  // one page, payload + checksum
 };
 

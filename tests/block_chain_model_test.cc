@@ -149,18 +149,18 @@ TEST(BlockChainModelTest, ScanRangeMatchesReferenceSublist) {
 TEST(BlockChainModelTest, ScanCountsOneAccessPerVisitedBlock) {
   BlockStore store(4);
   for (int i = 0; i < 6; ++i) store.Alloc();
-  store.ResetAccesses();
+  QueryContext ctx;
   size_t visited = 0;
-  store.ScanRange(1, 4, [&](const Block&) { ++visited; });
+  store.ScanRange(1, 4, ctx, [&](const Block&) { ++visited; });
   EXPECT_EQ(visited, 4u);
-  EXPECT_EQ(store.accesses(), 4u);
+  EXPECT_EQ(ctx.block_accesses, 4u);
 
   // Early-stopping scan touches only what it visits.
-  store.ResetAccesses();
+  QueryContext ctx2;
   size_t seen = 0;
-  store.ScanRangeUntil(0, 5, [&](const Block&) { return ++seen == 2; });
+  store.ScanRangeUntil(0, 5, ctx2, [&](const Block&) { return ++seen == 2; });
   EXPECT_EQ(seen, 2u);
-  EXPECT_EQ(store.accesses(), 2u);
+  EXPECT_EQ(ctx2.block_accesses, 2u);
 }
 
 TEST(BlockChainModelTest, AccessHookFiresExactlyOnCountedAccesses) {
@@ -168,15 +168,16 @@ TEST(BlockChainModelTest, AccessHookFiresExactlyOnCountedAccesses) {
   for (int i = 0; i < 4; ++i) store.Alloc();
   std::vector<int> hooked;
   store.SetAccessHook([&](int id) { hooked.push_back(id); });
-  store.Access(2);
-  store.Access(0);
-  store.Peek(1);          // uncounted: no hook
-  store.MutableBlock(3);  // uncounted: no hook
-  store.CountAccess(5);   // external pages: counted but no block id
+  QueryContext ctx;
+  store.Access(2, ctx);
+  store.Access(0, ctx);
+  store.Peek(1);              // uncounted: no hook
+  store.MutableBlock(3);      // uncounted: no hook
+  ctx.CountBlockAccess(5);    // external pages: counted but no block id
   EXPECT_EQ(hooked, (std::vector<int>{2, 0}));
-  EXPECT_EQ(store.accesses(), 7u);
+  EXPECT_EQ(ctx.block_accesses, 7u);
   store.SetAccessHook(nullptr);
-  store.Access(1);
+  store.Access(1, ctx);
   EXPECT_EQ(hooked.size(), 2u);
 }
 

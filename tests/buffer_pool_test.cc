@@ -104,11 +104,17 @@ TEST(BufferPoolTest, AllFramesPinnedFailsCleanly) {
   BufferPool pool(&f, 2);
   ASSERT_NE(pool.Pin(0), nullptr);
   ASSERT_NE(pool.Pin(1), nullptr);
-  EXPECT_EQ(pool.Pin(2), nullptr);  // no evictable frame
+  BufferPool::PinFailure why = BufferPool::PinFailure::kNone;
+  EXPECT_EQ(pool.Pin(2, &why), nullptr);  // no evictable frame
+  EXPECT_EQ(why, BufferPool::PinFailure::kAllPinned);
   pool.Unpin(0);
-  EXPECT_NE(pool.Pin(2), nullptr);  // now 0 can be evicted
+  EXPECT_NE(pool.Pin(2, &why), nullptr);  // now 0 can be evicted
+  EXPECT_EQ(why, BufferPool::PinFailure::kNone);
   pool.Unpin(1);
   pool.Unpin(2);
+  // PinBlocking never blocks while an unpinned frame exists.
+  EXPECT_NE(pool.PinBlocking(0), nullptr);
+  pool.Unpin(0);
 }
 
 TEST(BufferPoolTest, RecursivePinsRequireMatchingUnpins) {

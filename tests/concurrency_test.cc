@@ -1,0 +1,278 @@
+// Concurrent-read correctness: the SpatialIndex thread-safety contract
+// says any number of threads may run the context-taking queries at once.
+// These tests hammer every index kind from 8 threads with a mixed
+// point/window/kNN workload and require bit-identical answers to a
+// single-threaded replay — under TSan (cmake --preset tsan) they are also
+// the data-race proof for the QueryContext read path.
+#include "exec/batch_query_engine.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "storage/disk_backed_blocks.h"
+
+namespace rsmi {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr size_t kPoints = 3000;
+constexpr size_t kOps = 600;
+
+IndexBuildConfig TestConfig() {
+  IndexBuildConfig cfg;
+  cfg.block_capacity = 20;
+  cfg.partition_threshold = 400;
+  cfg.train.epochs = 40;
+  cfg.train.batch_size = 128;
+  cfg.internal_sample_cap = 2048;
+  return cfg;
+}
+
+std::vector<QueryOp> TestWorkload(const std::vector<Point>& data) {
+  WorkloadMix mix;
+  mix.point_frac = 0.5;
+  mix.window_frac = 0.3;
+  mix.window_area = 0.001;
+  mix.k = 10;
+  return BuildMixedWorkload(data, kOps, mix, /*seed=*/77);
+}
+
+/// Order-independent fingerprint of one query's result set: the result
+/// cardinality plus the folded coordinate bits (window results may come
+/// back in any traversal order, but the set must match).
+uint64_t Fingerprint(uint64_t count, const std::vector<Point>& pts) {
+  uint64_t h = count * 0x9e3779b97f4a7c15ULL;
+  for (const Point& p : pts) {
+    uint64_t bx = 0;
+    uint64_t by = 0;
+    std::memcpy(&bx, &p.x, sizeof(bx));
+    std::memcpy(&by, &p.y, sizeof(by));
+    h ^= bx * 0x100000001b3ULL + by;
+  }
+  return h;
+}
+
+/// Replays the whole workload, returning one fingerprint per operation.
+std::vector<uint64_t> Replay(const SpatialIndex& index,
+                             const std::vector<QueryOp>& ops,
+                             QueryContext* total) {
+  std::vector<uint64_t> prints(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    QueryContext ctx;
+    const QueryOp& op = ops[i];
+    switch (op.type) {
+      case QueryOp::Type::kPoint: {
+        const auto hit = index.PointQuery(op.pt, ctx);
+        prints[i] = Fingerprint(
+            hit.has_value() ? 1 : 0,
+            hit.has_value() ? std::vector<Point>{hit->pt}
+                            : std::vector<Point>{});
+        break;
+      }
+      case QueryOp::Type::kWindow: {
+        const auto r = index.WindowQuery(op.window, ctx);
+        prints[i] = Fingerprint(r.size(), r);
+        break;
+      }
+      case QueryOp::Type::kKnn: {
+        const auto r = index.KnnQuery(op.pt, op.k, ctx);
+        prints[i] = Fingerprint(r.size(), r);
+        break;
+      }
+    }
+    if (total != nullptr) total->Add(ctx);
+  }
+  return prints;
+}
+
+class ConcurrencyTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(ConcurrencyTest, EightThreadsMatchSingleThreadedGroundTruth) {
+  const auto data = GenerateDataset(Distribution::kSkewed, kPoints, 42);
+  const auto index = MakeIndex(GetParam(), data, TestConfig());
+  const auto ops = TestWorkload(data);
+
+  QueryContext truth_cost;
+  const std::vector<uint64_t> truth = Replay(*index, ops, &truth_cost);
+  EXPECT_GT(truth_cost.block_accesses, 0u);
+
+  // Every thread replays the full workload concurrently; all answers (and
+  // per-replay costs — the read path is deterministic) must match.
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<uint64_t> costs(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext cost;
+      got[static_cast<size_t>(t)] = Replay(*index, ops, &cost);
+      costs[static_cast<size_t>(t)] = cost.block_accesses;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], truth) << "thread " << t;
+    EXPECT_EQ(costs[static_cast<size_t>(t)], truth_cost.block_accesses)
+        << "thread " << t;
+  }
+}
+
+TEST_P(ConcurrencyTest, LegacyAggregateSumsAllThreads) {
+  const auto data = GenerateDataset(Distribution::kUniform, 1500, 7);
+  const auto index = MakeIndex(GetParam(), data, TestConfig());
+
+  // The context-free wrappers stay safe under concurrency: the aggregate
+  // ends up with exactly the sum of every thread's deterministic costs.
+  QueryContext single;
+  for (size_t i = 0; i < 64; ++i) index->PointQuery(data[i * 7], single);
+
+  const uint64_t before = index->block_accesses();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < 64; ++i) index->PointQuery(data[i * 7]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(index->block_accesses() - before,
+            kThreads * single.block_accesses);
+}
+
+std::string KindName(const ::testing::TestParamInfo<IndexKind>& info) {
+  std::string out;
+  for (char c : IndexKindName(info.param)) {
+    if (c != '*') out.push_back(c);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndices, ConcurrencyTest,
+                         ::testing::ValuesIn(AllIndexKinds()), KindName);
+
+TEST(ConcurrencyTest, ExternalMemoryHookIsThreadSafe) {
+  // The access hook routes every counted block access through the
+  // BufferPool over a PagedFile; with a tiny pool every thread faults
+  // pages in and out concurrently — the TSan run of this test is the
+  // proof that pool + file locking make external-memory reads safe.
+  const auto data = GenerateDataset(Distribution::kUniform, 1500, 13);
+  const auto index = MakeIndex(IndexKind::kGrid, data, TestConfig());
+  const std::string path =
+      ::testing::TempDir() + "/concurrency_hook.pag";
+  auto disk = DiskBackedBlocks::Attach(&index->block_store(), path,
+                                       /*pool_pages=*/4);
+  ASSERT_NE(disk, nullptr);
+
+  const auto ops = TestWorkload(data);
+  const std::vector<uint64_t> truth = Replay(*index, ops, nullptr);
+
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[static_cast<size_t>(t)] = Replay(*index, ops, nullptr);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], truth) << "thread " << t;
+  }
+  EXPECT_FALSE(disk->io_error());
+  EXPECT_GT(disk->pool_stats().misses, 0u);
+}
+
+TEST(BatchQueryEngineTest, MatchesSingleThreadedTotals) {
+  const auto data = GenerateDataset(Distribution::kSkewed, kPoints, 42);
+  const auto index = MakeIndex(IndexKind::kKdb, data, TestConfig());
+  const auto ops = TestWorkload(data);
+
+  QueryContext truth_cost;
+  uint64_t truth_results = 0;
+  {
+    QueryContext ctx;
+    for (const QueryOp& op : ops) {
+      truth_results += ExecuteQueryOp(*index, op, ctx);
+    }
+    truth_cost = ctx;
+  }
+
+  BatchQueryEngine engine(kThreads);
+  EXPECT_EQ(engine.threads(), kThreads);
+  const BatchQueryStats st = engine.Run(*index, ops);
+  EXPECT_EQ(st.queries, ops.size());
+  EXPECT_EQ(st.total_results, truth_results);
+  EXPECT_EQ(st.cost.block_accesses, truth_cost.block_accesses);
+  EXPECT_GT(st.throughput_qps, 0.0);
+  EXPECT_GE(st.p99_us, st.p50_us);
+  EXPECT_GE(st.max_us, st.p99_us);
+
+  // The pool is reusable: a second batch on the same engine agrees.
+  const BatchQueryStats again = engine.Run(*index, ops);
+  EXPECT_EQ(again.total_results, truth_results);
+  EXPECT_EQ(again.cost.block_accesses, truth_cost.block_accesses);
+}
+
+TEST(BatchQueryEngineTest, ThreadCountDoesNotChangeAnswers) {
+  const auto data = GenerateDataset(Distribution::kUniform, 2000, 9);
+  const auto index = MakeIndex(IndexKind::kGrid, data, TestConfig());
+  const auto ops = TestWorkload(data);
+
+  BatchQueryEngine one(1);
+  BatchQueryEngine eight(kThreads);
+  const BatchQueryStats a = one.Run(*index, ops);
+  const BatchQueryStats b = eight.Run(*index, ops);
+  EXPECT_EQ(a.total_results, b.total_results);
+  EXPECT_EQ(a.cost.block_accesses, b.cost.block_accesses);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+TEST(BatchQueryEngineTest, EmptyWorkloadAndClampedThreads) {
+  const auto data = GenerateDataset(Distribution::kUniform, 500, 3);
+  const auto index = MakeIndex(IndexKind::kGrid, data, TestConfig());
+  BatchQueryEngine engine(0);  // clamped to 1
+  EXPECT_EQ(engine.threads(), 1);
+  const BatchQueryStats st = engine.Run(*index, {});
+  EXPECT_EQ(st.queries, 0u);
+  EXPECT_EQ(st.total_results, 0u);
+  EXPECT_EQ(st.p50_us, 0.0);
+}
+
+TEST(BuildMixedWorkloadTest, MixAndDeterminism) {
+  const auto data = GenerateDataset(Distribution::kUniform, 1000, 5);
+  WorkloadMix mix;
+  mix.point_frac = 0.5;
+  mix.window_frac = 0.25;
+  mix.k = 7;
+  const auto a = BuildMixedWorkload(data, 400, mix, 11);
+  const auto b = BuildMixedWorkload(data, 400, mix, 11);
+  ASSERT_EQ(a.size(), 400u);
+  size_t points = 0;
+  size_t windows = 0;
+  size_t knns = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a[i].type), static_cast<int>(b[i].type));
+    switch (a[i].type) {
+      case QueryOp::Type::kPoint:
+        ++points;
+        break;
+      case QueryOp::Type::kWindow:
+        ++windows;
+        break;
+      case QueryOp::Type::kKnn:
+        ++knns;
+        EXPECT_EQ(a[i].k, 7u);
+        break;
+    }
+  }
+  EXPECT_EQ(points, 200u);
+  EXPECT_EQ(windows, 100u);
+  EXPECT_EQ(knns, 100u);
+}
+
+}  // namespace
+}  // namespace rsmi

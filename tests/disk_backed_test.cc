@@ -57,13 +57,13 @@ TEST(DiskBackedTest, HookCountsEveryBlockAccess) {
                                        TempPath("db_hook.pag"), 4);
   ASSERT_NE(disk, nullptr);
 
-  index->ResetBlockAccesses();
   disk->ResetStats();
+  QueryContext ctx;
   for (size_t i = 0; i < 200; ++i) {
-    index->PointQuery(data[i * 7 % data.size()]);
+    index->PointQuery(data[i * 7 % data.size()], ctx);
   }
   const auto& st = disk->pool_stats();
-  EXPECT_EQ(st.hits + st.misses, index->block_accesses());
+  EXPECT_EQ(st.hits + st.misses, ctx.block_accesses);
   EXPECT_EQ(disk->disk_reads(), st.misses);
   EXPECT_FALSE(disk->io_error());
 }

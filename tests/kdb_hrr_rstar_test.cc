@@ -139,10 +139,10 @@ TEST(HrrTest, WindowExactAfterBoundaryStraddlingInserts) {
 TEST(HrrTest, BTreeAccountingChargesWindowQueries) {
   const auto data = GenerateUniform(2000, 17);
   HrrTree hrr(data, HrrTestConfig());
-  hrr.ResetBlockAccesses();
-  hrr.WindowQuery(Rect{{0.4, 0.4}, {0.41, 0.41}});
+  QueryContext ctx;
+  hrr.WindowQuery(Rect{{0.4, 0.4}, {0.41, 0.41}}, ctx);
   // At least the four B+-tree lookups (2 per dimension) plus the root.
-  EXPECT_GE(hrr.block_accesses(), 5u);
+  EXPECT_GE(ctx.block_accesses, 5u);
 }
 
 // ---------------------------------------------------------------------------

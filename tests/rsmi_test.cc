@@ -363,18 +363,20 @@ TEST(RsmiStructureTest, DeterministicBuildAndQueries) {
 TEST(RsmiStructureTest, BlockAccessCountingWorks) {
   const auto data = GenerateUniform(3000, 14);
   RsmiIndex index(data, TestConfig());
-  index.ResetBlockAccesses();
-  EXPECT_EQ(index.block_accesses(), 0u);
-  index.PointQuery(data[123]);
-  const uint64_t after_point = index.block_accesses();
+  QueryContext pctx;
+  index.PointQuery(data[123], pctx);
+  const uint64_t after_point = pctx.block_accesses;
   EXPECT_GE(after_point, 1u);
   // A point query touches at most err_below + err_above + 1 blocks.
   EXPECT_LE(after_point,
             static_cast<uint64_t>(index.MaxErrBelow() + index.MaxErrAbove() +
                                   1));
-  index.ResetBlockAccesses();
-  index.WindowQuery(Rect{{0.4, 0.4}, {0.6, 0.6}});
-  EXPECT_GT(index.block_accesses(), 0u);
+  // The descent is charged too: one completed descent, >= 1 sub-model.
+  EXPECT_EQ(pctx.descents, 1u);
+  EXPECT_GE(pctx.model_invocations, 1u);
+  QueryContext wctx;
+  index.WindowQuery(Rect{{0.4, 0.4}, {0.6, 0.6}}, wctx);
+  EXPECT_GT(wctx.block_accesses, 0u);
 }
 
 TEST(RsmiRebuildTest, RebuildRestoresThresholdAndCorrectness) {

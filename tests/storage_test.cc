@@ -27,14 +27,19 @@ TEST(BlockStoreTest, AllocChainsSequentially) {
 TEST(BlockStoreTest, AccessCounting) {
   BlockStore store(4);
   const int a = store.Alloc();
-  EXPECT_EQ(store.accesses(), 0u);
-  store.Access(a);
-  store.Access(a);
-  EXPECT_EQ(store.accesses(), 2u);
-  store.CountAccess(3);
-  EXPECT_EQ(store.accesses(), 5u);
+  QueryContext ctx;
+  EXPECT_EQ(ctx.block_accesses, 0u);
+  store.Access(a, ctx);
+  store.Access(a, ctx);
+  EXPECT_EQ(ctx.block_accesses, 2u);
+  ctx.CountBlockAccess(3);
+  EXPECT_EQ(ctx.block_accesses, 5u);
   store.MutableBlock(a);  // uncounted
   store.Peek(a);          // uncounted
+  EXPECT_EQ(ctx.block_accesses, 5u);
+  // The legacy aggregate only sees contexts folded into it.
+  EXPECT_EQ(store.accesses(), 0u);
+  store.AggregateAccesses(ctx.block_accesses);
   EXPECT_EQ(store.accesses(), 5u);
   store.ResetAccesses();
   EXPECT_EQ(store.accesses(), 0u);
@@ -93,12 +98,12 @@ TEST(BlockStoreTest, ScanRangeVisitsSplicedBlocks) {
   store.MutableBlock(o2).entries.push_back({{0.2, 0.2}, 200});
 
   std::vector<int64_t> ids;
-  store.ResetAccesses();
-  store.ScanRange(build[1], build[4], [&](const Block& blk) {
+  QueryContext ctx;
+  store.ScanRange(build[1], build[4], ctx, [&](const Block& blk) {
     for (const auto& e : blk.entries) ids.push_back(e.id);
   });
   // Visits blocks 1, o1, 2, 3, o2, 4 -> 6 accesses, both overflow entries.
-  EXPECT_EQ(store.accesses(), 6u);
+  EXPECT_EQ(ctx.block_accesses, 6u);
   ASSERT_EQ(ids.size(), 2u);
   EXPECT_EQ(ids[0], 100);
   EXPECT_EQ(ids[1], 200);
@@ -108,7 +113,8 @@ TEST(BlockStoreTest, ScanRangeHandlesReversedEndpoints) {
   BlockStore store(2);
   for (int i = 0; i < 4; ++i) store.Alloc();
   int visited = 0;
-  store.ScanRange(3, 1, [&](const Block&) { ++visited; });
+  QueryContext ctx;
+  store.ScanRange(3, 1, ctx, [&](const Block&) { ++visited; });
   EXPECT_EQ(visited, 3);  // blocks 1, 2, 3
 }
 
@@ -116,7 +122,8 @@ TEST(BlockStoreTest, ScanSingleBlock) {
   BlockStore store(2);
   const int a = store.Alloc();
   int visited = 0;
-  store.ScanRange(a, a, [&](const Block&) { ++visited; });
+  QueryContext ctx;
+  store.ScanRange(a, a, ctx, [&](const Block&) { ++visited; });
   EXPECT_EQ(visited, 1);
 }
 
@@ -148,7 +155,8 @@ TEST(BlockStoreTest, UnlinkAndSpliceReplaceRange) {
 
   // ScanRange across the spliced run sees all of it: 1, r0, r1, r2, 4.
   int visited = 0;
-  store.ScanRange(1, 4, [&](const Block&) { ++visited; });
+  QueryContext ctx;
+  store.ScanRange(1, 4, ctx, [&](const Block&) { ++visited; });
   EXPECT_EQ(visited, 5);
 }
 
@@ -184,7 +192,8 @@ TEST(BlockStoreTest, ScanRangeIncludesTrailingOverflowRun) {
   store.MutableBlock(o).entries.push_back({{0.5, 0.5}, 7});
 
   std::vector<int64_t> seen;
-  store.ScanRange(a, b, [&](const Block& blk) {
+  QueryContext ctx;
+  store.ScanRange(a, b, ctx, [&](const Block& blk) {
     for (const auto& e : blk.entries) seen.push_back(e.id);
   });
   ASSERT_EQ(seen.size(), 1u);
@@ -194,14 +203,14 @@ TEST(BlockStoreTest, ScanRangeIncludesTrailingOverflowRun) {
 TEST(BlockStoreTest, ScanRangeUntilStopsEarly) {
   BlockStore store(2);
   for (int i = 0; i < 5; ++i) store.Alloc();
-  store.ResetAccesses();
+  QueryContext ctx;
   int visited = 0;
-  store.ScanRangeUntil(0, 4, [&](const Block&) {
+  store.ScanRangeUntil(0, 4, ctx, [&](const Block&) {
     ++visited;
     return visited == 2;  // stop after two blocks
   });
   EXPECT_EQ(visited, 2);
-  EXPECT_EQ(store.accesses(), 2u);
+  EXPECT_EQ(ctx.block_accesses, 2u);
 }
 
 TEST(BlockStoreTest, SizeBytesScalesWithBlocks) {

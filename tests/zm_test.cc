@@ -34,13 +34,13 @@ TEST(ZmTest, RmiLevelSizesFollowPaperRule) {
 TEST(ZmTest, PointQueryUsesBinarySearchNotLinearScan) {
   const auto data = GenerateSkewed(10000, 5);
   ZmIndex zm(data, TestConfig());
-  zm.ResetBlockAccesses();
+  QueryContext ctx;
   const size_t probes = 500;
   for (size_t i = 0; i < probes; ++i) {
-    ASSERT_TRUE(zm.PointQuery(data[i * 17]).has_value());
+    ASSERT_TRUE(zm.PointQuery(data[i * 17], ctx).has_value());
   }
   const double avg =
-      static_cast<double>(zm.block_accesses()) / probes;
+      static_cast<double>(ctx.block_accesses) / probes;
   // The error bound spans dozens of blocks on skewed data; binary search
   // keeps the per-query cost logarithmic in that span. The paper reports
   // single-digit averages for ZM (Section 6.2.2).

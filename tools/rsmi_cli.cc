@@ -9,6 +9,7 @@
 //   rsmi_cli knn      --index=/tmp/poi.rsmi --x=0.5 --y=0.5 --k=10
 //   rsmi_cli insert   --index=/tmp/poi.rsmi --data=/tmp/more.csv --rebuild
 //   rsmi_cli bench    --data=/tmp/points.csv --queries=500
+//   rsmi_cli throughput --data=/tmp/points.csv --threads=8 --queries=5000
 //
 // Every command prints one result per line on stdout; diagnostics go to
 // stderr. Exit status 0 on success, 1 on usage errors or I/O failure.
@@ -22,6 +23,7 @@
 
 #include "common/timer.h"
 #include "core/rsmi_index.h"
+#include "exec/batch_query_engine.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
@@ -91,7 +93,9 @@ int Usage() {
       "  knn       --index=FILE --x=X --y=Y [--k=10] [--exact]\n"
       "  insert    --index=FILE --data=FILE [--rebuild] [--out=FILE]\n"
       "  delete    --index=FILE --x=X --y=Y [--out=FILE]\n"
-      "  bench     --data=FILE [--queries=200] [--k=25] [--area=0.0001]\n");
+      "  bench     --data=FILE [--queries=200] [--k=25] [--area=0.0001]\n"
+      "  throughput --data=FILE [--threads=1,8] [--queries=5000] [--k=25]\n"
+      "            [--area=0.0001] [--point-frac=0.6] [--window-frac=0.3]\n");
   return 1;
 }
 
@@ -238,14 +242,15 @@ int CmdWindow(const Flags& flags) {
   if (index == nullptr || !ParseRect(flags.Get("rect", ""), &w)) {
     return Usage();
   }
+  QueryContext ctx;
   WallTimer t;
-  const auto result =
-      flags.Has("exact") ? index->WindowQueryExact(w) : index->WindowQuery(w);
+  const auto result = flags.Has("exact") ? index->WindowQueryExact(w, ctx)
+                                         : index->WindowQuery(w, ctx);
   const double us = t.ElapsedMicros();
   for (const Point& p : result) std::printf("%.17g,%.17g\n", p.x, p.y);
   std::fprintf(stderr, "%zu points in %.1f us (%llu block accesses)\n",
                result.size(), us,
-               static_cast<unsigned long long>(index->block_accesses()));
+               static_cast<unsigned long long>(ctx.block_accesses));
   return 0;
 }
 
@@ -326,13 +331,12 @@ int CmdBench(const Flags& flags) {
   const auto points = GenerateQueryPoints(pts, nq, 4242);
   const auto windows = GenerateWindowQueries(pts, nq, area, 1.0, 4242);
 
-  index.ResetBlockAccesses();
+  QueryContext pctx;
   WallTimer pt;
-  for (const auto& q : points) index.PointQuery(q);
+  for (const auto& q : points) index.PointQuery(q, pctx);
   const double p_us = pt.ElapsedMicros() / nq;
-  const double p_blocks = static_cast<double>(index.block_accesses()) / nq;
+  const double p_blocks = static_cast<double>(pctx.block_accesses) / nq;
 
-  index.ResetBlockAccesses();
   WallTimer wt;
   double recall_sum = 0.0;
   for (const auto& w : windows) {
@@ -356,6 +360,68 @@ int CmdBench(const Flags& flags) {
   return 0;
 }
 
+
+/// Parses "1,2,8" into thread counts; empty/invalid entries are skipped.
+std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const int v = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (v > 0) out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int CmdThroughput(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  if (data_path.empty()) return Usage();
+  std::vector<Point> pts;
+  if (!LoadPoints(data_path, &pts)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  DeduplicatePositions(&pts, 42);
+
+  std::fprintf(stderr, "building RSMI over %zu points...\n", pts.size());
+  WallTimer build_timer;
+  RsmiIndex index(pts, ConfigFromFlags(flags));
+  std::fprintf(stderr, "built in %.2fs\n", build_timer.ElapsedSeconds());
+
+  WorkloadMix mix;
+  mix.point_frac = flags.GetDouble("point-frac", 0.6);
+  mix.window_frac = flags.GetDouble("window-frac", 0.3);
+  mix.window_area = flags.GetDouble("area", 0.0001);
+  mix.k = static_cast<uint32_t>(flags.GetInt("k", 25));
+  const size_t nq = static_cast<size_t>(flags.GetInt("queries", 5000));
+  const auto ops = BuildMixedWorkload(
+      pts, nq, mix, static_cast<uint64_t>(flags.GetInt("seed", 4242)));
+
+  const auto threads = ParseThreadList(flags.Get("threads", "1,8"));
+  if (threads.empty()) return Usage();
+
+  std::printf("%8s %14s %12s %12s %12s %14s\n", "threads", "queries/s",
+              "p50_us", "p99_us", "wall_s", "blocks/query");
+  // The first row is the speedup baseline for the rest.
+  double base_qps = 0.0;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    BatchQueryEngine engine(threads[i]);
+    const BatchQueryStats st = engine.Run(index, ops);
+    if (i == 0) base_qps = st.throughput_qps;
+    std::printf("%8d %14.0f %12.1f %12.1f %12.3f %14.2f", threads[i],
+                st.throughput_qps, st.p50_us, st.p99_us, st.wall_seconds,
+                static_cast<double>(st.cost.block_accesses) /
+                    static_cast<double>(st.queries));
+    if (i > 0 && base_qps > 0.0) {
+      std::printf("   (%.2fx)", st.throughput_qps / base_qps);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
@@ -373,6 +439,7 @@ int Run(int argc, char** argv) {
   if (cmd == "insert") return CmdInsert(flags);
   if (cmd == "delete") return CmdDelete(flags);
   if (cmd == "bench") return CmdBench(flags);
+  if (cmd == "throughput") return CmdThroughput(flags);
   return Usage();
 }
 

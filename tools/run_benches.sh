@@ -3,6 +3,7 @@
 #
 # Usage:
 #   tools/run_benches.sh [--smoke] [--build-dir DIR] [--out DIR] [FILTER]
+#   tools/run_benches.sh --pr2-json [FILE]
 #
 #   --smoke       Tiny configuration (RSMI_BENCH_N=2000, 20 queries,
 #                 min benchmark time 0.01s) — the same setup CI uses via
@@ -10,6 +11,14 @@
 #   --build-dir   Build tree containing bench/ binaries (default: build).
 #   --out         Write one JSON file per bench into DIR
 #                 (--benchmark_out, format json).
+#   --pr2-json    Run only bench_throughput_scale at the PR-2 acceptance
+#                 configuration (uniform 1M points, threads x index sweep)
+#                 and write Google Benchmark JSON to FILE (default:
+#                 BENCH_PR2.json). Index kinds default to the fast bulk
+#                 builders (Grid|HRR|KDB|ZM) so the snapshot stays
+#                 minutes, not hours; override with RSMI_PR2_FILTER=.
+#                 RSMI_PR2_N overrides the point count. Meaningful
+#                 scaling numbers require >= 8 physical cores.
 #   FILTER        Only run benches whose name contains this substring.
 set -euo pipefail
 
@@ -17,12 +26,17 @@ build_dir=build
 out_dir=""
 smoke=0
 filter=""
+pr2_json=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out_dir="$2"; shift 2 ;;
+    --pr2-json)
+      pr2_json="BENCH_PR2.json"
+      if [[ $# -gt 1 && "${2:-}" != --* ]]; then pr2_json="$2"; shift; fi
+      shift ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) filter="$1"; shift ;;
   esac
@@ -32,6 +46,19 @@ bench_dir="$build_dir/bench"
 if [[ ! -d "$bench_dir" ]]; then
   echo "error: $bench_dir not found — build first (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
   exit 1
+fi
+
+if [[ -n "$pr2_json" ]]; then
+  bench="$bench_dir/bench_throughput_scale"
+  if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not found (Google Benchmark installed?)" >&2
+    exit 1
+  fi
+  export RSMI_BENCH_N="${RSMI_PR2_N:-1000000}"
+  echo "=== bench_throughput_scale (n=$RSMI_BENCH_N) -> $pr2_json ===" >&2
+  exec "$bench" \
+    --benchmark_filter="${RSMI_PR2_FILTER:-/(Grid|HRR|KDB|ZM)/}" \
+    --benchmark_out="$pr2_json" --benchmark_out_format=json
 fi
 
 extra_args=()
