@@ -1,0 +1,128 @@
+// Micro-bench of the vectorized inference engine: looped scalar
+// Mlp::Predict vs batched Mlp::PredictBatch on the sub-model shapes the
+// indices actually instantiate. The Batch benchmarks report
+// `speedup_vs_scalar` (the PR-3 acceptance criterion: >= 2x on AVX2
+// hardware) and `avx2` (1 when the AVX2 kernel is active — force the
+// portable path with RSMI_FORCE_SCALAR=1). The CI bench-regression gate
+// also uses the scalar ns/op as its machine-speed calibration (see
+// tools/check_bench_regression.py).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "nn/inference_engine.h"
+#include "nn/mlp.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+struct Shape {
+  const char* name;
+  int in;
+  int hidden;
+};
+
+// RSMI leaf / RSMI internal / ZM leaf / ZM internal (paper sizing rules).
+const Shape kShapes[] = {
+    {"RsmiLeaf_in2_h51", 2, 51},
+    {"RsmiInternal_in2_h9", 2, 9},
+    {"ZmLeaf_in1_h50", 1, 50},
+    {"ZmInternal_in1_h16", 1, 16},
+};
+
+size_t BatchSize() {
+  // RSMI_BENCH_N doubles as the batch size so smoke runs stay tiny.
+  const int64_t n = GetEnvInt64("RSMI_BENCH_N", 0);
+  return n > 0 ? static_cast<size_t>(n) : 4096;
+}
+
+Mlp MakeModel(const Shape& s) {
+  // Wide random init (the index's own init rule): spreads the sigmoids
+  // over the input range like a trained sub-model does.
+  return Mlp(s.in, s.hidden, /*seed=*/42, /*init_scale=*/24.0);
+}
+
+std::vector<double> MakeInputs(const Shape& s, size_t n) {
+  Rng rng(7);
+  std::vector<double> xs(n * s.in);
+  for (double& v : xs) v = rng.Uniform(-1.0, 1.0);
+  return xs;
+}
+
+/// Scalar ns/op measured by the Scalar benchmarks, consumed by the Batch
+/// benchmarks to report the speedup (benchmarks run in registration
+/// order: Scalar/<shape> registers before Batch/<shape>).
+std::map<std::string, double>& ScalarNs() {
+  static std::map<std::string, double> m;
+  return m;
+}
+
+void ScalarBench(benchmark::State& state, const Shape& shape) {
+  const Mlp mlp = MakeModel(shape);
+  const size_t n = BatchSize();
+  const auto xs = MakeInputs(shape, n);
+  std::vector<double> out(n);
+  WallTimer t;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = mlp.Predict(&xs[i * shape.in]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double ns = 1e9 * t.ElapsedSeconds() /
+                    (static_cast<double>(state.iterations()) *
+                     static_cast<double>(n));
+  ScalarNs()[shape.name] = ns;
+  state.counters["ns_per_op"] = ns;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BatchBench(benchmark::State& state, const Shape& shape) {
+  const Mlp mlp = MakeModel(shape);
+  const size_t n = BatchSize();
+  const auto xs = MakeInputs(shape, n);
+  std::vector<double> out(n);
+  WallTimer t;
+  for (auto _ : state) {
+    mlp.PredictBatch(xs.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double ns = 1e9 * t.ElapsedSeconds() /
+                    (static_cast<double>(state.iterations()) *
+                     static_cast<double>(n));
+  state.counters["ns_per_op"] = ns;
+  const auto it = ScalarNs().find(shape.name);
+  state.counters["speedup_vs_scalar"] =
+      (it != ScalarNs().end() && ns > 0.0) ? it->second / ns : 0.0;
+  state.counters["avx2"] =
+      ActiveInferenceKernel() == InferenceKernel::kAvx2 ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (const Shape& s : kShapes) {
+    benchmark::RegisterBenchmark(
+        (std::string("Inference/Scalar/") + s.name).c_str(),
+        [s](benchmark::State& st) { ScalarBench(st, s); });
+    benchmark::RegisterBenchmark(
+        (std::string("Inference/Batch/") + s.name).c_str(),
+        [s](benchmark::State& st) { BatchBench(st, s); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

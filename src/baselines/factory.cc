@@ -117,6 +117,10 @@ class RsmiView : public SpatialIndex {
                               QueryContext& ctx) const override {
     return impl_->KnnQuery(q, k, ctx);
   }
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                       std::optional<PointEntry>* out) const override {
+    impl_->PointQueryBatch(qs, n, ctx, out);
+  }
   void Insert(const Point& p) override { impl_->Insert(p); }
   bool Delete(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override { return impl_->Stats(); }
@@ -124,15 +128,6 @@ class RsmiView : public SpatialIndex {
     impl_->AggregateQueryContext(ctx);
   }
   uint64_t block_accesses() const override { return impl_->block_accesses(); }
-  // Forwards the deprecated shim to the shared impl (see RsmiaView).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
   const BlockStore& block_store() const override {
     return impl_->block_store();
   }

@@ -75,6 +75,10 @@ class RsmiaView : public SpatialIndex {
                               QueryContext& ctx) const override {
     return impl_->KnnQueryExact(q, k, ctx);
   }
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                       std::optional<PointEntry>* out) const override {
+    impl_->PointQueryBatch(qs, n, ctx, out);
+  }
   void Insert(const Point& p) override { impl_->Insert(p); }
   bool Delete(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override {
@@ -86,16 +90,6 @@ class RsmiaView : public SpatialIndex {
     impl_->AggregateQueryContext(ctx);
   }
   uint64_t block_accesses() const override { return impl_->block_accesses(); }
-  // Forwards the deprecated shim to the shared impl (suppressed: the
-  // override must keep existing so legacy callers hit the shared RSMI).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  void ResetBlockAccesses() const override { impl_->ResetBlockAccesses(); }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
   const BlockStore& block_store() const override {
     return impl_->block_store();
   }

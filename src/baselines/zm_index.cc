@@ -7,6 +7,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/group_by.h"
 #include "sfc/z_curve.h"
 
 namespace rsmi {
@@ -215,11 +216,113 @@ ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z,
   return out;
 }
 
+void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
+                                QueryContext& ctx, Prediction* out) const {
+  if (n == 0) return;
+  if (n_build_ == 0 || root_ == nullptr) {
+    std::fill(out, out + n, Prediction{});
+    return;
+  }
+  if (n == 1) {
+    out[0] = PredictBlock(zs[0], ctx);
+    return;
+  }
+  ctx.model_invocations += 3 * n;
+  ctx.descents += n;
+
+  std::vector<double> zn(n);
+  for (size_t i = 0; i < n; ++i) zn[i] = NormZ(zs[i]);
+
+  // Level 0: one vectorized evaluation for the whole batch.
+  std::vector<double> pred(n);
+  root_->PredictBatch(zn.data(), n, pred.data());
+  std::vector<size_t> bucket(n);
+  for (size_t i = 0; i < n; ++i) {
+    bucket[i] = std::min<size_t>(
+        mid_.size() - 1, static_cast<size_t>(std::max(0.0, pred[i]) *
+                                             static_cast<double>(mid_.size())));
+  }
+
+  // Levels 1 and 2: gather the samples landing on the same sub-model
+  // and evaluate each group at once.
+  std::vector<uint32_t> order;
+  std::vector<double> gx;
+  std::vector<double> gp;
+  auto run_level = [&](auto predict_group) {
+    ForEachGroupBy(
+        n, &order, [&](uint32_t i) { return bucket[i]; },
+        [&](const uint32_t* grp, size_t m) {
+          gx.resize(m);
+          for (size_t t = 0; t < m; ++t) gx[t] = zn[grp[t]];
+          predict_group(bucket[grp[0]], grp, m);
+        });
+  };
+
+  run_level([&](size_t b, const uint32_t* grp, size_t m) {
+    gp.resize(m);
+    mid_[b]->PredictBatch(gx.data(), m, gp.data());
+    for (size_t t = 0; t < m; ++t) {
+      bucket[grp[t]] = std::min<size_t>(
+          leaves_.size() - 1,
+          static_cast<size_t>(std::max(0.0, gp[t]) *
+                              static_cast<double>(leaves_.size())));
+    }
+  });
+
+  run_level([&](size_t c, const uint32_t* grp, size_t m) {
+    const LeafModel& lm = leaves_[c];
+    if (!lm.trained) {
+      // Untrained bucket: conservative whole-range prediction, exactly
+      // like the scalar path.
+      Prediction p;
+      p.block = num_build_blocks_ / 2;
+      p.err_below = num_build_blocks_;
+      p.err_above = num_build_blocks_;
+      for (size_t t = 0; t < m; ++t) out[grp[t]] = p;
+      return;
+    }
+    gp.resize(m);
+    lm.model->PredictBatch(gx.data(), m, gp.data());
+    for (size_t t = 0; t < m; ++t) {
+      Prediction p;
+      p.block = Clamp(static_cast<int>(std::max(0.0, gp[t]) *
+                                       static_cast<double>(n_build_ - 1)) /
+                          cfg_.block_capacity,
+                      0, num_build_blocks_ - 1);
+      p.err_below = lm.err_below;
+      p.err_above = lm.err_above;
+      out[grp[t]] = p;
+    }
+  });
+}
+
 std::optional<PointEntry> ZmIndex::PointQuery(const Point& q,
                                               QueryContext& ctx) const {
   if (n_build_ == 0 && !has_insertions_) return std::nullopt;
   const uint64_t zq = ZValue(q);
   const Prediction pred = PredictBlock(zq, ctx);
+  return LookupWithPrediction(q, zq, pred, ctx);
+}
+
+void ZmIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                              std::optional<PointEntry>* out) const {
+  if (n == 0) return;
+  if (n_build_ == 0 && !has_insertions_) {
+    std::fill(out, out + n, std::nullopt);
+    return;
+  }
+  std::vector<uint64_t> zs(n);
+  for (size_t i = 0; i < n; ++i) zs[i] = ZValue(qs[i]);
+  std::vector<Prediction> preds(n);
+  PredictBlockBatch(zs.data(), n, ctx, preds.data());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = LookupWithPrediction(qs[i], zs[i], preds[i], ctx);
+  }
+}
+
+std::optional<PointEntry> ZmIndex::LookupWithPrediction(
+    const Point& q, uint64_t zq, const Prediction& pred,
+    QueryContext& ctx) const {
   int lo = Clamp(pred.block - pred.err_below, 0, num_build_blocks_ - 1);
   int hi = Clamp(pred.block + pred.err_above, 0, num_build_blocks_ - 1);
 
@@ -296,11 +399,15 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q,
 std::pair<int, int> ZmIndex::WindowBlockRange(const Rect& w,
                                               QueryContext& ctx) const {
   // Z-curve: the window's min/max curve values are at the bottom-left and
-  // top-right corners (Section 4.2).
-  const Prediction pl = PredictBlock(ZValue(w.lo), ctx);
-  const Prediction ph = PredictBlock(ZValue(w.hi), ctx);
-  const int begin = Clamp(pl.block - pl.err_below, 0, num_build_blocks_ - 1);
-  const int end = Clamp(ph.block + ph.err_above, 0, num_build_blocks_ - 1);
+  // top-right corners (Section 4.2). Both corners descend through the
+  // batched path — the root (and usually the mid) model is shared, so
+  // the pair costs one vectorized evaluation per level.
+  const uint64_t zs[2] = {ZValue(w.lo), ZValue(w.hi)};
+  Prediction p[2];
+  PredictBlockBatch(zs, 2, ctx, p);
+  const int begin =
+      Clamp(p[0].block - p[0].err_below, 0, num_build_blocks_ - 1);
+  const int end = Clamp(p[1].block + p[1].err_above, 0, num_build_blocks_ - 1);
   return {begin, std::max(begin, end)};
 }
 

@@ -61,6 +61,12 @@ class ZmIndex : public SpatialIndex {
                                  QueryContext& ctx) const override;
   std::vector<Point> KnnQuery(const Point& q, size_t k,
                               QueryContext& ctx) const override;
+  /// Batched point lookup: one vectorized RMI descent for all `n`
+  /// Z-values (levels evaluated group-wise through PredictBatch), then
+  /// the per-query binary search. Results and costs are identical to
+  /// `n` scalar PointQuery calls.
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                       std::optional<PointEntry>* out) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
@@ -95,6 +101,18 @@ class ZmIndex : public SpatialIndex {
     int err_above = 0;
   };
   Prediction PredictBlock(uint64_t z, QueryContext& ctx) const;
+
+  /// Batched model descent: evaluates all `n` Z-values through the
+  /// three-level RMI with one PredictBatch per (level, sub-model) group.
+  /// Bit-identical to n scalar PredictBlock calls, same ctx charges.
+  void PredictBlockBatch(const uint64_t* zs, size_t n, QueryContext& ctx,
+                         Prediction* out) const;
+
+  /// The search phase of a point query, with the model prediction for
+  /// `zq` already computed (shared by the scalar and batched paths).
+  std::optional<PointEntry> LookupWithPrediction(const Point& q, uint64_t zq,
+                                                 const Prediction& pred,
+                                                 QueryContext& ctx) const;
 
   /// Blocks to scan for a window query (corner predictions, Alg. 2 style).
   std::pair<int, int> WindowBlockRange(const Rect& w, QueryContext& ctx) const;

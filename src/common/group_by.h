@@ -1,0 +1,38 @@
+#ifndef RSMI_COMMON_GROUP_BY_H_
+#define RSMI_COMMON_GROUP_BY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace rsmi {
+
+/// Calls `fn(indices, count)` once per group of equal keys over the
+/// index range [0, n), where `key(i)` names element i's group. Grouping
+/// is by stable sort (O(n log n)), so each group's indices preserve
+/// input order — the batched descent paths use this to gather all
+/// queries sitting on the same sub-model/bucket for one vectorized
+/// evaluation. `scratch` is caller-owned so per-level callers reuse the
+/// allocation.
+template <typename KeyFn, typename GroupFn>
+void ForEachGroupBy(size_t n, std::vector<uint32_t>* scratch, KeyFn key,
+                    GroupFn fn) {
+  std::vector<uint32_t>& order = *scratch;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = begin + 1;
+    while (end < n && !(key(order[begin]) < key(order[end]))) ++end;
+    fn(order.data() + begin, end - begin);
+    begin = end;
+  }
+}
+
+}  // namespace rsmi
+
+#endif  // RSMI_COMMON_GROUP_BY_H_

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/group_by.h"
 #include "rank/rank_space.h"
 
 namespace rsmi {
@@ -363,11 +364,75 @@ int RsmiIndex::PredictLeafBlock(const Node& leaf, const Point& p) const {
   return Clamp(static_cast<int>(std::lround(pred * (m - 1))), 0, m - 1);
 }
 
+int RsmiIndex::ResolveChildSlot(const Node& node, int slot) {
+  // A query point can be predicted into a slot no indexed point was
+  // assigned to. Fall back to the nearest non-empty slot in curve
+  // order so window/kNN bounds always resolve to a leaf (DESIGN.md).
+  if (node.children[slot] != nullptr) return slot;
+  const int ncells = static_cast<int>(node.children.size());
+  for (int d = 1; d < ncells; ++d) {
+    if (slot - d >= 0 && node.children[slot - d]) return slot - d;
+    if (slot + d < ncells && node.children[slot + d]) return slot + d;
+  }
+  return slot;  // unreachable: internal nodes always have >= 1 child
+}
+
 const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p,
                                                  QueryContext& ctx) const {
   // Safe const_cast: with a null path the mutable descent only reads the
   // tree; all bookkeeping goes into the caller's context.
   return const_cast<RsmiIndex*>(this)->DescendNearestMutable(p, nullptr, ctx);
+}
+
+void RsmiIndex::DescendNearestBatch(const Point* qs, size_t n,
+                                    QueryContext& ctx,
+                                    const Node** leaves) const {
+  if (n == 0) return;
+  if (n == 1) {
+    leaves[0] = DescendNearest(qs[0], ctx);
+    return;
+  }
+  // Level-synchronous descent: every point holds its current node; per
+  // level, points on the same sub-model are grouped and evaluated with
+  // one PredictBatch call.
+  std::vector<const Node*> cur(n, root_.get());
+  std::vector<uint64_t> depth(n, 0);
+  std::vector<uint32_t> order;
+  std::vector<double> feat;
+  std::vector<double> pred;
+  feat.reserve(2 * n);
+  pred.reserve(n);
+  for (;;) {
+    bool any_internal = false;
+    ForEachGroupBy(
+        n, &order,
+        [&](uint32_t i) { return reinterpret_cast<uintptr_t>(cur[i]); },
+        [&](const uint32_t* grp, size_t m) {
+          const Node* nd = cur[grp[0]];
+          if (nd->leaf) return;
+          any_internal = true;
+          feat.resize(2 * m);
+          for (size_t t = 0; t < m; ++t) {
+            nd->Features(qs[grp[t]], &feat[2 * t]);
+          }
+          pred.resize(m);
+          nd->model->PredictBatch(feat.data(), m, pred.data());
+          const int ncells = static_cast<int>(nd->children.size());
+          for (size_t t = 0; t < m; ++t) {
+            const int slot = Clamp(
+                static_cast<int>(std::lround(pred[t] * (ncells - 1))), 0,
+                ncells - 1);
+            cur[grp[t]] = nd->children[ResolveChildSlot(*nd, slot)].get();
+            ++depth[grp[t]];
+          }
+        });
+    if (!any_internal) break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    leaves[i] = cur[i];
+    ctx.model_invocations += depth[i] + 1;
+  }
+  ctx.descents += n;
 }
 
 RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
@@ -379,21 +444,7 @@ RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
     if (path != nullptr) path->push_back(cur);
     ++depth;
     const int slot = PredictChildSlot(*cur, p);
-    Node* child = cur->children[slot].get();
-    if (child == nullptr) {
-      // A query point can be predicted into a slot no indexed point was
-      // assigned to. Fall back to the nearest non-empty slot in curve
-      // order so window/kNN bounds always resolve to a leaf (DESIGN.md).
-      const int ncells = static_cast<int>(cur->children.size());
-      for (int d = 1; d < ncells && child == nullptr; ++d) {
-        if (slot - d >= 0 && cur->children[slot - d]) {
-          child = cur->children[slot - d].get();
-        } else if (slot + d < ncells && cur->children[slot + d]) {
-          child = cur->children[slot + d].get();
-        }
-      }
-    }
-    cur = child;  // internal nodes always have at least one child
+    cur = cur->children[ResolveChildSlot(*cur, slot)].get();
   }
   if (path != nullptr) path->push_back(cur);
   ctx.model_invocations += depth + 1;
@@ -427,6 +478,57 @@ std::optional<PointEntry> RsmiIndex::PointQuery(const Point& q,
   return std::nullopt;
 }
 
+void RsmiIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                                std::optional<PointEntry>* out) const {
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = PointQuery(qs[0], ctx);
+    return;
+  }
+  std::vector<const Node*> leaves(n);
+  DescendNearestBatch(qs, n, ctx, leaves.data());
+
+  // Batch the leaf-model evaluations too: group points per leaf and
+  // predict each group's blocks with one call.
+  std::vector<int> pb(n, 0);
+  std::vector<uint32_t> order;
+  std::vector<double> feat;
+  std::vector<double> pred;
+  ForEachGroupBy(
+      n, &order,
+      [&](uint32_t i) { return reinterpret_cast<uintptr_t>(leaves[i]); },
+      [&](const uint32_t* grp, size_t m) {
+        const Node* leaf = leaves[grp[0]];
+        const int blocks = leaf->num_blocks;
+        if (blocks <= 1) return;  // pb stays 0, like PredictLeafBlock
+        feat.resize(2 * m);
+        for (size_t t = 0; t < m; ++t) {
+          leaf->Features(qs[grp[t]], &feat[2 * t]);
+        }
+        pred.resize(m);
+        leaf->model->PredictBatch(feat.data(), m, pred.data());
+        for (size_t t = 0; t < m; ++t) {
+          pb[grp[t]] = Clamp(
+              static_cast<int>(std::lround(pred[t] * (blocks - 1))), 0,
+              blocks - 1);
+        }
+      });
+
+  // The block probing is per point, exactly Algorithm 1's scan.
+  for (size_t i = 0; i < n; ++i) {
+    const Node& leaf = *leaves[i];
+    int block_id = -1;
+    size_t pos = 0;
+    if (FindEntryFrom(leaf, qs[i], pb[i], ctx, &block_id, &pos)) {
+      out[i] = store_.Peek(block_id).entries[pos];
+    } else if (const PointEntry* e = FindInBuffer(leaf, qs[i], ctx)) {
+      out[i] = *e;
+    } else {
+      out[i] = std::nullopt;
+    }
+  }
+}
+
 const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf, const Point& q,
                                           QueryContext& ctx) const {
   if (leaf.buffer.empty()) return nullptr;
@@ -443,11 +545,17 @@ const PointEntry* RsmiIndex::FindInBuffer(const Node& leaf, const Point& q,
 bool RsmiIndex::FindEntry(const Node& leaf, const Point& q,
                           QueryContext& ctx, int* block_id,
                           size_t* pos) const {
+  return FindEntryFrom(leaf, q, PredictLeafBlock(leaf, q), ctx, block_id,
+                       pos);
+}
+
+bool RsmiIndex::FindEntryFrom(const Node& leaf, const Point& q, int pb,
+                              QueryContext& ctx, int* block_id,
+                              size_t* pos) const {
   // Expand outward from the predicted block within the error interval —
   // the predicted block is right most of the time, which is what makes
   // the paper's average block accesses (~1.4) far smaller than the
   // maximum error bounds (Section 6.2.2).
-  const int pb = PredictLeafBlock(leaf, q);
   const int lo = std::max(0, pb - leaf.err_below);
   const int hi = std::min(leaf.num_blocks - 1, pb + leaf.err_above);
   auto scan_run = [&](int local) {
@@ -503,11 +611,15 @@ std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w,
     corners[3] = Point{w.hi.x, w.lo.y};
     ncorners = 4;
   }
+  // The corner descents share the upper tree levels, so they go through
+  // the batched descent (one vectorized model evaluation per shared
+  // sub-model instead of one scalar call per corner per level).
+  const Node* leaves[4];
+  DescendNearestBatch(corners, ncorners, ctx, leaves);
   int begin = -1;
   int end = -1;
   for (size_t i = 0; i < ncorners; ++i) {
-    const Node* leaf = DescendNearest(corners[i], ctx);
-    const auto [lo, hi] = LeafPredictRange(*leaf, corners[i]);
+    const auto [lo, hi] = LeafPredictRange(*leaves[i], corners[i]);
     if (begin < 0 || store_.SeqOf(lo) < store_.SeqOf(begin)) begin = lo;
     if (end < 0 || store_.SeqOf(hi) > store_.SeqOf(end)) end = hi;
   }
@@ -1138,7 +1250,12 @@ bool RsmiIndex::ValidateStructure(std::string* error) const {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr uint64_t kIndexMagic = 0x52534D4931ull;  // "RSMI1"
+// "RSMI2": bumped in PR 3 — post-training predictions moved from libm
+// exp to the inference engine's polynomial exp, so error bounds and
+// groupings persisted by older binaries no longer match what this
+// binary would recompute. Refusing the old magic beats silently loading
+// an index whose stored bounds the new arithmetic can step outside of.
+constexpr uint64_t kIndexMagic = 0x52534D4932ull;  // "RSMI2"
 }  // namespace
 
 bool RsmiIndex::WriteNode(std::FILE* f, const Node& node) const {

@@ -58,6 +58,15 @@ class RsmiIndex : public SpatialIndex {
   std::vector<Point> KnnQuery(const Point& q, size_t k,
                               QueryContext& ctx) const override;
 
+  /// Batched point lookup: descends all `n` queries level-synchronously,
+  /// grouping the points sitting on the same sub-model and evaluating
+  /// each group with one vectorized PredictBatch call instead of `n`
+  /// scalar model invocations per level. Results and per-call costs are
+  /// identical to `n` scalar PointQuery calls (the inference engine is
+  /// bit-identical across batch sizes and kernels).
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                       std::optional<PointEntry>* out) const override;
+
   /// RSMIa: exact window query via an R-tree-style traversal of the
   /// sub-model MBRs and per-block MBRs (end of Section 4.2).
   std::vector<Point> WindowQueryExact(const Rect& w, QueryContext& ctx) const;
@@ -179,11 +188,21 @@ class RsmiIndex : public SpatialIndex {
   int PredictChildSlot(const Node& node, const Point& p) const;
   /// Local block index predicted by a leaf model (clamped to the leaf).
   int PredictLeafBlock(const Node& leaf, const Point& p) const;
+  /// Nearest non-empty child slot for a predicted slot (the DESIGN.md
+  /// fallback); shared by the scalar and batched descents so both
+  /// resolve the exact same child.
+  static int ResolveChildSlot(const Node& node, int slot);
   /// Descent by repeated sub-model invocation (Algorithm 1), falling back
   /// to the nearest non-empty child slot so a leaf is always reached.
   /// Insertions take the same path, which keeps every stored point
   /// findable (DESIGN.md key decision #4).
   const Node* DescendNearest(const Point& p, QueryContext& ctx) const;
+  /// Level-synchronous batched descent of `n` points: per level, points
+  /// on the same sub-model are evaluated with one PredictBatch call.
+  /// Writes each point's leaf into `leaves`; charges `ctx` exactly like
+  /// `n` scalar descents.
+  void DescendNearestBatch(const Point* qs, size_t n, QueryContext& ctx,
+                           const Node** leaves) const;
   /// Mutable robust descent collecting the root-to-leaf path (insertion
   /// needs it for recursive MBR maintenance, Section 5).
   Node* DescendNearestMutable(const Point& p, std::vector<Node*>* path,
@@ -198,6 +217,10 @@ class RsmiIndex : public SpatialIndex {
   /// candidate first). Returns false if absent.
   bool FindEntry(const Node& leaf, const Point& q, QueryContext& ctx,
                  int* block_id, size_t* pos) const;
+  /// FindEntry with the leaf-model prediction `pb` already computed (the
+  /// batched point path predicts whole leaf groups at once).
+  bool FindEntryFrom(const Node& leaf, const Point& q, int pb,
+                     QueryContext& ctx, int* block_id, size_t* pos) const;
 
   // --- update strategies (Section 5 + the Section 2 alternatives) ---
   /// Entries packed per block at (re)build time: B * build_fill_factor.

@@ -67,6 +67,18 @@ class SpatialIndex {
   virtual std::vector<Point> KnnQuery(const Point& q, size_t k,
                                       QueryContext& ctx) const = 0;
 
+  /// Answers `n` point queries in one call, writing `out[i]` for `qs[i]`.
+  /// Results and per-call costs are identical to running PointQuery once
+  /// per point; learned indices override this to batch all sub-model
+  /// evaluations level by level through the vectorized inference engine
+  /// (src/nn/inference_engine.h), which is where their per-query
+  /// function-call and cache-miss overhead goes away. The batch query
+  /// engine (src/exec/) feeds same-workload point lookups through here.
+  virtual void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                               std::optional<PointEntry>* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = PointQuery(qs[i], ctx);
+  }
+
   /// Context-free convenience wrappers (compatibility shims).
   ///
   /// \deprecated Prefer the QueryContext overloads: these wrappers exist
@@ -111,28 +123,16 @@ class SpatialIndex {
     block_store().AggregateAccesses(ctx.block_accesses);
   }
 
-  /// Block accesses aggregated from context-free queries since the last
-  /// reset.
+  /// Block accesses aggregated from context-free queries since the index
+  /// was built.
   ///
   /// \deprecated Compatibility shim over the QueryContext machinery —
   /// see the context-free query wrappers above. Kept for the figure
-  /// benches; new code should sum QueryContexts instead.
+  /// benches; new code should sum QueryContexts instead. The aggregate
+  /// is monotone: the old ResetBlockAccesses() shim is gone (reset-then-
+  /// measure cannot attribute costs under concurrency) — measure deltas
+  /// of this counter, or better, pass a QueryContext to the query.
   virtual uint64_t block_accesses() const { return block_store().accesses(); }
-  /// Zeroes the legacy aggregate.
-  ///
-  /// \deprecated The reset-then-measure pattern on a `const` index is
-  /// exactly what made the old read path thread-hostile, so this carries
-  /// the attribute (the only shim that does): migrate to a QueryContext
-  /// per call site. Still works — it only touches the thread-safe
-  /// aggregate — and the attribute keeps new call sites out of the tree
-  /// (-Werror CI). Overrides/tests that intentionally exercise the shim
-  /// suppress -Wdeprecated-declarations locally.
-  [[deprecated(
-      "reset-then-measure cannot attribute costs under concurrency; "
-      "pass a QueryContext to the query instead")]] virtual void
-  ResetBlockAccesses() const {
-    block_store().ResetAccesses();
-  }
 
   /// The store holding this index's data blocks. Lets callers attach the
   /// external-memory layer (DiskBackedBlocks) to any index uniformly.

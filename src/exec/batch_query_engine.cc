@@ -116,7 +116,41 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
     const size_t begin = job->next.fetch_add(kOpsPerGrab);
     if (begin >= ops.size()) break;
     const size_t end = std::min(begin + kOpsPerGrab, ops.size());
+
+    // Same-model grouping: the chunk's point lookups go through one
+    // PointQueryBatch call, which descends them level-synchronously and
+    // evaluates shared sub-models with single vectorized calls (learned
+    // indices override it; everything else loops — identical results
+    // either way). Window/kNN ops run individually as before.
+    size_t pt_ops[kOpsPerGrab];
+    Point pts[kOpsPerGrab];
+    size_t npts = 0;
     for (size_t i = begin; i < end; ++i) {
+      if (ops[i].type == QueryOp::Type::kPoint) {
+        pt_ops[npts] = i;
+        pts[npts] = ops[i].pt;
+        ++npts;
+      }
+    }
+    const bool batch_points = npts >= 2;
+    if (batch_points) {
+      std::optional<PointEntry> hits[kOpsPerGrab];
+      const auto t0 = std::chrono::steady_clock::now();
+      index.PointQueryBatch(pts, npts, local, hits);
+      // Latency attribution: the batch is timed as a whole and split
+      // evenly — per-op timers would charge the first op of a batch with
+      // all the shared model evaluations.
+      const double per_op = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count() /
+                            static_cast<double>(npts);
+      for (size_t t = 0; t < npts; ++t) {
+        results += hits[t].has_value() ? 1 : 0;
+        (*job->latency_us)[pt_ops[t]] = per_op;
+      }
+    }
+    for (size_t i = begin; i < end; ++i) {
+      if (batch_points && ops[i].type == QueryOp::Type::kPoint) continue;
       const auto t0 = std::chrono::steady_clock::now();
       results += ExecuteQueryOp(index, ops[i], local);
       (*job->latency_us)[i] =

@@ -72,6 +72,13 @@ struct BatchQueryStats {
 /// a thread-local QueryContext, so no query touches shared index state.
 /// Workers are spawned once in the constructor and reused across Run
 /// calls; Run itself is serialized (one batch in flight per engine).
+///
+/// Same-model grouping: the point lookups of every drained chunk are
+/// dispatched through SpatialIndex::PointQueryBatch, so learned indices
+/// evaluate sub-models shared across queries with single vectorized
+/// calls (src/nn/inference_engine.h). Results and cost totals are
+/// identical to per-op execution; batched point ops report the batch
+/// mean as their per-op latency.
 class BatchQueryEngine {
  public:
   /// Spawns `threads` workers (clamped to >= 1).

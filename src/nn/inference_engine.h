@@ -1,0 +1,101 @@
+#ifndef RSMI_NN_INFERENCE_ENGINE_H_
+#define RSMI_NN_INFERENCE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rsmi {
+
+/// Forward-pass kernels PredictBatch can dispatch to.
+enum class InferenceKernel {
+  /// Portable scalar kernel (always available, every platform).
+  kScalar,
+  /// 4-wide AVX2+FMA kernel, vectorized across the batch dimension
+  /// (x86-64 with GCC/Clang only; selected at runtime via cpuid).
+  kAvx2,
+};
+
+/// Display name: "scalar" / "avx2".
+std::string InferenceKernelName(InferenceKernel k);
+
+/// The kernel PredictBatch dispatches to in this process: the widest
+/// instruction set the CPU supports, unless the RSMI_FORCE_SCALAR
+/// environment variable is set non-zero (the escape hatch pins the
+/// scalar kernel; decided once at first use). Forcing scalar keeps the
+/// vector units off the inference path but does not change the
+/// arithmetic — every kernel is bit-identical by construction.
+InferenceKernel ActiveInferenceKernel();
+
+/// True if `k` can run on this machine and build.
+bool InferenceKernelAvailable(InferenceKernel k);
+
+/// Batched forward pass over one trained MLP's weights.
+///
+/// The engine snapshots the weights into a flat, 64-byte-aligned buffer
+/// (`[w1 | b1 | w2 | b2]`, the hot descent state of one sub-model on a
+/// single cache-line-aligned run) and serves `PredictBatch`, which
+/// evaluates `n` samples per call instead of paying per-sample call and
+/// cache-miss overhead — the per-level building block of the batched
+/// RSMI/ZM descents (src/core/, src/baselines/) and of the cross-query
+/// grouping in the batch query engine (src/exec/).
+///
+/// Every kernel computes the *same IEEE-754 operation sequence* per
+/// sample (explicit FMA plus a shared polynomial exp in both the scalar
+/// and the vector code), so the results are bit-identical across
+/// dispatch paths and machines — and bit-identical to `Mlp::Predict`,
+/// which delegates to this engine's scalar kernel. That invariant is
+/// what keeps learned-index structures reproducible: the grouping
+/// decisions made with batch inference at build time are retraced
+/// exactly by scalar inference at query time and vice versa
+/// (tests/inference_engine_test.cc asserts it to the last bit).
+///
+/// Thread-safety: immutable after construction; any number of threads
+/// may call the predict methods concurrently.
+class InferenceEngine {
+ public:
+  /// Snapshots the weights: `w1` is hidden x input row-major, `b1` and
+  /// `w2` have `hidden_dim` entries.
+  InferenceEngine(int input_dim, int hidden_dim, const double* w1,
+                  const double* b1, const double* w2, double b2);
+
+  InferenceEngine(const InferenceEngine& other);
+  InferenceEngine& operator=(const InferenceEngine& other);
+  InferenceEngine(InferenceEngine&&) noexcept = default;
+  InferenceEngine& operator=(InferenceEngine&&) noexcept = default;
+
+  /// Forward pass on `n` samples (`xs` holds n * input_dim row-major
+  /// features) through the active kernel; writes `n` outputs.
+  void PredictBatch(const double* xs, size_t n, double* out) const;
+
+  /// Same, through an explicitly chosen kernel (parity tests exercise
+  /// every available path). Falls back to scalar when `k` is not
+  /// available on this machine.
+  void PredictBatchWithKernel(InferenceKernel k, const double* xs, size_t n,
+                              double* out) const;
+
+  /// Single-sample forward pass (the scalar kernel; bit-identical to any
+  /// PredictBatch lane).
+  double Predict(const double* features) const;
+
+  int input_dim() const { return in_; }
+  int hidden_dim() const { return hidden_; }
+
+ private:
+  struct AlignedDeleter {
+    void operator()(double* p) const;
+  };
+
+  void CopyFrom(const InferenceEngine& other);
+
+  int in_;
+  int hidden_;
+  size_t len_ = 0;  ///< doubles in the flat buffer
+  /// Flat 64-byte-aligned weight buffer: [w1 (h*in) | b1 (h) | w2 (h) | b2].
+  std::unique_ptr<double[], AlignedDeleter> data_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_NN_INFERENCE_ENGINE_H_

@@ -7,10 +7,16 @@
 
 #include "common/rng.h"
 #include "common/serialize.h"
+#include "nn/inference_engine.h"
 
 namespace rsmi {
 namespace {
 
+/// Training-loop activation. Training keeps libm's exp (the gradient
+/// math has no reproducibility constraint — any close sigmoid trains the
+/// same weights); *post-training* predictions all go through the
+/// inference engine so build-time decisions and query-time retracing are
+/// bit-identical on every dispatch path.
 inline double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
 
 }  // namespace
@@ -32,17 +38,47 @@ Mlp::Mlp(int input_dim, int hidden_dim, uint64_t seed, double init_scale)
   }
   const double s2 = std::sqrt(6.0 / (hidden_ + 1));
   for (double& w : w2_) w = rng.Uniform(-s2, s2);
+  RebuildEngine();
+}
+
+Mlp::~Mlp() = default;
+Mlp::Mlp(Mlp&&) noexcept = default;
+Mlp& Mlp::operator=(Mlp&&) noexcept = default;
+
+Mlp::Mlp(const Mlp& other)
+    : in_(other.in_),
+      hidden_(other.hidden_),
+      w1_(other.w1_),
+      b1_(other.b1_),
+      w2_(other.w2_),
+      b2_(other.b2_) {
+  RebuildEngine();
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this != &other) {
+    in_ = other.in_;
+    hidden_ = other.hidden_;
+    w1_ = other.w1_;
+    b1_ = other.b1_;
+    w2_ = other.w2_;
+    b2_ = other.b2_;
+    RebuildEngine();
+  }
+  return *this;
+}
+
+void Mlp::RebuildEngine() {
+  engine_ = std::make_unique<InferenceEngine>(in_, hidden_, w1_.data(),
+                                              b1_.data(), w2_.data(), b2_);
 }
 
 double Mlp::Predict(const double* features) const {
-  double out = b2_;
-  for (int j = 0; j < hidden_; ++j) {
-    double a = b1_[j];
-    const double* wrow = &w1_[static_cast<size_t>(j) * in_];
-    for (int i = 0; i < in_; ++i) a += wrow[i] * features[i];
-    out += w2_[j] * Sigmoid(a);
-  }
-  return out;
+  return engine_->Predict(features);
+}
+
+void Mlp::PredictBatch(const double* xs, size_t n, double* out) const {
+  engine_->PredictBatch(xs, n, out);
 }
 
 double Mlp::Train(const std::vector<double>& x, const std::vector<double>& y,
@@ -166,6 +202,7 @@ double Mlp::Train(const std::vector<double>& x, const std::vector<double>& y,
       }
     }
   }
+  RebuildEngine();
   return last_loss;
 }
 
@@ -188,6 +225,7 @@ bool Mlp::ReadFrom(std::FILE* f, Mlp* out) {
       m.w2_.size() != static_cast<size_t>(hidden)) {
     return false;
   }
+  m.RebuildEngine();  // the reads above replaced the constructor's weights
   *out = std::move(m);
   return true;
 }

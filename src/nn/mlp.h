@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <cstddef>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 namespace rsmi {
+
+class InferenceEngine;
 
 /// Training knobs for Mlp::Train.
 ///
@@ -59,6 +62,11 @@ class Mlp {
   /// bench_ablation_training ablation).
   Mlp(int input_dim, int hidden_dim, uint64_t seed = 42,
       double init_scale = 0.0);
+  ~Mlp();
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) noexcept;
+  Mlp& operator=(Mlp&&) noexcept;
 
   /// Trains on `n` samples, where `x` holds n*input_dim row-major features
   /// and `y` holds n targets. Minimizes the L2 loss (Eq. 3). Returns the
@@ -67,7 +75,16 @@ class Mlp {
                const MlpTrainConfig& cfg);
 
   /// Forward pass on one sample (`features` has input_dim entries).
+  /// Delegates to the inference engine's scalar kernel, so the result is
+  /// bit-identical to the corresponding PredictBatch lane on every
+  /// dispatch path (see nn/inference_engine.h).
   double Predict(const double* features) const;
+
+  /// Batched forward pass on `n` samples (`xs` holds n*input_dim
+  /// row-major features, `out` receives n predictions) through the
+  /// vectorized inference engine. Bit-identical to calling Predict once
+  /// per sample — only faster.
+  void PredictBatch(const double* xs, size_t n, double* out) const;
 
   /// Convenience forward pass for 1-d inputs (ZM).
   double Predict1(double a) const {
@@ -88,20 +105,30 @@ class Mlp {
     return static_cast<size_t>(hidden_) * in_ + hidden_ + hidden_ + 1;
   }
 
-  /// In-memory footprint of the parameters (used for index-size metrics).
-  size_t SizeBytes() const { return ParameterCount() * sizeof(double); }
+  /// In-memory footprint of the model (used for index-size metrics):
+  /// the parameters plus the inference engine's aligned snapshot of
+  /// them (each trained model keeps both — the vectors for training and
+  /// persistence, the flat snapshot for serving).
+  size_t SizeBytes() const { return 2 * ParameterCount() * sizeof(double); }
 
   /// Binary persistence (index save/load).
   bool WriteTo(std::FILE* f) const;
   static bool ReadFrom(std::FILE* f, Mlp* out);
 
  private:
+  /// (Re)builds the inference engine's flat weight snapshot; called
+  /// whenever the weights change (construction, training, load).
+  void RebuildEngine();
+
   int in_;
   int hidden_;
   std::vector<double> w1_;  // hidden_ x in_
   std::vector<double> b1_;  // hidden_
   std::vector<double> w2_;  // hidden_
   double b2_ = 0.0;
+  /// Flat, cache-aligned weight snapshot serving Predict/PredictBatch
+  /// (never null after construction).
+  std::unique_ptr<InferenceEngine> engine_;
 };
 
 }  // namespace rsmi

@@ -149,9 +149,6 @@ class BlockStore {
   uint64_t accesses() const {
     return accesses_.load(std::memory_order_relaxed);
   }
-  void ResetAccesses() const {
-    accesses_.store(0, std::memory_order_relaxed);
-  }
   /// Folds `n` block accesses from a finished QueryContext into the
   /// legacy aggregate.
   void AggregateAccesses(uint64_t n) const {

@@ -123,6 +123,55 @@ TEST_P(ConcurrencyTest, EightThreadsMatchSingleThreadedGroundTruth) {
   }
 }
 
+TEST_P(ConcurrencyTest, BatchedPointPathMatchesScalarUnderEightThreads) {
+  // The batched point path (level-synchronous descent + vectorized
+  // inference, src/nn/inference_engine.h) is read-only like the scalar
+  // one: 8 threads batching the same lookups must reproduce the scalar
+  // single-threaded answers and per-replay costs exactly.
+  const auto data = GenerateDataset(Distribution::kSkewed, kPoints, 42);
+  const auto index = MakeIndex(GetParam(), data, TestConfig());
+
+  std::vector<Point> qs;
+  for (size_t i = 0; i < data.size(); i += 4) qs.push_back(data[i]);
+  for (size_t i = 2; i < data.size(); i += 16) {
+    qs.push_back(Point{data[i].x + 1e-3, data[i].y - 1e-3});
+  }
+
+  QueryContext truth_cost;
+  std::vector<int64_t> truth(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const auto hit = index->PointQuery(qs[i], truth_cost);
+    truth[i] = hit.has_value() ? hit->id : -1;
+  }
+
+  std::vector<std::vector<int64_t>> got(kThreads);
+  std::vector<QueryContext> costs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::optional<PointEntry>> hits(qs.size());
+      index->PointQueryBatch(qs.data(), qs.size(),
+                             costs[static_cast<size_t>(t)], hits.data());
+      auto& ids = got[static_cast<size_t>(t)];
+      ids.resize(qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        ids[i] = hits[i].has_value() ? hits[i]->id : -1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], truth) << "thread " << t;
+    EXPECT_EQ(costs[static_cast<size_t>(t)].block_accesses,
+              truth_cost.block_accesses)
+        << "thread " << t;
+    EXPECT_EQ(costs[static_cast<size_t>(t)].model_invocations,
+              truth_cost.model_invocations)
+        << "thread " << t;
+  }
+}
+
 TEST_P(ConcurrencyTest, LegacyAggregateSumsAllThreads) {
   const auto data = GenerateDataset(Distribution::kUniform, 1500, 7);
   const auto index = MakeIndex(GetParam(), data, TestConfig());

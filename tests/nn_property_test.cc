@@ -265,7 +265,7 @@ TEST(MlpPropertyTest, ParameterCountMatchesArchitecture) {
   // hidden * in (w1) + hidden (b1) + hidden (w2) + 1 (b2).
   Mlp a(2, 51);
   EXPECT_EQ(a.ParameterCount(), 51u * 2 + 51 + 51 + 1);
-  EXPECT_EQ(a.SizeBytes(), a.ParameterCount() * sizeof(double));
+  EXPECT_EQ(a.SizeBytes(), 2 * a.ParameterCount() * sizeof(double));
   Mlp b(1, 7);
   EXPECT_EQ(b.ParameterCount(), 7u * 1 + 7 + 7 + 1);
 }

@@ -143,7 +143,9 @@ TEST(MlpTest, ParameterAccounting) {
   Mlp mlp(2, 51);
   // w1: 51*2, b1: 51, w2: 51, b2: 1.
   EXPECT_EQ(mlp.ParameterCount(), 51u * 2 + 51 + 51 + 1);
-  EXPECT_EQ(mlp.SizeBytes(), mlp.ParameterCount() * sizeof(double));
+  // Parameters live twice: training/persistence vectors + the inference
+  // engine's flat snapshot.
+  EXPECT_EQ(mlp.SizeBytes(), 2 * mlp.ParameterCount() * sizeof(double));
   EXPECT_EQ(mlp.input_dim(), 2);
   EXPECT_EQ(mlp.hidden_dim(), 51);
 }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the pinned micro-benches.
+
+Consumes the two JSON files written by `tools/run_benches.sh
+--regression-out DIR` (bench_inference + bench_fig08_point_scale at the
+pinned smoke configuration) and compares them against the committed
+snapshot `bench/BENCH_BASELINE.json`.
+
+Machines differ, so absolute latencies are never compared across runs.
+Instead every run carries its own calibration: the scalar ns/op of the
+RSMI-leaf MLP forward pass (`Inference/Scalar/RsmiLeaf_in2_h51`), which
+exercises the same arithmetic the point-query descent spends its time
+in. The gated metric is
+
+    normalized = point-query us/query / scalar ns/op
+
+which is stable across machine speeds but rises when the query path
+itself regresses. The gate fails when `normalized` exceeds the baseline
+by more than --threshold (default 0.25, the ">25% point-query latency
+regression" contract). A second gate requires the batched kernel to
+keep a healthy speedup over looped scalar inference whenever the AVX2
+kernel is active (CI floor 1.5x to absorb shared-runner noise; the
+committed baseline records the >=2x acceptance measurement).
+
+Regenerate the snapshot after intentional perf changes:
+
+    tools/run_benches.sh --regression-out /tmp/reg
+    tools/check_bench_regression.py --inference /tmp/reg/bench_inference.json \
+        --point /tmp/reg/bench_point.json --write-baseline bench/BENCH_BASELINE.json
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION_SCALAR = "Inference/Scalar/RsmiLeaf_in2_h51"
+CALIBRATION_BATCH = "Inference/Batch/RsmiLeaf_in2_h51"
+POINT_PREFIX = "Fig08/PointQueryScale/n2000/"
+POINT_INDICES = ("RSMI", "ZM")
+AVX2_MIN_SPEEDUP = 1.5
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Plain iteration entries only (aggregates like _mean/_cv are
+    # reported with run_type == "aggregate").
+    return doc.get("context", {}), [
+        b for b in doc.get("benchmarks", []) if b.get("run_type") == "iteration"
+    ]
+
+
+def min_counter(benchmarks, name_prefix, counter):
+    values = [
+        float(b[counter])
+        for b in benchmarks
+        if b["name"].startswith(name_prefix) and counter in b
+    ]
+    if not values:
+        raise SystemExit(
+            f"error: no benchmark entries matching {name_prefix!r} with "
+            f"counter {counter!r} — wrong input file or filter?"
+        )
+    return min(values)
+
+
+def collect_metrics(inference_path, point_path):
+    ctx, inference = load_benchmarks(inference_path)
+    _, point = load_benchmarks(point_path)
+    scalar_ns = min_counter(inference, CALIBRATION_SCALAR, "ns_per_op")
+    batch_ns = min_counter(inference, CALIBRATION_BATCH, "ns_per_op")
+    avx2 = min_counter(inference, CALIBRATION_BATCH, "avx2") > 0.5
+    metrics = {
+        "scalar_ns_per_op": scalar_ns,
+        "batch_ns_per_op": batch_ns,
+        "batch_speedup": scalar_ns / batch_ns if batch_ns > 0 else 0.0,
+        "avx2": avx2,
+        "point_us_per_query": {},
+        "normalized_point_cost": {},
+    }
+    for idx in POINT_INDICES:
+        us = min_counter(point, POINT_PREFIX + idx, "us_per_query")
+        metrics["point_us_per_query"][idx] = us
+        metrics["normalized_point_cost"][idx] = us * 1000.0 / scalar_ns
+    metrics["host"] = {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "date": ctx.get("date"),
+    }
+    return metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--inference", required=True,
+                    help="bench_inference JSON from --regression-out")
+    ap.add_argument("--point", required=True,
+                    help="bench_fig08_point_scale JSON from --regression-out")
+    ap.add_argument("--baseline", help="committed BENCH_BASELINE.json to gate against")
+    ap.add_argument("--write-baseline",
+                    help="write the collected metrics as a new baseline and exit")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression of the normalized "
+                         "point cost (default 0.25)")
+    args = ap.parse_args()
+
+    current = collect_metrics(args.inference, args.point)
+    print("current metrics:")
+    print(json.dumps(current, indent=2))
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"wrote baseline -> {args.write_baseline}")
+        return 0
+
+    if not args.baseline:
+        raise SystemExit("error: pass --baseline (or --write-baseline)")
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for idx in POINT_INDICES:
+        base = baseline["normalized_point_cost"][idx]
+        cur = current["normalized_point_cost"][idx]
+        limit = base * (1.0 + args.threshold)
+        verdict = "OK" if cur <= limit else "REGRESSION"
+        print(f"{idx}: normalized point cost {cur:.1f} vs baseline "
+              f"{base:.1f} (limit {limit:.1f}) -> {verdict}")
+        if cur > limit:
+            failures.append(
+                f"{idx} point-query cost regressed {cur / base - 1.0:+.0%} "
+                f"(> {args.threshold:.0%} allowed)")
+
+    if current["avx2"]:
+        speedup = current["batch_speedup"]
+        print(f"batched-inference speedup (avx2): {speedup:.2f}x "
+              f"(floor {AVX2_MIN_SPEEDUP}x; baseline recorded "
+              f"{baseline.get('batch_speedup', 0.0):.2f}x)")
+        if speedup < AVX2_MIN_SPEEDUP:
+            failures.append(
+                f"batched inference speedup {speedup:.2f}x fell below the "
+                f"{AVX2_MIN_SPEEDUP}x floor")
+    else:
+        print("avx2 kernel inactive on this host: speedup gate skipped")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nPASS: no perf regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 # Usage:
 #   tools/run_benches.sh [--smoke] [--build-dir DIR] [--out DIR] [FILTER]
 #   tools/run_benches.sh --pr2-json [FILE]
+#   tools/run_benches.sh --regression-out DIR
 #
 #   --smoke       Tiny configuration (RSMI_BENCH_N=2000, 20 queries,
 #                 min benchmark time 0.01s) — the same setup CI uses via
@@ -19,6 +20,14 @@
 #                 minutes, not hours; override with RSMI_PR2_FILTER=.
 #                 RSMI_PR2_N overrides the point count. Meaningful
 #                 scaling numbers require >= 8 physical cores.
+#   --regression-out  Run the pinned perf-regression micro-benches
+#                 (bench_inference + bench_fig08_point_scale at smoke
+#                 scale, 3 repetitions) and write DIR/bench_inference.json
+#                 and DIR/bench_point.json — the exact invocation of the
+#                 CI bench-regression gate. Gate against the committed
+#                 bench/BENCH_BASELINE.json with
+#                 tools/check_bench_regression.py --baseline, or
+#                 regenerate the snapshot with its --write-baseline mode.
 #   FILTER        Only run benches whose name contains this substring.
 set -euo pipefail
 
@@ -27,6 +36,7 @@ out_dir=""
 smoke=0
 filter=""
 pr2_json=""
+regression_out=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -37,6 +47,7 @@ while [[ $# -gt 0 ]]; do
       pr2_json="BENCH_PR2.json"
       if [[ $# -gt 1 && "${2:-}" != --* ]]; then pr2_json="$2"; shift; fi
       shift ;;
+    --regression-out) regression_out="$2"; shift 2 ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) filter="$1"; shift ;;
   esac
@@ -46,6 +57,34 @@ bench_dir="$build_dir/bench"
 if [[ ! -d "$bench_dir" ]]; then
   echo "error: $bench_dir not found — build first (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
   exit 1
+fi
+
+if [[ -n "$regression_out" ]]; then
+  # The pinned configuration of the CI bench-regression gate. Everything
+  # here — scale knobs, filters, repetition count — is part of the
+  # contract with the committed baseline: change it and the baseline
+  # must be regenerated.
+  export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
+  export RSMI_BENCH_BUILD_THREADS=1
+  mkdir -p "$regression_out"
+  for b in bench_inference bench_fig08_point_scale; do
+    if [[ ! -x "$bench_dir/$b" ]]; then
+      echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
+      exit 1
+    fi
+  done
+  echo "=== bench_inference (pinned) -> $regression_out/bench_inference.json ===" >&2
+  "$bench_dir/bench_inference" \
+    --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_inference.json" \
+    --benchmark_out_format=json
+  echo "=== bench_fig08_point_scale (pinned) -> $regression_out/bench_point.json ===" >&2
+  "$bench_dir/bench_fig08_point_scale" \
+    --benchmark_filter='n2000/(RSMI|ZM)' --benchmark_repetitions=3 \
+    --benchmark_out="$regression_out/bench_point.json" \
+    --benchmark_out_format=json
+  exit 0
 fi
 
 if [[ -n "$pr2_json" ]]; then
