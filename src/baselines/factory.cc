@@ -1,10 +1,14 @@
 #include "baselines/factory.h"
 
+#include <cctype>
+#include <cstdlib>
+
 #include "baselines/grid_file.h"
 #include "baselines/hrr_tree.h"
 #include "baselines/kdb_tree.h"
 #include "baselines/rstar_tree.h"
 #include "baselines/zm_index.h"
+#include "shard/sharded_index.h"
 
 namespace rsmi {
 
@@ -88,6 +92,95 @@ std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind,
     }
   }
   return nullptr;
+}
+
+bool ParseIndexKind(const std::string& name, IndexKind* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (IndexKind kind : AllIndexKinds()) {
+    std::string canon;
+    for (char c : IndexKindName(kind)) {
+      canon.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == canon) {
+      *out = kind;
+      return true;
+    }
+  }
+  // Aliases: the R*-tree answers to "rstar" besides the legend's "RR*".
+  if (lower == "rstar" || lower == "r*") {
+    *out = IndexKind::kRstar;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Splits "sharded<K>:<inner>" into K and the inner spec; false when
+/// `spec` does not have the sharded prefix shape at all.
+bool ParseShardedSpec(const std::string& spec, int* k,
+                      std::string* inner) {
+  constexpr char kPrefix[] = "sharded<";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (spec.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const size_t close = spec.find('>', kPrefixLen);
+  if (close == std::string::npos || close + 1 >= spec.size() ||
+      spec[close + 1] != ':') {
+    return false;
+  }
+  char* end = nullptr;
+  const long n = std::strtol(spec.c_str() + kPrefixLen, &end, 10);
+  if (end != spec.c_str() + close || n < 1 || n > 4096) return false;
+  *k = static_cast<int>(n);
+  *inner = spec.substr(close + 2);
+  return true;
+}
+
+/// Parse-only validity check (no index is built), recursive like
+/// MakeIndexFromSpec itself.
+bool IsValidIndexSpec(const std::string& spec) {
+  int k = 0;
+  std::string inner;
+  if (ParseShardedSpec(spec, &k, &inner)) return IsValidIndexSpec(inner);
+  IndexKind kind;
+  return ParseIndexKind(spec, &kind);
+}
+
+}  // namespace
+
+std::unique_ptr<SpatialIndex> MakeIndexFromSpec(const std::string& spec,
+                                                const std::vector<Point>& pts,
+                                                const IndexBuildConfig& cfg) {
+  int k = 0;
+  std::string inner_spec;
+  if (!ParseShardedSpec(spec, &k, &inner_spec)) {
+    IndexKind kind;
+    if (!ParseIndexKind(spec, &kind)) return nullptr;
+    return MakeIndex(kind, pts, cfg);
+  }
+  // Reject malformed inner specs before paying for partitioning.
+  if (!IsValidIndexSpec(inner_spec)) return nullptr;
+
+  ShardedIndexConfig scfg;
+  scfg.num_shards = k;
+  scfg.build_threads = cfg.build_threads;
+  scfg.partition.seed = cfg.seed;
+  // Shard builds already run in parallel; keep each inner build
+  // single-threaded so K shards x N training threads cannot oversubscribe.
+  IndexBuildConfig inner_cfg = cfg;
+  inner_cfg.build_threads = 1;
+  return std::make_unique<ShardedIndex>(
+      pts, scfg,
+      [inner_spec, inner_cfg](const std::vector<Point>& shard_pts,
+                              int /*shard*/) {
+        return MakeIndexFromSpec(inner_spec, shard_pts, inner_cfg);
+      });
 }
 
 std::unique_ptr<SpatialIndex> MakeRsmiaView(std::shared_ptr<RsmiIndex> impl) {

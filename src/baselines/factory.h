@@ -52,6 +52,23 @@ std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind,
                                         const std::vector<Point>& pts,
                                         const IndexBuildConfig& cfg);
 
+/// Parses a kind name ("grid", "hrr", "kdb", "rstar"/"rr*", "rsmi",
+/// "rsmia", "zm"; case-insensitive). Returns false on unknown names.
+bool ParseIndexKind(const std::string& name, IndexKind* out);
+
+/// Builds an index from a spec string: either a kind name (see
+/// ParseIndexKind) or "sharded<K>:<inner-spec>" for a ShardedIndex over
+/// K space partitions whose inner indices come from the inner spec —
+/// recursively, so "sharded<4>:rsmi", "sharded<8>:zm", and even
+/// "sharded<2>:sharded<2>:grid" all work. The sharded build runs on
+/// cfg.build_threads workers (the inner builds themselves are then
+/// single-threaded so shard parallelism is not oversubscribed).
+/// Returns nullptr on a malformed spec. This is how benches and the CLI
+/// select sharded variants with zero extra plumbing.
+std::unique_ptr<SpatialIndex> MakeIndexFromSpec(const std::string& spec,
+                                                const std::vector<Point>& pts,
+                                                const IndexBuildConfig& cfg);
+
 /// RSMIa (Section 6.2.3): a view over an RSMI whose window/kNN queries
 /// run the exact MBR-based algorithms.
 class RsmiaView : public SpatialIndex {

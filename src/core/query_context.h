@@ -42,9 +42,12 @@ struct QueryContext {
     ++nodes_visited;
   }
 
-  /// Folds another context into this one (batch engines aggregate their
-  /// workers' per-query contexts this way).
-  void Add(const QueryContext& other) {
+  /// Folds another context into this one — the single way contexts are
+  /// ever combined (batch engines folding worker contexts, fan-out
+  /// queries merging per-shard costs, tests summing replays). Keep every
+  /// field here so a new counter cannot be dropped by an ad-hoc copy at
+  /// one of the merge sites.
+  void MergeFrom(const QueryContext& other) {
     block_accesses += other.block_accesses;
     model_invocations += other.model_invocations;
     descents += other.descents;

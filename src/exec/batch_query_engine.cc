@@ -159,7 +159,7 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
               .count();
     }
   }
-  ctx->Add(local);
+  ctx->MergeFrom(local);
   job->total_results.fetch_add(results, std::memory_order_relaxed);
 }
 
@@ -217,7 +217,7 @@ BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
   stats.throughput_qps =
       wall > 0.0 ? static_cast<double>(ops.size()) / wall : 0.0;
   stats.total_results = job.total_results.load(std::memory_order_relaxed);
-  for (const QueryContext& c : worker_costs_) stats.cost.Add(c);
+  for (const QueryContext& c : worker_costs_) stats.cost.MergeFrom(c);
 
   std::sort(latency_us.begin(), latency_us.end());
   stats.p50_us = PercentileSorted(latency_us, 0.50);

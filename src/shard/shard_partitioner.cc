@@ -1,0 +1,111 @@
+#include "shard/shard_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "sfc/z_curve.h"
+
+namespace rsmi {
+
+ShardPartitioner::ShardPartitioner(const std::vector<Point>& pts,
+                                   const ShardPartitionerConfig& cfg) {
+  z_order_ = std::max(1, std::min(32, cfg.z_order));
+  bounds_ = pts.empty() ? Rect::UnitSquare()
+                        : Rect::Bound(pts.begin(), pts.end());
+  // Degenerate (zero-extent) dimensions get a nominal extent so the
+  // grid-coordinate division below stays finite.
+  if (bounds_.hi.x <= bounds_.lo.x) bounds_.hi.x = bounds_.lo.x + 1.0;
+  if (bounds_.hi.y <= bounds_.lo.y) bounds_.hi.y = bounds_.lo.y + 1.0;
+
+  const int want = std::max(1, cfg.num_shards);
+  if (want == 1 || pts.empty()) return;
+
+  // Deterministic sample of Z-values. Uniform index draws (with
+  // replacement) keep the sample unbiased even when the input arrives
+  // pre-sorted in curve order.
+  const size_t cap = cfg.sample_cap > 0
+                         ? static_cast<size_t>(cfg.sample_cap)
+                         : pts.size();
+  std::vector<uint64_t> zs;
+  if (pts.size() <= cap) {
+    zs.reserve(pts.size());
+    for (const Point& p : pts) zs.push_back(ZValueOf(p));
+  } else {
+    Rng rng(cfg.seed ^ 0x5ba9d3c1f02e8765ULL);
+    zs.reserve(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      const int64_t j =
+          rng.UniformInt(0, static_cast<int64_t>(pts.size()) - 1);
+      zs.push_back(ZValueOf(pts[static_cast<size_t>(j)]));
+    }
+  }
+  std::sort(zs.begin(), zs.end());
+
+  // Split keys at the sample's K-quantiles. Duplicates collapse (the
+  // effective shard count shrinks), and every retained split is itself a
+  // sampled — hence existing — data key, so each resulting Z-range holds
+  // at least one build point.
+  splits_.reserve(static_cast<size_t>(want) - 1);
+  for (int i = 1; i < want; ++i) {
+    const size_t rank = zs.size() * static_cast<size_t>(i) /
+                        static_cast<size_t>(want);
+    const uint64_t key = zs[rank];
+    if (splits_.empty() || key > splits_.back()) splits_.push_back(key);
+  }
+  // A split equal to the global minimum would leave shard 0 empty.
+  if (!splits_.empty() && splits_.front() <= zs.front()) {
+    splits_.erase(splits_.begin());
+  }
+}
+
+uint64_t ShardPartitioner::ZValueOf(const Point& p) const {
+  const double cells = static_cast<double>(1ull << z_order_);
+  const auto grid = [&](double v, double lo, double hi) {
+    const double t = (v - lo) / (hi - lo);
+    const double clamped = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    const double cell = std::floor(clamped * cells);
+    return static_cast<uint32_t>(
+        std::min(cell, cells - 1.0));
+  };
+  return ZEncode(grid(p.x, bounds_.lo.x, bounds_.hi.x),
+                 grid(p.y, bounds_.lo.y, bounds_.hi.y), z_order_);
+}
+
+int ShardPartitioner::ShardOf(const Point& p) const {
+  if (splits_.empty()) return 0;
+  const uint64_t z = ZValueOf(p);
+  return static_cast<int>(
+      std::upper_bound(splits_.begin(), splits_.end(), z) -
+      splits_.begin());
+}
+
+bool ShardPartitioner::WriteTo(std::FILE* f) const {
+  return WritePod(f, bounds_) && WritePod(f, z_order_) &&
+         WriteVec(f, splits_);
+}
+
+bool ShardPartitioner::ReadFrom(std::FILE* f) {
+  return ReadPod(f, &bounds_) && ReadPod(f, &z_order_) &&
+         ReadVec(f, &splits_);
+}
+
+bool ShardPartitioner::Validate(std::string* error) const {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!bounds_.Valid()) return fail("partitioner bounds are invalid");
+  if (z_order_ < 1 || z_order_ > 32) {
+    return fail("partitioner z_order out of [1, 32]");
+  }
+  for (size_t i = 1; i < splits_.size(); ++i) {
+    if (splits_[i - 1] >= splits_[i]) {
+      return fail("partitioner split keys are not strictly ascending");
+    }
+  }
+  return true;
+}
+
+}  // namespace rsmi

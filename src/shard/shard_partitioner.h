@@ -1,0 +1,89 @@
+#ifndef RSMI_SHARD_SHARD_PARTITIONER_H_
+#define RSMI_SHARD_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsmi {
+
+/// Build parameters of the sample-based Z-order partitioner.
+struct ShardPartitionerConfig {
+  /// Requested shard count K. The effective count can be lower when the
+  /// sample has fewer distinct Z-values than K (degenerate/tiny data).
+  int num_shards = 4;
+  /// Build-time sample size: the split keys are quantiles of a
+  /// deterministic sample of at most this many points (0 = use all).
+  int sample_cap = 65536;
+  /// Bits per dimension of the routing grid the Z-values live on.
+  int z_order = 16;
+  /// Seed of the deterministic sampling.
+  uint64_t seed = 42;
+};
+
+/// Cheap global space partitioner: splits the data space into K
+/// contiguous Z-order (Morton) ranges whose boundaries are quantiles of
+/// a sample of the build data, so each shard receives a roughly equal
+/// share of the points (LiLIS-style partition-then-learn; partition
+/// quality dominates learned-index performance, arXiv:2008.10349).
+///
+/// Routing is an in-memory binary search over the K-1 split keys —
+/// O(log K), no block accesses, safe to call from any number of threads
+/// concurrently (the partitioner is immutable after construction).
+/// Points outside the build-time bounds (later insertions) are clamped
+/// onto the grid, so every point always routes to exactly one shard.
+class ShardPartitioner {
+ public:
+  /// Single-shard catch-all (everything routes to shard 0); also the
+  /// shell state filled by ReadFrom.
+  ShardPartitioner() = default;
+
+  /// Computes the split keys over `pts` (deterministic for a fixed
+  /// config). With fewer points than shards, the effective shard count
+  /// shrinks so that no shard can start out empty.
+  ShardPartitioner(const std::vector<Point>& pts,
+                   const ShardPartitionerConfig& cfg);
+
+  /// Effective shard count (>= 1, <= cfg.num_shards).
+  int num_shards() const { return static_cast<int>(splits_.size()) + 1; }
+
+  /// Owning shard of `p`: index of the Z-range containing its Z-value.
+  int ShardOf(const Point& p) const;
+
+  /// Z-value of `p` on the routing grid (clamped into bounds()).
+  uint64_t ZValueOf(const Point& p) const;
+
+  /// Bounds of the build data (the grid's domain).
+  const Rect& bounds() const { return bounds_; }
+
+  /// Ascending split keys; shard i owns Z-values in
+  /// [splits[i-1], splits[i]) with open ends at both sides.
+  const std::vector<uint64_t>& splits() const { return splits_; }
+
+  /// Binary persistence (the shard directory is part of a saved sharded
+  /// deployment even when the inner indices are rebuilt from data).
+  bool WriteTo(std::FILE* f) const;
+  bool ReadFrom(std::FILE* f);
+
+  /// In-memory footprint of the routing structure.
+  size_t SizeBytes() const {
+    return sizeof(*this) + splits_.capacity() * sizeof(uint64_t);
+  }
+
+  /// Invariants: valid bounds, sane grid order, strictly ascending
+  /// splits. Returns false with a description in `*error` (if non-null).
+  bool Validate(std::string* error) const;
+
+ private:
+  Rect bounds_ = Rect::UnitSquare();
+  int z_order_ = 16;
+  std::vector<uint64_t> splits_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_SHARD_SHARD_PARTITIONER_H_

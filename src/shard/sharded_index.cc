@@ -1,0 +1,245 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/group_by.h"
+
+namespace rsmi {
+
+ShardedIndex::ShardedIndex(const std::vector<Point>& pts,
+                           const ShardedIndexConfig& cfg,
+                           const ShardBuilder& builder) {
+  ShardPartitionerConfig pcfg = cfg.partition;
+  pcfg.num_shards = cfg.num_shards;
+  partitioner_ = ShardPartitioner(pts, pcfg);
+
+  const size_t k = static_cast<size_t>(partitioner_.num_shards());
+  std::vector<std::vector<Point>> parts(k);
+  for (auto& part : parts) part.reserve(pts.size() / k + 1);
+  for (const Point& p : pts) {
+    parts[static_cast<size_t>(partitioner_.ShardOf(p))].push_back(p);
+  }
+  regions_.assign(k, Rect::Empty());
+  for (size_t i = 0; i < k; ++i) {
+    regions_[i] = Rect::Bound(parts[i].begin(), parts[i].end());
+  }
+  live_points_ = pts.size();
+
+  // Parallel shard build: shards are fully independent (each builder
+  // call sees only its own points), so any worker count yields the same
+  // index — workers only change wall time.
+  shards_.resize(k);
+  const int workers = std::max(
+      1, std::min<int>(cfg.build_threads, static_cast<int>(k)));
+  if (workers == 1) {
+    for (size_t i = 0; i < k; ++i) {
+      shards_[i] = builder(parts[i], static_cast<int>(i));
+    }
+  } else {
+    // A builder failure on a worker must reach the caller like it would
+    // on the sequential path, not std::terminate the process.
+    std::atomic<size_t> next{0};
+    std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([this, &parts, &builder, &next, &errors, k, w] {
+        try {
+          for (size_t i = next.fetch_add(1); i < k;
+               i = next.fetch_add(1)) {
+            shards_[i] = builder(parts[i], static_cast<int>(i));
+          }
+        } catch (...) {
+          errors[static_cast<size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e != nullptr) std::rethrow_exception(e);
+    }
+  }
+  for (const auto& shard : shards_) {
+    if (shard == nullptr) {
+      throw std::runtime_error("ShardedIndex: builder returned null shard");
+    }
+  }
+}
+
+std::string ShardedIndex::Name() const {
+  return "Sharded<" + std::to_string(num_shards()) + ">[" +
+         shards_[0]->Name() + "]";
+}
+
+std::optional<PointEntry> ShardedIndex::PointQuery(const Point& q,
+                                                   QueryContext& ctx) const {
+  return shards_[static_cast<size_t>(partitioner_.ShardOf(q))]->PointQuery(
+      q, ctx);
+}
+
+void ShardedIndex::PointQueryBatch(const Point* qs, size_t n,
+                                   QueryContext& ctx,
+                                   std::optional<PointEntry>* out) const {
+  if (n == 0) return;
+  if (num_shards() == 1) {
+    shards_[0]->PointQueryBatch(qs, n, ctx, out);
+    return;
+  }
+  std::vector<int> shard_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    shard_of[i] = partitioner_.ShardOf(qs[i]);
+  }
+  // Regroup per shard so each inner index sees one contiguous batch and
+  // its vectorized descent still batches shared sub-models.
+  std::vector<uint32_t> scratch;
+  std::vector<Point> gathered;
+  std::vector<std::optional<PointEntry>> results;
+  ForEachGroupBy(
+      n, &scratch,
+      [&](uint32_t i) { return shard_of[i]; },
+      [&](const uint32_t* idx, size_t m) {
+        gathered.resize(m);
+        results.resize(m);
+        for (size_t j = 0; j < m; ++j) gathered[j] = qs[idx[j]];
+        shards_[static_cast<size_t>(shard_of[idx[0]])]->PointQueryBatch(
+            gathered.data(), m, ctx, results.data());
+        for (size_t j = 0; j < m; ++j) out[idx[j]] = std::move(results[j]);
+      });
+}
+
+std::vector<Point> ShardedIndex::WindowQuery(const Rect& w,
+                                             QueryContext& ctx) const {
+  if (num_shards() == 1) return shards_[0]->WindowQuery(w, ctx);
+  // Fan out to the overlapping shards only: a shard's region bounds all
+  // of its points, so non-intersecting shards cannot contribute.
+  std::vector<Point> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!regions_[i].Valid() || !regions_[i].Intersects(w)) continue;
+    std::vector<Point> part = shards_[i]->WindowQuery(w, ctx);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<Point> ShardedIndex::KnnQuery(const Point& q, size_t k,
+                                          QueryContext& ctx) const {
+  if (num_shards() == 1) return shards_[0]->KnnQuery(q, k, ctx);
+  if (k == 0) return {};
+
+  // Visit shards best-first by region distance; the shared result heap
+  // (the k best candidates so far, worst on top) bounds the search — a
+  // shard whose region is farther than the current k-th distance cannot
+  // improve the result, and neither can any shard after it.
+  struct ShardDist {
+    double d2;
+    size_t shard;
+  };
+  std::vector<ShardDist> order;
+  order.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!regions_[i].Valid()) continue;
+    order.push_back(ShardDist{regions_[i].MinDist2(q), i});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const ShardDist& a, const ShardDist& b) {
+              if (a.d2 != b.d2) return a.d2 < b.d2;
+              return a.shard < b.shard;
+            });
+
+  struct Cand {
+    double d2;
+    Point pt;
+  };
+  const auto farther = [](const Cand& a, const Cand& b) {
+    if (a.d2 != b.d2) return a.d2 < b.d2;
+    if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
+    return a.pt.y < b.pt.y;
+  };
+  std::vector<Cand> heap;  // max-heap under `farther`
+  heap.reserve(k + 1);
+  for (const ShardDist& sd : order) {
+    if (heap.size() == k && sd.d2 > heap.front().d2) break;
+    for (const Point& p : shards_[sd.shard]->KnnQuery(q, k, ctx)) {
+      const Cand c{SquaredDist(p, q), p};
+      if (heap.size() < k) {
+        heap.push_back(c);
+        std::push_heap(heap.begin(), heap.end(), farther);
+      } else if (farther(c, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), farther);
+        heap.back() = c;
+        std::push_heap(heap.begin(), heap.end(), farther);
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end(), farther);
+  std::vector<Point> out;
+  out.reserve(heap.size());
+  for (const Cand& c : heap) out.push_back(c.pt);
+  return out;
+}
+
+void ShardedIndex::Insert(const Point& p) {
+  const size_t s = static_cast<size_t>(partitioner_.ShardOf(p));
+  shards_[s]->Insert(p);
+  regions_[s].Expand(p);
+  ++live_points_;
+}
+
+bool ShardedIndex::Delete(const Point& p) {
+  const size_t s = static_cast<size_t>(partitioner_.ShardOf(p));
+  if (!shards_[s]->Delete(p)) return false;
+  --live_points_;
+  return true;
+}
+
+IndexStats ShardedIndex::Stats() const {
+  IndexStats s;
+  s.name = Name();
+  s.num_points = live_points_;
+  s.size_bytes = DirectoryBytes();
+  for (const auto& shard : shards_) {
+    const IndexStats inner = shard->Stats();
+    s.size_bytes += inner.size_bytes;
+    s.num_models += inner.num_models;
+    s.height = std::max(s.height, inner.height);
+  }
+  ++s.height;  // the routing level above the shards
+  const uint64_t desc = descents_.load(std::memory_order_relaxed);
+  s.avg_query_depth =
+      desc == 0 ? 0.0
+                : static_cast<double>(
+                      invocations_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(desc);
+  return s;
+}
+
+bool ShardedIndex::ValidateStructure(std::string* error) const {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!partitioner_.Validate(error)) return false;
+  if (partitioner_.num_shards() != num_shards()) {
+    return fail("partitioner shard count disagrees with shard table");
+  }
+  if (regions_.size() != shards_.size()) {
+    return fail("region table size disagrees with shard table");
+  }
+  size_t points = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == nullptr) return fail("null shard");
+    if (!shards_[i]->ValidateStructure(error)) return false;
+    points += shards_[i]->Stats().num_points;
+  }
+  if (points != live_points_) {
+    return fail("sharded live-point count disagrees with shard totals");
+  }
+  return true;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,152 @@
+#ifndef RSMI_SHARD_SHARDED_INDEX_H_
+#define RSMI_SHARD_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spatial_index.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "shard/shard_partitioner.h"
+#include "storage/block_store.h"
+
+namespace rsmi {
+
+/// Build parameters of a ShardedIndex.
+struct ShardedIndexConfig {
+  /// Requested shard count (the effective count can be lower on
+  /// degenerate data, see ShardPartitioner).
+  int num_shards = 4;
+  /// Worker threads for the parallel shard build. Shards build
+  /// independently, so any thread count produces the same index.
+  int build_threads = 1;
+  /// Partitioner knobs (its num_shards is overridden by `num_shards`).
+  ShardPartitionerConfig partition;
+};
+
+/// Builds one shard's inner index over that shard's points. Invoked once
+/// per shard, possibly from several build threads concurrently; it must
+/// not touch shared mutable state. The factory wires this to MakeIndex,
+/// so any index type in the repository can be sharded.
+using ShardBuilder = std::function<std::unique_ptr<SpatialIndex>(
+    const std::vector<Point>& pts, int shard)>;
+
+/// Space-partitioned index: a cheap global ShardPartitioner routes every
+/// point to one of K inner indices (any SpatialIndex, built via the
+/// factory — sharded RSMI, sharded ZM, sharded R*, ...).
+///
+/// Build: the K inner indices are built in parallel on a thread pool
+/// (shards are independent, so the result is identical at any thread
+/// count — this is where a multi-core machine beats the monolithic
+/// build).
+///
+/// Queries: point queries, inserts, and deletes route to the single
+/// owning shard. Batched point lookups regroup per shard and go through
+/// the inner PointQueryBatch, so learned shards keep their vectorized
+/// level-synchronous descent. Window queries fan out to only the shards
+/// whose region intersects the window. kNN fans out best-first over
+/// shard regions sharing one result heap: once k candidates are held, a
+/// shard whose region is farther than the current k-th distance is
+/// skipped entirely.
+///
+/// Costs are charged to the caller's QueryContext exactly like any other
+/// index; routing itself is free (an in-memory binary search, like
+/// computing a grid cell coordinate). With one shard, every query —
+/// results and counted costs — is identical to the inner index alone.
+///
+/// Thread-safety: the standard SpatialIndex contract (reads concurrent,
+/// writes exclusive). Routing and fan-out read only immutable state.
+class ShardedIndex : public SpatialIndex {
+ public:
+  ShardedIndex(const std::vector<Point>& pts, const ShardedIndexConfig& cfg,
+               const ShardBuilder& builder);
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  std::string Name() const override;
+
+  using SpatialIndex::PointQuery;
+  using SpatialIndex::WindowQuery;
+  using SpatialIndex::KnnQuery;
+  std::optional<PointEntry> PointQuery(const Point& q,
+                                       QueryContext& ctx) const override;
+  std::vector<Point> WindowQuery(const Rect& w,
+                                 QueryContext& ctx) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k,
+                              QueryContext& ctx) const override;
+
+  /// Batched point lookup: groups the queries by owning shard and feeds
+  /// each group through that shard's PointQueryBatch, so the vectorized
+  /// descent of learned inner indices still kicks in. Results and
+  /// per-call costs are identical to `n` scalar PointQuery calls.
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
+                       std::optional<PointEntry>* out) const override;
+
+  void Insert(const Point& p) override;
+  bool Delete(const Point& p) override;
+
+  /// Aggregated over all shards: num_points/size_bytes/num_models sum
+  /// (size includes the shard directory: partitioner + per-shard region
+  /// table), height is the tallest shard plus the routing level, and
+  /// avg_query_depth is the descent-weighted aggregate of finished
+  /// contexts (like RsmiIndex).
+  IndexStats Stats() const override;
+
+  /// Extends the base aggregation with the query-depth bookkeeping so
+  /// sharded learned indices report avg_query_depth. Thread-safe.
+  void AggregateQueryContext(const QueryContext& ctx) const override {
+    store_.AggregateAccesses(ctx.block_accesses);
+    invocations_.fetch_add(ctx.model_invocations,
+                           std::memory_order_relaxed);
+    descents_.fetch_add(ctx.descents, std::memory_order_relaxed);
+  }
+
+  /// The sharded index owns no data blocks itself — every point lives in
+  /// a shard's store. This store is empty and serves only as the sink of
+  /// the legacy context-free aggregate; to attach external memory, walk
+  /// the shards (`shard(i).block_store()`).
+  const BlockStore& block_store() const override { return store_; }
+
+  /// Validates the partitioner, every shard's own structure, the region
+  /// table, and the per-shard point-count bookkeeping.
+  bool ValidateStructure(std::string* error) const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const SpatialIndex& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+  const ShardPartitioner& partitioner() const { return partitioner_; }
+  /// Region (bounding rectangle) of the points currently routed to shard
+  /// `i`; grows on insert, never shrinks on delete.
+  const Rect& shard_region(int i) const {
+    return regions_[static_cast<size_t>(i)];
+  }
+
+ private:
+  size_t DirectoryBytes() const {
+    return sizeof(*this) + partitioner_.SizeBytes() +
+           shards_.capacity() * sizeof(shards_[0]) +
+           regions_.capacity() * sizeof(Rect);
+  }
+
+  ShardPartitioner partitioner_;
+  std::vector<std::unique_ptr<SpatialIndex>> shards_;
+  std::vector<Rect> regions_;
+  size_t live_points_ = 0;
+  /// Legacy-aggregate sink (no data blocks; see block_store()).
+  BlockStore store_{0};
+  // Descent-weighted avg-depth aggregate fed from finished contexts
+  // (queries record depth in their context, never here).
+  mutable std::atomic<uint64_t> invocations_{0};
+  mutable std::atomic<uint64_t> descents_{0};
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_SHARD_SHARDED_INDEX_H_

@@ -86,7 +86,7 @@ std::vector<uint64_t> Replay(const SpatialIndex& index,
         break;
       }
     }
-    if (total != nullptr) total->Add(ctx);
+    if (total != nullptr) total->MergeFrom(ctx);
   }
   return prints;
 }
@@ -203,6 +203,49 @@ std::string KindName(const ::testing::TestParamInfo<IndexKind>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllIndices, ConcurrencyTest,
                          ::testing::ValuesIn(AllIndexKinds()), KindName);
+
+TEST(ConcurrencyTest, ShardedIndexEightThreadFanOutMatchesGroundTruth) {
+  // The sharded fan-out read path (route + per-shard batch + window/kNN
+  // merge over the shared result heap) must stay side-effect-free like
+  // every other index: 8 threads replaying the mixed workload against a
+  // sharded RSMI — built in parallel — reproduce the single-threaded
+  // answers and per-replay costs exactly. Under TSan this is the
+  // data-race proof for src/shard/.
+  const auto data = GenerateDataset(Distribution::kSkewed, kPoints, 42);
+  IndexBuildConfig cfg = TestConfig();
+  cfg.build_threads = 4;  // parallel shard build runs under TSan too
+  const auto index = MakeIndexFromSpec("sharded<4>:rsmi", data, cfg);
+  ASSERT_NE(index, nullptr);
+  const auto ops = TestWorkload(data);
+
+  QueryContext truth_cost;
+  const std::vector<uint64_t> truth = Replay(*index, ops, &truth_cost);
+  EXPECT_GT(truth_cost.block_accesses, 0u);
+
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<uint64_t> costs(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext cost;
+      got[static_cast<size_t>(t)] = Replay(*index, ops, &cost);
+      costs[static_cast<size_t>(t)] = cost.block_accesses;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], truth) << "thread " << t;
+    EXPECT_EQ(costs[static_cast<size_t>(t)], truth_cost.block_accesses)
+        << "thread " << t;
+  }
+
+  // The engine path batches the drained point ops per shard; totals must
+  // match the same single-threaded replay.
+  BatchQueryEngine engine(kThreads);
+  const BatchQueryStats st = engine.Run(*index, ops);
+  EXPECT_EQ(st.cost.block_accesses, truth_cost.block_accesses);
+}
 
 TEST(ConcurrencyTest, ExternalMemoryHookIsThreadSafe) {
   // The access hook routes every counted block access through the

@@ -38,6 +38,12 @@ CALIBRATION_BATCH = "Inference/Batch/RsmiLeaf_in2_h51"
 POINT_PREFIX = "Fig08/PointQueryScale/n2000/"
 POINT_INDICES = ("RSMI", "ZM")
 AVX2_MIN_SPEEDUP = 1.5
+# Sharded cells (bench_shard_scale). K1 is the monolithic reference:
+# with one shard the sharded path is bit-identical to the inner index.
+SHARD_POINT_MONO = "Shard/Point/RSMI/K1"
+SHARD_POINT_SHARDED = "Shard/Point/RSMI/K4"
+SHARD_BUILD_MONO = "Shard/Build/RSMI/mono"
+SHARD_BUILD_PARALLEL = "Shard/Build/RSMI/K4/t4"
 
 
 def load_benchmarks(path):
@@ -62,6 +68,31 @@ def min_counter(benchmarks, name_prefix, counter):
             f"counter {counter!r} — wrong input file or filter?"
         )
     return min(values)
+
+
+def collect_shard_metrics(shard_path):
+    """Sharded-vs-monolithic ratios from bench_shard.json.
+
+    Recorded in the uploaded artifact for trend-watching; deliberately
+    NOT gated yet (the fan-out layer is new — gate once a few runner
+    generations of data exist). sharded_point_ratio > 1 means a routed
+    point query through K=4 shards costs more than the monolithic
+    lookup; parallel_build_speedup < 1 on 1-vCPU runners is expected
+    (see num_cpus).
+    """
+    ctx, shard = load_benchmarks(shard_path)
+    mono_us = min_counter(shard, SHARD_POINT_MONO, "us_per_query")
+    sharded_us = min_counter(shard, SHARD_POINT_SHARDED, "us_per_query")
+    mono_build = min_counter(shard, SHARD_BUILD_MONO, "build_seconds")
+    par_build = min_counter(shard, SHARD_BUILD_PARALLEL, "build_seconds")
+    return {
+        "point_us_mono": mono_us,
+        "point_us_sharded_k4": sharded_us,
+        "sharded_point_ratio": sharded_us / mono_us if mono_us > 0 else 0.0,
+        "parallel_build_speedup":
+            mono_build / par_build if par_build > 0 else 0.0,
+        "num_cpus": ctx.get("num_cpus"),
+    }
 
 
 def collect_metrics(inference_path, point_path):
@@ -96,7 +127,14 @@ def main():
                     help="bench_inference JSON from --regression-out")
     ap.add_argument("--point", required=True,
                     help="bench_fig08_point_scale JSON from --regression-out")
+    ap.add_argument("--shard",
+                    help="bench_shard_scale JSON from --regression-out; "
+                         "records the sharded-vs-monolithic point-latency "
+                         "ratio and parallel-build speedup (not gated)")
     ap.add_argument("--baseline", help="committed BENCH_BASELINE.json to gate against")
+    ap.add_argument("--metrics-out",
+                    help="also write the collected metrics JSON here (CI "
+                         "points this into the uploaded artifact dir)")
     ap.add_argument("--write-baseline",
                     help="write the collected metrics as a new baseline and exit")
     ap.add_argument("--threshold", type=float, default=0.25,
@@ -105,8 +143,14 @@ def main():
     args = ap.parse_args()
 
     current = collect_metrics(args.inference, args.point)
+    if args.shard:
+        current["sharded"] = collect_shard_metrics(args.shard)
     print("current metrics:")
     print(json.dumps(current, indent=2))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
 
     if args.write_baseline:
         with open(args.write_baseline, "w") as f:
@@ -144,6 +188,13 @@ def main():
                 f"{AVX2_MIN_SPEEDUP}x floor")
     else:
         print("avx2 kernel inactive on this host: speedup gate skipped")
+
+    if "sharded" in current:
+        sh = current["sharded"]
+        print(f"sharded point ratio (K4 vs mono): "
+              f"{sh['sharded_point_ratio']:.2f}x; parallel build speedup "
+              f"(K4/t4 vs mono): {sh['parallel_build_speedup']:.2f}x on "
+              f"{sh['num_cpus']} cpus (recorded, not gated)")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

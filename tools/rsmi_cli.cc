@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/factory.h"
 #include "common/timer.h"
 #include "core/rsmi_index.h"
 #include "exec/batch_query_engine.h"
@@ -28,6 +29,7 @@
 #include "data/ground_truth.h"
 #include "data/io.h"
 #include "data/workloads.h"
+#include "shard/sharded_index.h"
 
 namespace rsmi {
 namespace {
@@ -95,7 +97,16 @@ int Usage() {
       "  delete    --index=FILE --x=X --y=Y [--out=FILE]\n"
       "  bench     --data=FILE [--queries=200] [--k=25] [--area=0.0001]\n"
       "  throughput --data=FILE [--threads=1,8] [--queries=5000] [--k=25]\n"
-      "            [--area=0.0001] [--point-frac=0.6] [--window-frac=0.3]\n");
+      "            [--area=0.0001] [--point-frac=0.6] [--window-frac=0.3]\n"
+      "\n"
+      "sharding (build, point, window, knn, bench, throughput):\n"
+      "  --shards=K --shard-inner=SPEC [--build-threads=T]\n"
+      "            partition the data into K Z-order shards built in\n"
+      "            parallel; SPEC is an index kind (rsmi, rsmia, zm,\n"
+      "            grid, kdb, hrr, rstar; default rsmi) or a nested\n"
+      "            sharded<K>:SPEC. Sharded indices are built in memory\n"
+      "            from --data (no --index persistence yet), so point/\n"
+      "            window/knn take --data instead of --index.\n");
   return 1;
 }
 
@@ -133,6 +144,54 @@ RsmiConfig ConfigFromFlags(const Flags& flags) {
   return cfg;
 }
 
+/// Shared build parameters of the factory path (sharded builds).
+IndexBuildConfig BuildConfigFromFlags(const Flags& flags) {
+  IndexBuildConfig cfg;
+  cfg.block_capacity = static_cast<int>(flags.GetInt("block", 100));
+  cfg.partition_threshold =
+      static_cast<int>(flags.GetInt("threshold", 10000));
+  cfg.train.epochs = static_cast<int>(flags.GetInt("epochs", 300));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  cfg.build_threads = static_cast<int>(flags.GetInt("build-threads", 8));
+  return cfg;
+}
+
+/// The sharded spec selected by --shards/--shard-inner; empty without
+/// --shards.
+std::string ShardSpecFromFlags(const Flags& flags) {
+  if (!flags.Has("shards")) return "";
+  return "sharded<" + std::to_string(flags.GetInt("shards", 4)) + ">:" +
+         flags.Get("shard-inner", "rsmi");
+}
+
+/// Loads --data and builds the sharded index named by --shards/
+/// --shard-inner (parallel shard build); nullptr (with a diagnostic) on
+/// bad input.
+std::unique_ptr<SpatialIndex> BuildShardedFromFlags(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "--shards needs --data=FILE\n");
+    return nullptr;
+  }
+  std::vector<Point> pts;
+  if (!LoadPoints(data_path, &pts)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return nullptr;
+  }
+  DeduplicatePositions(&pts, 42);
+  const std::string spec = ShardSpecFromFlags(flags);
+  std::fprintf(stderr, "building %s over %zu points...\n", spec.c_str(),
+               pts.size());
+  WallTimer t;
+  auto index = MakeIndexFromSpec(spec, pts, BuildConfigFromFlags(flags));
+  if (index == nullptr) {
+    std::fprintf(stderr, "bad index spec: %s\n", spec.c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "built in %.2fs\n", t.ElapsedSeconds());
+  return index;
+}
+
 int CmdGenerate(const Flags& flags) {
   const size_t n = static_cast<size_t>(flags.GetInt("n", 0));
   const std::string out = flags.Get("out", "");
@@ -155,6 +214,27 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdBuild(const Flags& flags) {
+  if (flags.Has("shards")) {
+    auto index = BuildShardedFromFlags(flags);
+    if (index == nullptr) return 1;
+    if (flags.Has("index")) {
+      std::fprintf(stderr,
+                   "note: sharded indices are in-memory only; --index "
+                   "ignored (query them via --data + --shards)\n");
+    }
+    const IndexStats st = index->Stats();
+    std::printf("name=%s points=%zu height=%d models=%zu size_mb=%.2f\n",
+                st.name.c_str(), st.num_points, st.height, st.num_models,
+                st.size_bytes / 1048576.0);
+    if (const auto* sharded =
+            dynamic_cast<const ShardedIndex*>(index.get())) {
+      for (int i = 0; i < sharded->num_shards(); ++i) {
+        std::printf("shard %d: points=%zu\n", i,
+                    sharded->shard(i).Stats().num_points);
+      }
+    }
+    return 0;
+  }
   const std::string data_path = flags.Get("data", "");
   const std::string index_path = flags.Get("index", "");
   if (data_path.empty() || index_path.empty()) return Usage();
@@ -209,8 +289,12 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdPoint(const Flags& flags) {
-  auto index = LoadIndexOrDie(flags);
-  if (index == nullptr || !flags.Has("x") || !flags.Has("y")) return Usage();
+  // Cheap argument checks come before the (possibly expensive) build.
+  if (!flags.Has("x") || !flags.Has("y")) return Usage();
+  std::unique_ptr<SpatialIndex> index = flags.Has("shards")
+                                            ? BuildShardedFromFlags(flags)
+                                            : LoadIndexOrDie(flags);
+  if (index == nullptr) return Usage();
   const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
   const auto hit = index->PointQuery(q);
   if (!hit.has_value()) {
@@ -237,14 +321,28 @@ bool ParseRect(const std::string& spec, Rect* out) {
 }
 
 int CmdWindow(const Flags& flags) {
-  auto index = LoadIndexOrDie(flags);
-  Rect w;
-  if (index == nullptr || !ParseRect(flags.Get("rect", ""), &w)) {
-    return Usage();
+  if (flags.Has("shards") && flags.Has("exact")) {
+    std::fprintf(stderr,
+                 "--exact does not combine with --shards; use "
+                 "--shard-inner=rsmia for exact sharded queries\n");
+    return 1;
   }
+  Rect w;
+  if (!ParseRect(flags.Get("rect", ""), &w)) return Usage();
+  std::unique_ptr<SpatialIndex> sharded;
+  std::unique_ptr<RsmiIndex> rsmi;
+  if (flags.Has("shards")) {
+    sharded = BuildShardedFromFlags(flags);
+  } else {
+    rsmi = LoadIndexOrDie(flags);
+  }
+  SpatialIndex* index = sharded != nullptr
+                            ? sharded.get()
+                            : static_cast<SpatialIndex*>(rsmi.get());
+  if (index == nullptr) return Usage();
   QueryContext ctx;
   WallTimer t;
-  const auto result = flags.Has("exact") ? index->WindowQueryExact(w, ctx)
+  const auto result = flags.Has("exact") ? rsmi->WindowQueryExact(w, ctx)
                                          : index->WindowQuery(w, ctx);
   const double us = t.ElapsedMicros();
   for (const Point& p : result) std::printf("%.17g,%.17g\n", p.x, p.y);
@@ -255,13 +353,29 @@ int CmdWindow(const Flags& flags) {
 }
 
 int CmdKnn(const Flags& flags) {
-  auto index = LoadIndexOrDie(flags);
-  if (index == nullptr || !flags.Has("x") || !flags.Has("y")) return Usage();
+  if (flags.Has("shards") && flags.Has("exact")) {
+    std::fprintf(stderr,
+                 "--exact does not combine with --shards; use "
+                 "--shard-inner=rsmia for exact sharded queries\n");
+    return 1;
+  }
+  if (!flags.Has("x") || !flags.Has("y")) return Usage();
+  std::unique_ptr<SpatialIndex> sharded;
+  std::unique_ptr<RsmiIndex> rsmi;
+  if (flags.Has("shards")) {
+    sharded = BuildShardedFromFlags(flags);
+  } else {
+    rsmi = LoadIndexOrDie(flags);
+  }
+  SpatialIndex* index = sharded != nullptr
+                            ? sharded.get()
+                            : static_cast<SpatialIndex*>(rsmi.get());
+  if (index == nullptr) return Usage();
   const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   WallTimer t;
   const auto result =
-      flags.Has("exact") ? index->KnnQueryExact(q, k) : index->KnnQuery(q, k);
+      flags.Has("exact") ? rsmi->KnnQueryExact(q, k) : index->KnnQuery(q, k);
   const double us = t.ElapsedMicros();
   for (const Point& p : result) {
     std::printf("%.17g,%.17g dist=%.6g\n", p.x, p.y, Dist(q, p));
@@ -310,6 +424,22 @@ int CmdDelete(const Flags& flags) {
   return 0;
 }
 
+/// Bench/throughput index over already-loaded points: the sharded spec
+/// when --shards is given, the plain RSMI otherwise. nullptr (with a
+/// diagnostic) on a bad spec.
+std::unique_ptr<SpatialIndex> BuildBenchIndex(const Flags& flags,
+                                              const std::vector<Point>& pts) {
+  if (!flags.Has("shards")) {
+    return std::make_unique<RsmiIndex>(pts, ConfigFromFlags(flags));
+  }
+  const std::string spec = ShardSpecFromFlags(flags);
+  auto index = MakeIndexFromSpec(spec, pts, BuildConfigFromFlags(flags));
+  if (index == nullptr) {
+    std::fprintf(stderr, "bad index spec: %s\n", spec.c_str());
+  }
+  return index;
+}
+
 int CmdBench(const Flags& flags) {
   const std::string data_path = flags.Get("data", "");
   if (data_path.empty()) return Usage();
@@ -321,7 +451,9 @@ int CmdBench(const Flags& flags) {
   DeduplicatePositions(&pts, 42);
 
   WallTimer build_timer;
-  RsmiIndex index(pts, ConfigFromFlags(flags));
+  std::unique_ptr<SpatialIndex> built = BuildBenchIndex(flags, pts);
+  if (built == nullptr) return 1;
+  SpatialIndex& index = *built;
   const double build_s = build_timer.ElapsedSeconds();
 
   const size_t nq = static_cast<size_t>(flags.GetInt("queries", 200));
@@ -385,9 +517,14 @@ int CmdThroughput(const Flags& flags) {
   }
   DeduplicatePositions(&pts, 42);
 
-  std::fprintf(stderr, "building RSMI over %zu points...\n", pts.size());
+  const std::string spec =
+      flags.Has("shards") ? ShardSpecFromFlags(flags) : std::string("RSMI");
+  std::fprintf(stderr, "building %s over %zu points...\n", spec.c_str(),
+               pts.size());
   WallTimer build_timer;
-  RsmiIndex index(pts, ConfigFromFlags(flags));
+  std::unique_ptr<SpatialIndex> built = BuildBenchIndex(flags, pts);
+  if (built == nullptr) return 1;
+  SpatialIndex& index = *built;
   std::fprintf(stderr, "built in %.2fs\n", build_timer.ElapsedSeconds());
 
   WorkloadMix mix;

@@ -24,9 +24,12 @@
 #                 (bench_inference + bench_fig08_point_scale at smoke
 #                 scale, 3 repetitions) and write DIR/bench_inference.json
 #                 and DIR/bench_point.json — the exact invocation of the
-#                 CI bench-regression gate. Gate against the committed
-#                 bench/BENCH_BASELINE.json with
-#                 tools/check_bench_regression.py --baseline, or
+#                 CI bench-regression gate — plus DIR/bench_shard.json
+#                 (bench_shard_scale RSMI build/point cells, from which
+#                 check_bench_regression.py records the sharded-vs-
+#                 monolithic point-latency ratio; recorded, not gated).
+#                 Gate against the committed bench/BENCH_BASELINE.json
+#                 with tools/check_bench_regression.py --baseline, or
 #                 regenerate the snapshot with its --write-baseline mode.
 #   FILTER        Only run benches whose name contains this substring.
 set -euo pipefail
@@ -67,7 +70,7 @@ if [[ -n "$regression_out" ]]; then
   export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
   export RSMI_BENCH_BUILD_THREADS=1
   mkdir -p "$regression_out"
-  for b in bench_inference bench_fig08_point_scale; do
+  for b in bench_inference bench_fig08_point_scale bench_shard_scale; do
     if [[ ! -x "$bench_dir/$b" ]]; then
       echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
       exit 1
@@ -83,6 +86,12 @@ if [[ -n "$regression_out" ]]; then
   "$bench_dir/bench_fig08_point_scale" \
     --benchmark_filter='n2000/(RSMI|ZM)' --benchmark_repetitions=3 \
     --benchmark_out="$regression_out/bench_point.json" \
+    --benchmark_out_format=json
+  echo "=== bench_shard_scale (pinned) -> $regression_out/bench_shard.json ===" >&2
+  "$bench_dir/bench_shard_scale" \
+    --benchmark_filter='Shard/(Build|Point)/RSMI' --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_shard.json" \
     --benchmark_out_format=json
   exit 0
 fi
