@@ -1,0 +1,137 @@
+// Persistence throughput: SaveIndex/LoadIndex MB/s through the
+// self-describing container format (src/io/index_container.h) for a
+// plain RSMI and a sharded<4>:rsmi composition (the latter exercises the
+// nested per-shard containers). Recorded into the --regression-out JSON
+// by tools/run_benches.sh and surfaced by check_bench_regression.py
+// --persistence (recorded, NOT gated: save/load is a cold-start path,
+// and MB/s on shared CI runners is dominated by the filesystem).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/index_container.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+struct SpecCase {
+  const char* spec;
+  const char* label;
+};
+
+const SpecCase kSpecs[] = {
+    {"rsmi", "RSMI"},
+    {"sharded<4>:rsmi", "Sharded4RSMI"},
+};
+
+std::string TempIndexPath(const std::string& label) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/bench_persist_" +
+         label + ".idx";
+}
+
+/// One build per spec across the save and load cells.
+SpatialIndex* CachedIndex(const std::string& spec, size_t n) {
+  static std::map<std::pair<std::string, size_t>,
+                  std::unique_ptr<SpatialIndex>>
+      cache;
+  const auto key = std::make_pair(spec, n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const auto& data = Context::Get().Dataset(Distribution::kUniform, n);
+    it = cache.emplace(key, MakeIndexFromSpec(spec, data, BuildConfig()))
+             .first;
+  }
+  return it->second.get();
+}
+
+double FileMb(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0.0;
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  return bytes <= 0 ? 0.0 : static_cast<double>(bytes) / 1048576.0;
+}
+
+void SaveBench(benchmark::State& state, const std::string& spec,
+               const std::string& label) {
+  const size_t n = GetScale().default_n;
+  SpatialIndex* index = CachedIndex(spec, n);
+  const std::string path = TempIndexPath(label);
+  double seconds = 1.0;
+  for (auto _ : state) {
+    WallTimer t;
+    const bool ok = SaveIndex(*index, path);
+    seconds = t.ElapsedSeconds();
+    if (!ok) {
+      state.SkipWithError("SaveIndex failed");
+      return;
+    }
+  }
+  const double mb = FileMb(path);
+  state.counters["file_mb"] = mb;
+  state.counters["mb_per_s"] = seconds > 0.0 ? mb / seconds : 0.0;
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void LoadBench(benchmark::State& state, const std::string& spec,
+               const std::string& label) {
+  const size_t n = GetScale().default_n;
+  const std::string path = TempIndexPath(label);
+  if (!SaveIndex(*CachedIndex(spec, n), path)) {
+    state.SkipWithError("SaveIndex failed");
+    return;
+  }
+  double seconds = 1.0;
+  for (auto _ : state) {
+    WallTimer t;
+    auto loaded = LoadIndex(path);
+    seconds = t.ElapsedSeconds();
+    if (loaded == nullptr) {
+      state.SkipWithError("LoadIndex failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  const double mb = FileMb(path);
+  state.counters["file_mb"] = mb;
+  state.counters["mb_per_s"] = seconds > 0.0 ? mb / seconds : 0.0;
+  state.counters["n"] = static_cast<double>(n);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  for (const SpecCase& c : kSpecs) {
+    const std::string spec = c.spec;
+    const std::string label = c.label;
+    RegisterNamed("Persist/Save/" + label,
+                  [spec, label](benchmark::State& s) {
+                    SaveBench(s, spec, label);
+                  })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    RegisterNamed("Persist/Load/" + label,
+                  [spec, label](benchmark::State& s) {
+                    LoadBench(s, spec, label);
+                  })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

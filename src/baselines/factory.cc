@@ -225,6 +225,12 @@ class RsmiView : public SpatialIndex {
     return impl_->block_store();
   }
 
+  std::string KindSpec() const override { return "rsmi"; }
+  bool SaveTo(Serializer& out) const override { return impl_->SaveTo(out); }
+  bool LoadFrom(Deserializer& in) override { return impl_->LoadFrom(in); }
+
+  RsmiIndex* impl() { return impl_.get(); }
+
  private:
   std::shared_ptr<RsmiIndex> impl_;
 };
@@ -233,6 +239,45 @@ class RsmiView : public SpatialIndex {
 
 std::unique_ptr<SpatialIndex> MakeRsmiView(std::shared_ptr<RsmiIndex> impl) {
   return std::make_unique<RsmiView>(std::move(impl));
+}
+
+std::unique_ptr<SpatialIndex> MakeIndexShellForLoad(const std::string& spec) {
+  int k = 0;
+  std::string inner;
+  if (ParseShardedSpec(spec, &k, &inner)) {
+    // The shard count and inner kind both live inside the persisted
+    // payload (the partitioner and the nested per-shard containers); the
+    // spec is validated here so an unknown inner kind is refused before
+    // any payload is touched.
+    if (!IsValidIndexSpec(inner)) return nullptr;
+    return ShardedIndex::MakeLoadShell();
+  }
+  IndexKind kind;
+  if (!ParseIndexKind(spec, &kind)) return nullptr;
+  switch (kind) {
+    case IndexKind::kGrid:
+      return GridFile::MakeLoadShell();
+    case IndexKind::kRstar:
+      return RStarTree::MakeLoadShell();
+    case IndexKind::kZm:
+      return ZmIndex::MakeLoadShell();
+    case IndexKind::kRsmi:
+      return RsmiIndex::MakeLoadShell();
+    case IndexKind::kRsmia:
+      return MakeRsmiaView(
+          std::shared_ptr<RsmiIndex>(RsmiIndex::MakeLoadShell()));
+    case IndexKind::kHrr:
+    case IndexKind::kKdb:
+      return nullptr;  // these kinds do not persist (KindSpec empty)
+  }
+  return nullptr;
+}
+
+RsmiIndex* UnwrapRsmi(SpatialIndex* index) {
+  if (auto* direct = dynamic_cast<RsmiIndex*>(index)) return direct;
+  if (auto* rsmia = dynamic_cast<RsmiaView*>(index)) return rsmia->impl();
+  if (auto* plain = dynamic_cast<RsmiView*>(index)) return plain->impl();
+  return nullptr;
 }
 
 }  // namespace rsmi

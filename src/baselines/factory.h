@@ -69,6 +69,22 @@ std::unique_ptr<SpatialIndex> MakeIndexFromSpec(const std::string& spec,
                                                 const std::vector<Point>& pts,
                                                 const IndexBuildConfig& cfg);
 
+/// Load-path dispatch of the persistence API (io/index_container.h):
+/// constructs an empty shell of the index kind named by `spec` — the spec
+/// embedded in a container header — whose LoadFrom the container reader
+/// then fills. Supports every persistable spec: "rsmi", "rsmia", "zm",
+/// "grid", "rstar", and "sharded<K>:<inner>" recursively (the sharded
+/// shell loads each shard from its own nested container). nullptr on an
+/// unknown or non-persistable spec (e.g. "kdb", "hrr").
+std::unique_ptr<SpatialIndex> MakeIndexShellForLoad(const std::string& spec);
+
+/// The RsmiIndex behind `index` when it is an RSMI in any packaging — a
+/// plain RsmiIndex (e.g. from LoadIndex of an "rsmi" file) or one of the
+/// factory's shared-ownership views (RSMI/RSMIa); nullptr otherwise.
+/// Lets callers reach RSMI-only surface (exact queries, error bounds,
+/// RSMIr rebuilds) behind the polymorphic API.
+RsmiIndex* UnwrapRsmi(SpatialIndex* index);
+
 /// RSMIa (Section 6.2.3): a view over an RSMI whose window/kNN queries
 /// run the exact MBR-based algorithms.
 class RsmiaView : public SpatialIndex {
@@ -110,6 +126,12 @@ class RsmiaView : public SpatialIndex {
   const BlockStore& block_store() const override {
     return impl_->block_store();
   }
+
+  /// Persists/loads through the shared RSMI (the payload is exactly an
+  /// "rsmi" payload; the "rsmia" spec restores the exact-query wrapper).
+  std::string KindSpec() const override { return "rsmia"; }
+  bool SaveTo(Serializer& out) const override { return impl_->SaveTo(out); }
+  bool LoadFrom(Deserializer& in) override { return impl_->LoadFrom(in); }
 
   RsmiIndex* impl() { return impl_.get(); }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "io/serializer.h"
+
 namespace rsmi {
 namespace {
 
@@ -244,6 +246,59 @@ bool GridFile::ValidateStructure(std::string* error) const {
           return fail("entry stored in the wrong cell chain (cell " +
                       std::to_string(cell) + ")");
         }
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+bool GridFile::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(data_bounds_);
+  out.WritePod(span_x_);
+  out.WritePod(span_y_);
+  out.WritePod(side_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  store_.WriteTo(out);
+  out.WritePod<uint64_t>(cells_.size());
+  for (const auto& chain : cells_) out.WriteVec(chain);
+  return true;
+}
+
+bool GridFile::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&data_bounds_) ||
+      !in.ReadPod(&span_x_) || !in.ReadPod(&span_y_) ||
+      !in.ReadPod(&side_) || !in.ReadPod(&live_points_) ||
+      !in.ReadPod(&next_id_) || !store_.ReadFrom(in)) {
+    return false;
+  }
+  // Cell coordinates divide by the spans: a crafted zero/NaN span would
+  // poison the float-to-int cell math.
+  if (!(span_x_ > 0.0) || !(span_y_ > 0.0) || !std::isfinite(span_x_) ||
+      !std::isfinite(span_y_)) {
+    return in.Fail("grid spans are not positive finite");
+  }
+  uint64_t n_cells = 0;
+  if (!in.ReadPod(&n_cells)) return false;
+  // Each cell chain costs at least its uint64 length on disk; the cell
+  // table must also match the persisted grid side.
+  if (n_cells > in.remaining() / sizeof(uint64_t) ||
+      side_ < 1 ||
+      n_cells != static_cast<uint64_t>(side_) * static_cast<uint64_t>(side_)) {
+    return in.Fail("grid cell table disagrees with the grid side");
+  }
+  cells_.assign(static_cast<size_t>(n_cells), {});
+  for (auto& chain : cells_) {
+    if (!in.ReadVec(&chain)) return false;
+    // Chains index the store: no crafted id may escape it.
+    for (int id : chain) {
+      if (id < 0 || !store_.ValidBlockRef(id)) {
+        return in.Fail("grid cell chain references a block out of range");
       }
     }
   }

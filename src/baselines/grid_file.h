@@ -1,6 +1,7 @@
 #ifndef RSMI_BASELINES_GRID_FILE_H_
 #define RSMI_BASELINES_GRID_FILE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,7 +49,22 @@ class GridFile : public SpatialIndex {
   /// capacities hold.
   bool ValidateStructure(std::string* error) const override;
 
+  /// Polymorphic persistence (io/index_container.h): grid geometry, cell
+  /// table, and blocks round-trip bit-identically.
+  std::string KindSpec() const override { return "grid"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell for the factory's load dispatch; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<GridFile> MakeLoadShell() {
+    return std::unique_ptr<GridFile>(new GridFile(LoadTag{}));
+  }
+
  private:
+  struct LoadTag {};
+  explicit GridFile(LoadTag) : store_(1) {}  // shell filled by LoadFrom
+
   int CellX(double x) const;
   int CellY(double y) const;
   int CellOf(const Point& p) const;

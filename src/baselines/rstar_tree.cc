@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "io/serializer.h"
+
 namespace rsmi {
 namespace {
 
@@ -134,6 +136,8 @@ RStarTree::RStarTree(const std::vector<Point>& pts, const RStarConfig& cfg)
 }
 
 RStarTree::~RStarTree() = default;
+
+RStarTree::RStarTree(LoadTag) : store_(1) {}
 
 RStarTree::Node* RStarTree::ChooseSubtree(const Point& p,
                                           QueryContext& ctx) const {
@@ -568,6 +572,83 @@ bool RStarTree::ValidateStructure(std::string* error) const {
   if (!walker.Check(root_.get(), 0)) {
     if (error != nullptr) *error = walker.why;
     return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+void RStarTree::WriteNode(Serializer& out, const Node& node) const {
+  out.WritePod(node.leaf);
+  out.WritePod(node.mbr);
+  out.WritePod(node.block);
+  out.WritePod<uint32_t>(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) WriteNode(out, *child);
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::ReadNode(Deserializer& in,
+                                                     Node* parent, int depth) {
+  // A corrupted file cannot be allowed to recurse without bound; real
+  // trees with fanout >= 2 stay far below this.
+  if (depth > 64) {
+    in.Fail("R* tree deeper than any valid tree");
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  node->parent = parent;
+  uint32_t nchildren = 0;
+  if (!in.ReadPod(&node->leaf) || !in.ReadPod(&node->mbr) ||
+      !in.ReadPod(&node->block) || !in.ReadPod(&nchildren)) {
+    return nullptr;
+  }
+  if (nchildren > in.remaining()) {  // each child costs >= 1 byte
+    in.Fail("R* node child count exceeds remaining data");
+    return nullptr;
+  }
+  node->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    auto child = ReadNode(in, node.get(), depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+bool RStarTree::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  store_.WriteTo(out);
+  WriteNode(out, *root_);
+  return true;
+}
+
+bool RStarTree::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&live_points_) ||
+      !in.ReadPod(&next_id_) || !store_.ReadFrom(in)) {
+    return false;
+  }
+  root_ = ReadNode(in, nullptr, 0);
+  if (root_ == nullptr) {
+    return in.Fail("R* tree is malformed");
+  }
+  // Leaf nodes index the store: reject out-of-range block references so
+  // a CRC-valid crafted payload cannot plant an OOB block access.
+  struct BlockCheck {
+    static bool Ok(const Node& n, const BlockStore& store) {
+      if (n.leaf && (n.block < 0 || !store.ValidBlockRef(n.block))) {
+        return false;
+      }
+      for (const auto& c : n.children) {
+        if (!Ok(*c, store)) return false;
+      }
+      return true;
+    }
+  };
+  if (!BlockCheck::Ok(*root_, store_)) {
+    return in.Fail("R* leaf block reference out of store bounds");
   }
   return true;
 }

@@ -56,8 +56,27 @@ class RStarTree : public SpatialIndex {
   /// consistent, fanout limits hold, and all leaves sit at one depth.
   bool ValidateStructure(std::string* error) const override;
 
+  /// Polymorphic persistence (io/index_container.h): the tree shape is
+  /// persisted node by node (parent pointers are rebuilt on load), so the
+  /// reloaded tree answers and updates exactly like the original.
+  std::string KindSpec() const override { return "rstar"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell for the factory's load dispatch; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<RStarTree> MakeLoadShell() {
+    return std::unique_ptr<RStarTree>(new RStarTree(LoadTag{}));
+  }
+
  private:
   struct Node;
+  struct LoadTag {};
+  explicit RStarTree(LoadTag);  // shell filled by LoadFrom
+
+  void WriteNode(Serializer& out, const Node& node) const;
+  static std::unique_ptr<Node> ReadNode(Deserializer& in, Node* parent,
+                                        int depth);
 
   void InsertEntry(const PointEntry& e, bool allow_reinsert,
                    QueryContext& ctx);

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/group_by.h"
+#include "io/serializer.h"
 #include "sfc/z_curve.h"
 
 namespace rsmi {
@@ -618,6 +619,121 @@ bool ZmIndex::ValidateStructure(std::string* error) const {
                     std::to_string(id));
       }
     }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteOptionalMlp(Serializer& out, const std::unique_ptr<Mlp>& m) {
+  out.WritePod(m != nullptr);
+  if (m != nullptr) m->WriteTo(out);
+}
+
+bool ReadOptionalMlp(Deserializer& in, std::unique_ptr<Mlp>* m) {
+  bool present = false;
+  if (!in.ReadPod(&present)) return false;
+  if (!present) {
+    m->reset();
+    return true;
+  }
+  Mlp model(1, 1);
+  if (!Mlp::ReadFrom(in, &model)) return false;
+  *m = std::make_unique<Mlp>(std::move(model));
+  return true;
+}
+
+}  // namespace
+
+bool ZmIndex::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(data_bounds_);
+  out.WritePod(span_x_);
+  out.WritePod(span_y_);
+  out.WritePod(num_build_blocks_);
+  out.WritePod(n_build_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  out.WritePod(has_insertions_);
+  pmf_x_.WriteTo(out);
+  pmf_y_.WriteTo(out);
+  store_.WriteTo(out);
+  WriteOptionalMlp(out, root_);
+  out.WritePod<uint64_t>(mid_.size());
+  for (const auto& m : mid_) WriteOptionalMlp(out, m);
+  out.WritePod<uint64_t>(leaves_.size());
+  for (const LeafModel& lm : leaves_) {
+    WriteOptionalMlp(out, lm.model);
+    out.WritePod(lm.err_below);
+    out.WritePod(lm.err_above);
+    out.WritePod(lm.trained);
+  }
+  return true;
+}
+
+bool ZmIndex::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&data_bounds_) ||
+      !in.ReadPod(&span_x_) || !in.ReadPod(&span_y_) ||
+      !in.ReadPod(&num_build_blocks_) || !in.ReadPod(&n_build_) ||
+      !in.ReadPod(&live_points_) || !in.ReadPod(&next_id_) ||
+      !in.ReadPod(&has_insertions_) || !pmf_x_.ReadFrom(in) ||
+      !pmf_y_.ReadFrom(in) || !store_.ReadFrom(in) ||
+      !ReadOptionalMlp(in, &root_)) {
+    return false;
+  }
+  // Predictions are clamped into [0, num_build_blocks_-1] and then index
+  // the store, and Z-values divide by the spans: reject crafted values
+  // that would step outside the store or poison the float math.
+  if (num_build_blocks_ < 1 ||
+      num_build_blocks_ > static_cast<int>(store_.NumBlocks())) {
+    return in.Fail("ZM build-block count out of store bounds");
+  }
+  if (!(span_x_ > 0.0) || !(span_y_ > 0.0) || !std::isfinite(span_x_) ||
+      !std::isfinite(span_y_)) {
+    return in.Fail("ZM spans are not positive finite");
+  }
+  uint64_t n_mid = 0;
+  if (!in.ReadPod(&n_mid)) return false;
+  if (n_mid > in.remaining()) {  // each model costs >= its presence byte
+    return in.Fail("ZM mid-level model count exceeds remaining data");
+  }
+  mid_.resize(static_cast<size_t>(n_mid));
+  for (auto& m : mid_) {
+    if (!ReadOptionalMlp(in, &m)) return false;
+  }
+  uint64_t n_leaves = 0;
+  if (!in.ReadPod(&n_leaves)) return false;
+  if (n_leaves > in.remaining()) {
+    return in.Fail("ZM leaf-model count exceeds remaining data");
+  }
+  leaves_.resize(static_cast<size_t>(n_leaves));
+  for (LeafModel& lm : leaves_) {
+    if (!ReadOptionalMlp(in, &lm.model) || !in.ReadPod(&lm.err_below) ||
+        !in.ReadPod(&lm.err_above) || !in.ReadPod(&lm.trained)) {
+      return false;
+    }
+  }
+  // Shape invariants the builder guarantees and the query path divides
+  // or indexes by: with build data there is a full three-level RMI whose
+  // tables hold a model in every slot; without, all three levels are
+  // absent. A crafted CRC-valid payload may not break either shape.
+  if (cfg_.block_capacity < 1) {
+    return in.Fail("ZM block capacity out of range");
+  }
+  const bool has_models = root_ != nullptr;
+  if (has_models != (n_build_ > 0) || has_models == mid_.empty() ||
+      has_models == leaves_.empty()) {
+    return in.Fail("ZM model tables are inconsistent");
+  }
+  for (const auto& m : mid_) {
+    if (m == nullptr) return in.Fail("ZM mid-level model slot is empty");
+  }
+  for (const LeafModel& lm : leaves_) {
+    if (lm.model == nullptr) return in.Fail("ZM leaf-model slot is empty");
   }
   return true;
 }

@@ -77,12 +77,28 @@ class ZmIndex : public SpatialIndex {
   int MaxErrBelow() const;
   int MaxErrAbove() const;
 
+  /// Polymorphic persistence (io/index_container.h): the whole learned
+  /// state — RMI levels, per-leaf error bounds, blocks, PMFs — round-
+  /// trips bit-identically.
+  std::string KindSpec() const override { return "zm"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell for the factory's load dispatch; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<ZmIndex> MakeLoadShell() {
+    return std::unique_ptr<ZmIndex>(new ZmIndex(LoadTag{}));
+  }
+
   /// Checks the Z-ordering invariants: build blocks carry non-decreasing
   /// Z-value ranges and every entry's Z-value lies inside its build
   /// block's [cv_lo, cv_hi] range.
   bool ValidateStructure(std::string* error) const override;
 
  private:
+  struct LoadTag {};
+  explicit ZmIndex(LoadTag) : store_(1) {}  // shell filled by LoadFrom
+
   struct LeafModel {
     std::unique_ptr<Mlp> model;
     int err_below = 0;  ///< max over-prediction in blocks

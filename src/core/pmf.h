@@ -3,10 +3,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <cstdio>
 #include <vector>
 
-#include "common/serialize.h"
+#include "io/serializer.h"
 
 namespace rsmi {
 
@@ -69,13 +68,17 @@ class Pmf {
     return (xs_.size() + cum_.size()) * sizeof(double);
   }
 
-  /// Binary persistence (index save/load).
-  bool WriteTo(std::FILE* f) const {
-    return WriteVec(f, xs_) && WriteVec(f, cum_);
+  /// Binary persistence (index save/load, io/serializer.h).
+  void WriteTo(Serializer& out) const {
+    out.WriteVec(xs_);
+    out.WriteVec(cum_);
   }
-  bool ReadFrom(std::FILE* f) {
-    return ReadVec(f, &xs_) && ReadVec(f, &cum_) &&
-           xs_.size() == cum_.size();
+  bool ReadFrom(Deserializer& in) {
+    if (!in.ReadVec(&xs_) || !in.ReadVec(&cum_)) return false;
+    if (xs_.size() != cum_.size()) {
+      return in.Fail("PMF boundary/cumulative tables differ in length");
+    }
+    return true;
   }
 
  private:

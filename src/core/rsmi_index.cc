@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/group_by.h"
+#include "io/index_container.h"
 #include "rank/rank_space.h"
 
 namespace rsmi {
@@ -1249,105 +1250,132 @@ bool RsmiIndex::ValidateStructure(std::string* error) const {
 // Persistence
 // ---------------------------------------------------------------------------
 
-namespace {
-// "RSMI2": bumped in PR 3 — post-training predictions moved from libm
-// exp to the inference engine's polynomial exp, so error bounds and
-// groupings persisted by older binaries no longer match what this
-// binary would recompute. Refusing the old magic beats silently loading
-// an index whose stored bounds the new arithmetic can step outside of.
-constexpr uint64_t kIndexMagic = 0x52534D4932ull;  // "RSMI2"
-}  // namespace
-
-bool RsmiIndex::WriteNode(std::FILE* f, const Node& node) const {
-  bool ok = WritePod(f, node.leaf) && WritePod(f, node.mbr) &&
-            WritePod(f, node.norm_lo_x) && WritePod(f, node.norm_lo_y) &&
-            WritePod(f, node.norm_span_x) && WritePod(f, node.norm_span_y) &&
-            WritePod(f, node.grid_order) && WritePod(f, node.first_block) &&
-            WritePod(f, node.num_blocks) && WritePod(f, node.err_below) &&
-            WritePod(f, node.err_above) && WritePod(f, node.built_points) &&
-            WritePod(f, node.extra_points) && WriteVec(f, node.buffer);
+void RsmiIndex::WriteNode(Serializer& out, const Node& node) const {
+  out.WritePod(node.leaf);
+  out.WritePod(node.mbr);
+  out.WritePod(node.norm_lo_x);
+  out.WritePod(node.norm_lo_y);
+  out.WritePod(node.norm_span_x);
+  out.WritePod(node.norm_span_y);
+  out.WritePod(node.grid_order);
+  out.WritePod(node.first_block);
+  out.WritePod(node.num_blocks);
+  out.WritePod(node.err_below);
+  out.WritePod(node.err_above);
+  out.WritePod(node.built_points);
+  out.WritePod(node.extra_points);
+  out.WriteVec(node.buffer);
   const bool has_model = node.model != nullptr;
-  ok = ok && WritePod(f, has_model);
-  if (has_model) ok = ok && node.model->WriteTo(f);
-  const uint32_t nchildren = static_cast<uint32_t>(node.children.size());
-  ok = ok && WritePod(f, nchildren);
+  out.WritePod(has_model);
+  if (has_model) node.model->WriteTo(out);
+  out.WritePod<uint32_t>(static_cast<uint32_t>(node.children.size()));
   for (const auto& child : node.children) {
     const bool present = child != nullptr;
-    ok = ok && WritePod(f, present);
-    if (present) ok = ok && WriteNode(f, *child);
+    out.WritePod(present);
+    if (present) WriteNode(out, *child);
   }
-  return ok;
 }
 
-std::unique_ptr<RsmiIndex::Node> RsmiIndex::ReadNode(std::FILE* f, bool* ok) {
-  auto node = std::make_unique<Node>();
-  *ok = ReadPod(f, &node->leaf) && ReadPod(f, &node->mbr) &&
-        ReadPod(f, &node->norm_lo_x) && ReadPod(f, &node->norm_lo_y) &&
-        ReadPod(f, &node->norm_span_x) && ReadPod(f, &node->norm_span_y) &&
-        ReadPod(f, &node->grid_order) && ReadPod(f, &node->first_block) &&
-        ReadPod(f, &node->num_blocks) && ReadPod(f, &node->err_below) &&
-        ReadPod(f, &node->err_above) && ReadPod(f, &node->built_points) &&
-        ReadPod(f, &node->extra_points) && ReadVec(f, &node->buffer);
-  if (!*ok) return nullptr;
-  bool has_model = false;
-  if (!ReadPod(f, &has_model)) {
-    *ok = false;
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::ReadNode(Deserializer& in,
+                                                     int depth) {
+  // A corrupted file cannot be allowed to recurse without bound; real
+  // RSMI trees are a handful of levels deep.
+  if (depth > 64) {
+    in.Fail("RSMI model tree deeper than any valid tree");
     return nullptr;
   }
+  auto node = std::make_unique<Node>();
+  if (!in.ReadPod(&node->leaf) || !in.ReadPod(&node->mbr) ||
+      !in.ReadPod(&node->norm_lo_x) || !in.ReadPod(&node->norm_lo_y) ||
+      !in.ReadPod(&node->norm_span_x) || !in.ReadPod(&node->norm_span_y) ||
+      !in.ReadPod(&node->grid_order) || !in.ReadPod(&node->first_block) ||
+      !in.ReadPod(&node->num_blocks) || !in.ReadPod(&node->err_below) ||
+      !in.ReadPod(&node->err_above) || !in.ReadPod(&node->built_points) ||
+      !in.ReadPod(&node->extra_points) || !in.ReadVec(&node->buffer)) {
+    return nullptr;
+  }
+  bool has_model = false;
+  if (!in.ReadPod(&has_model)) return nullptr;
   if (has_model) {
     Mlp model(1, 1);
-    if (!Mlp::ReadFrom(f, &model)) {
-      *ok = false;
-      return nullptr;
-    }
+    if (!Mlp::ReadFrom(in, &model)) return nullptr;
     node->model = std::make_unique<Mlp>(std::move(model));
   }
   uint32_t nchildren = 0;
-  if (!ReadPod(f, &nchildren) || nchildren > (1u << 24)) {
-    *ok = false;
+  if (!in.ReadPod(&nchildren)) return nullptr;
+  // Each present child costs at least its presence byte.
+  if (nchildren > in.remaining()) {
+    in.Fail("node child count exceeds remaining data");
     return nullptr;
   }
   node->children.resize(nchildren);
   for (uint32_t i = 0; i < nchildren; ++i) {
     bool present = false;
-    if (!ReadPod(f, &present)) {
-      *ok = false;
-      return nullptr;
-    }
+    if (!in.ReadPod(&present)) return nullptr;
     if (present) {
-      node->children[i] = ReadNode(f, ok);
-      if (!*ok) return nullptr;
+      node->children[i] = ReadNode(in, depth + 1);
+      if (node->children[i] == nullptr) return nullptr;
     }
   }
   return node;
 }
 
+bool RsmiIndex::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(data_bounds_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  out.WritePod(model_seed_counter_);
+  pmf_x_.WriteTo(out);
+  pmf_y_.WriteTo(out);
+  store_.WriteTo(out);
+  WriteNode(out, *root_);
+  return true;
+}
+
+bool RsmiIndex::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&data_bounds_) ||
+      !in.ReadPod(&live_points_) || !in.ReadPod(&next_id_) ||
+      !in.ReadPod(&model_seed_counter_) || !pmf_x_.ReadFrom(in) ||
+      !pmf_y_.ReadFrom(in) || !store_.ReadFrom(in)) {
+    return false;
+  }
+  root_ = ReadNode(in, 0);
+  if (root_ == nullptr) {
+    return in.Fail("RSMI model tree is malformed");
+  }
+  // Leaf block ranges index the store: reject out-of-range references so
+  // a CRC-valid crafted payload cannot plant an OOB block scan (chain
+  // pointers inside the store are validated by BlockStore::ReadFrom).
+  const int nb = static_cast<int>(store_.NumBlocks());
+  struct RangeCheck {
+    static bool Ok(const Node& n, int nb) {
+      if (n.leaf && (n.first_block < 0 || n.num_blocks < 0 ||
+                     n.first_block > nb || n.num_blocks > nb - n.first_block)) {
+        return false;
+      }
+      for (const auto& c : n.children) {
+        if (c != nullptr && !Ok(*c, nb)) return false;
+      }
+      return true;
+    }
+  };
+  if (!RangeCheck::Ok(*root_, nb)) {
+    return in.Fail("RSMI leaf block range out of store bounds");
+  }
+  return true;
+}
+
 bool RsmiIndex::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok = WritePod(f, kIndexMagic) && WritePod(f, cfg_) &&
-            WritePod(f, data_bounds_) && WritePod(f, live_points_) &&
-            WritePod(f, next_id_) && WritePod(f, model_seed_counter_) &&
-            pmf_x_.WriteTo(f) && pmf_y_.WriteTo(f) && store_.WriteTo(f) &&
-            WriteNode(f, *root_);
-  return (std::fclose(f) == 0) && ok;
+  return SaveIndex(*this, path);
 }
 
 std::unique_ptr<RsmiIndex> RsmiIndex::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return nullptr;
-  std::unique_ptr<RsmiIndex> index(new RsmiIndex(LoadTag{}));
-  uint64_t magic = 0;
-  bool ok = ReadPod(f, &magic) && magic == kIndexMagic &&
-            ReadPod(f, &index->cfg_) && ReadPod(f, &index->data_bounds_) &&
-            ReadPod(f, &index->live_points_) && ReadPod(f, &index->next_id_) &&
-            ReadPod(f, &index->model_seed_counter_) &&
-            index->pmf_x_.ReadFrom(f) && index->pmf_y_.ReadFrom(f) &&
-            index->store_.ReadFrom(f);
-  if (ok) index->root_ = ReadNode(f, &ok);
-  std::fclose(f);
-  if (!ok || index->root_ == nullptr) return nullptr;
-  return index;
+  std::unique_ptr<SpatialIndex> index = LoadIndex(path);
+  auto* rsmi = dynamic_cast<RsmiIndex*>(index.get());
+  if (rsmi == nullptr) return nullptr;  // not an index file, or not RSMI
+  index.release();
+  return std::unique_ptr<RsmiIndex>(rsmi);
 }
 
 }  // namespace rsmi

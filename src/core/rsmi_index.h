@@ -129,15 +129,27 @@ class RsmiIndex : public SpatialIndex {
     descend_count_.fetch_add(ctx.descents, std::memory_order_relaxed);
   }
 
-  /// Persists the trained index (models, blocks, PMFs) so it can be
-  /// reloaded without retraining — the "build offline, query online"
-  /// deployment the paper targets (queries are much more frequent than
-  /// updates, Section 1). Returns false on I/O failure.
-  bool Save(const std::string& path) const;
+  /// Polymorphic persistence (io/index_container.h): the trained index —
+  /// models, blocks, PMFs, and the training configuration — round-trips
+  /// bit-identically, so a reloaded index answers every query with the
+  /// same results and counted costs and stays fully updatable (including
+  /// RSMIr rebuilds). This is the "build offline, query online"
+  /// deployment the paper targets (Section 1).
+  std::string KindSpec() const override { return "rsmi"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
 
-  /// Loads an index previously written by Save; nullptr on error. The
-  /// loaded index supports all queries and updates, including RSMIr
-  /// rebuilds (the training configuration is persisted too).
+  /// Uninitialized shell whose state LoadFrom fills — the factory's load
+  /// dispatch (MakeIndexShellForLoad) constructs one per "rsmi" spec.
+  /// Invalid for anything else until LoadFrom succeeds on it.
+  static std::unique_ptr<RsmiIndex> MakeLoadShell() {
+    return std::unique_ptr<RsmiIndex>(new RsmiIndex(LoadTag{}));
+  }
+
+  /// Convenience wrappers over SaveIndex/LoadIndex for RSMI-only callers
+  /// (kept from the pre-container API; they read/write the same
+  /// container files as the polymorphic entry points).
+  bool Save(const std::string& path) const;
   static std::unique_ptr<RsmiIndex> Load(const std::string& path);
 
   /// Maximum leaf-model error bounds across the index, in blocks —
@@ -159,8 +171,8 @@ class RsmiIndex : public SpatialIndex {
   struct LoadTag {};
   explicit RsmiIndex(LoadTag);  // uninitialized shell filled by Load()
 
-  bool WriteNode(std::FILE* f, const Node& node) const;
-  static std::unique_ptr<Node> ReadNode(std::FILE* f, bool* ok);
+  void WriteNode(Serializer& out, const Node& node) const;
+  static std::unique_ptr<Node> ReadNode(Deserializer& in, int depth);
 
   // --- build ---
   std::unique_ptr<Node> BuildNode(std::vector<PointEntry> pts, int depth);

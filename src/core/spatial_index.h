@@ -13,6 +13,9 @@
 
 namespace rsmi {
 
+class Serializer;    // io/serializer.h
+class Deserializer;  // io/serializer.h
+
 /// Structural statistics reported by every index (used by Table 3 and the
 /// index-size / construction-time figures).
 struct IndexStats {
@@ -137,6 +140,40 @@ class SpatialIndex {
   /// The store holding this index's data blocks. Lets callers attach the
   /// external-memory layer (DiskBackedBlocks) to any index uniformly.
   virtual const BlockStore& block_store() const = 0;
+
+  // --- Polymorphic persistence (src/io/index_container.h) ---
+  //
+  // Persistence is part of the index contract, not a feature of one
+  // subclass: `SaveIndex(index, path)` writes any index whose kind
+  // implements the three methods below into a self-describing container
+  // file, and `LoadIndex(path)` reconstructs whatever kind the file
+  // embeds — including recursive `sharded<K>:<inner>` compositions,
+  // which persist one nested container per shard. Save/Load require
+  // exclusive access (they are writes under the thread-safety contract).
+
+  /// Stable, factory-parseable spec string of this concrete index kind
+  /// ("rsmi", "zm", "grid", "rstar", "sharded<4>:rsmi", ...) — the
+  /// dispatch key embedded in the container header. Empty means the kind
+  /// does not support persistence (SaveIndex will refuse it).
+  virtual std::string KindSpec() const { return ""; }
+
+  /// Serializes the complete index state (models, blocks, configuration)
+  /// into `out` so LoadFrom restores a bit-identical index: same query
+  /// results, same counted costs, still updatable. Returns false when the
+  /// kind does not support persistence.
+  virtual bool SaveTo(Serializer& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores the state written by SaveTo into this (shell) instance.
+  /// Only the factory's load path calls this, on a shell constructed for
+  /// the embedded kind spec; a false return (or a failed read recorded in
+  /// `in`) aborts the load — no partially-loaded index escapes.
+  virtual bool LoadFrom(Deserializer& in) {
+    (void)in;
+    return false;
+  }
 
   /// Deep structural self-check (tree/region/chain invariants), for tests
   /// and post-corruption diagnostics. Returns true when every invariant

@@ -1,0 +1,193 @@
+#include "io/index_container.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/factory.h"
+#include "common/crc32.h"
+
+namespace rsmi {
+namespace {
+
+bool SetError(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+/// Parses and validates the fixed header fields at `src`'s cursor,
+/// leaving it positioned on the first payload byte. Distinct diagnostics
+/// per failure mode (the corruption-hardening contract).
+bool ParseHeader(Deserializer& src, IndexContainerInfo* info,
+                 std::string* error) {
+  uint64_t magic = 0;
+  if (!src.ReadPod(&magic)) {
+    return SetError(error, "truncated index container: header cut short");
+  }
+  if (magic == kLegacyRsmi2Magic) {
+    return SetError(error,
+                    "legacy RSMI2 index file (pre-container format): "
+                    "rebuild the index and re-save it");
+  }
+  if (magic != kIndexContainerMagic) {
+    return SetError(error, "not an index container (wrong magic)");
+  }
+  if (!src.ReadPod(&info->version)) {
+    return SetError(error, "truncated index container: header cut short");
+  }
+  if (info->version > kIndexContainerVersion) {
+    return SetError(error, "index container version " +
+                               std::to_string(info->version) +
+                               " is newer than this binary supports (max " +
+                               std::to_string(kIndexContainerVersion) + ")");
+  }
+  // Only version 1 has ever existed, so anything below the current
+  // revision is a corrupted field, not an old format.
+  if (info->version < kIndexContainerVersion) {
+    return SetError(error, "unsupported index container version " +
+                               std::to_string(info->version));
+  }
+  if (!src.ReadString(&info->spec) || !src.ReadPod(&info->payload_bytes) ||
+      !src.ReadPod(&info->payload_crc)) {
+    return SetError(error, "truncated index container: header cut short");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteIndexContainer(Serializer& dst, const SpatialIndex& index,
+                         std::string* error) {
+  const std::string spec = index.KindSpec();
+  if (spec.empty()) {
+    return SetError(error, "index kind '" + index.Name() +
+                               "' does not support persistence");
+  }
+  dst.WritePod(kIndexContainerMagic);
+  dst.WritePod(kIndexContainerVersion);
+  dst.WriteString(spec);
+  const size_t len_offset = dst.size();
+  dst.WritePod<uint64_t>(0);  // payload length, patched below
+  dst.WritePod<uint32_t>(0);  // payload CRC, patched below
+  const size_t payload_offset = dst.size();
+  if (!index.SaveTo(dst)) {
+    return SetError(error, "serializing '" + spec + "' payload failed");
+  }
+  const uint64_t payload_len = dst.size() - payload_offset;
+  const uint32_t crc = Crc32(dst.data() + payload_offset, payload_len);
+  dst.PatchBytes(len_offset, &payload_len, sizeof(payload_len));
+  dst.PatchBytes(len_offset + sizeof(payload_len), &crc, sizeof(crc));
+  return true;
+}
+
+std::unique_ptr<SpatialIndex> ReadIndexContainer(Deserializer& src,
+                                                 std::string* error) {
+  IndexContainerInfo info;
+  if (!ParseHeader(src, &info, error)) return nullptr;
+  if (info.payload_bytes > src.remaining()) {
+    SetError(error, "truncated index container: payload of '" + info.spec +
+                        "' cut short");
+    return nullptr;
+  }
+  if (Crc32(src.cursor(), info.payload_bytes) != info.payload_crc) {
+    SetError(error, "index container checksum mismatch: payload of '" +
+                        info.spec + "' is corrupted");
+    return nullptr;
+  }
+  std::unique_ptr<SpatialIndex> index = MakeIndexShellForLoad(info.spec);
+  if (index == nullptr) {
+    SetError(error, "unknown index kind spec '" + info.spec + "'");
+    return nullptr;
+  }
+  Deserializer payload(src.cursor(), info.payload_bytes);
+  if (!index->LoadFrom(payload)) {
+    SetError(error, payload.error().empty()
+                        ? "malformed payload for index kind '" + info.spec + "'"
+                        : "loading '" + info.spec +
+                              "' failed: " + payload.error());
+    return nullptr;
+  }
+  if (payload.remaining() != 0) {
+    SetError(error, "malformed payload for index kind '" + info.spec +
+                        "': trailing bytes");
+    return nullptr;
+  }
+  // The embedded spec is the contract: a payload that loaded as some
+  // other shape (e.g. a "sharded<4>:rsmi" header over a 2-shard grid
+  // payload) is a crafted or corrupted file, not a loadable index.
+  if (index->KindSpec() != info.spec) {
+    SetError(error, "index payload is a '" + index->KindSpec() +
+                        "', which does not match the container spec '" +
+                        info.spec + "'");
+    return nullptr;
+  }
+  src.Skip(info.payload_bytes);
+  return index;
+}
+
+bool SaveIndex(const SpatialIndex& index, const std::string& path,
+               std::string* error) {
+  Serializer ser;
+  if (!WriteIndexContainer(ser, index, error)) return false;
+  if (!ser.WriteToFile(path)) {
+    return SetError(error, "cannot write " + path);
+  }
+  return true;
+}
+
+std::unique_ptr<SpatialIndex> LoadIndex(const std::string& path,
+                                        std::string* error) {
+  std::vector<uint8_t> image;
+  if (!ReadFileFully(path, &image)) {
+    SetError(error, "cannot read " + path);
+    return nullptr;
+  }
+  Deserializer src(image);
+  auto index = ReadIndexContainer(src, error);
+  if (index == nullptr) return nullptr;
+  if (src.remaining() != 0) {
+    SetError(error, "index file has trailing bytes after the container");
+    return nullptr;
+  }
+  // Belt and braces over the per-kind LoadFrom bounds checks: a loaded
+  // index must satisfy the same deep invariants a built one does, so no
+  // structurally broken index (however crafted) escapes the load path.
+  // O(index size), like the load itself.
+  std::string why;
+  if (!index->ValidateStructure(&why)) {
+    SetError(error, "loaded index fails structural validation: " + why);
+    return nullptr;
+  }
+  return index;
+}
+
+bool ReadIndexContainerInfo(const std::string& path, IndexContainerInfo* info,
+                            std::string* error) {
+  // Header-only: the fixed fields plus the spec string fit comfortably in
+  // one small prefix (the deepest legal sharded nesting stays well under
+  // it), so a multi-GB index file costs one 64 KiB read to describe.
+  constexpr size_t kHeaderPrefixBytes = 64 * 1024;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return SetError(error, "cannot read " + path);
+  }
+  std::vector<uint8_t> prefix;
+  long file_bytes = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) file_bytes = std::ftell(f);
+  bool ok = file_bytes >= 0 && std::fseek(f, 0, SEEK_SET) == 0;
+  if (ok) {
+    prefix.resize(
+        std::min(kHeaderPrefixBytes, static_cast<size_t>(file_bytes)));
+    ok = prefix.empty() ||
+         std::fread(prefix.data(), 1, prefix.size(), f) == prefix.size();
+  }
+  std::fclose(f);
+  if (!ok) {
+    return SetError(error, "cannot read " + path);
+  }
+  Deserializer src(prefix);
+  if (!ParseHeader(src, info, error)) return false;
+  info->file_bytes = static_cast<uint64_t>(file_bytes);
+  return true;
+}
+
+}  // namespace rsmi

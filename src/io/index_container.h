@@ -1,0 +1,90 @@
+#ifndef RSMI_IO_INDEX_CONTAINER_H_
+#define RSMI_IO_INDEX_CONTAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/spatial_index.h"
+#include "io/serializer.h"
+
+namespace rsmi {
+
+/// Self-describing index container — the on-disk unit of the polymorphic
+/// persistence API. Every persistable index kind serializes into the same
+/// envelope, and a sharded index embeds one whole container per shard, so
+/// arbitrarily nested specs ("sharded<2>:sharded<2>:grid") round-trip
+/// through a single file. Layout (native endianness):
+///
+///   magic        uint64   kIndexContainerMagic ("RSIXBOX1")
+///   version      uint32   kIndexContainerVersion
+///   kind spec    uint32 length + bytes   (e.g. "rsmi", "sharded<4>:rsmi")
+///   payload len  uint64
+///   payload CRC  uint32   CRC-32 (IEEE) of the payload bytes
+///   payload      <payload len> bytes     (SpatialIndex::SaveTo output)
+///
+/// The header is deliberately outside the checksum so corruption in the
+/// magic, version, spec, or length fields each fail with their own
+/// distinct diagnostic instead of a blanket CRC error.
+
+/// "RSIXBOX1" — RSMI index box, container revision 1.
+constexpr uint64_t kIndexContainerMagic = 0x31584F4258495352ull;
+constexpr uint32_t kIndexContainerVersion = 1;
+
+/// Magic of the legacy pre-container RsmiIndex::Save format ("RSMI2").
+/// Those files carry no spec, no checksum, and no version field; they are
+/// refused with a distinct "rebuild and re-save" error instead of being
+/// half-parsed.
+constexpr uint64_t kLegacyRsmi2Magic = 0x52534D4932ull;
+
+/// Serializes `index` (header + SaveTo payload) into `dst` at the current
+/// position. Used both for whole files (SaveIndex) and for the nested
+/// per-shard containers inside ShardedIndex::SaveTo. False with a
+/// diagnostic in `*error` (if non-null) when the index kind does not
+/// support persistence or SaveTo fails.
+bool WriteIndexContainer(Serializer& dst, const SpatialIndex& index,
+                         std::string* error = nullptr);
+
+/// Reads one container at `src`'s current position: validates the header,
+/// checksums the payload, constructs the index kind named by the embedded
+/// spec (dispatching through the factory, recursively for sharded specs),
+/// and fills it via LoadFrom. On success the cursor sits just past the
+/// payload. nullptr with a distinct diagnostic in `*error` (if non-null)
+/// on truncation, bad magic, a version from the future, checksum
+/// mismatch, an unknown kind spec, or a malformed payload.
+std::unique_ptr<SpatialIndex> ReadIndexContainer(Deserializer& src,
+                                                 std::string* error = nullptr);
+
+/// Persists `index` as a single-container file at `path`. Works for every
+/// index kind with a non-empty KindSpec() — RSMI (plain or rsmia view),
+/// ZM, Grid, R*, and sharded compositions of them.
+bool SaveIndex(const SpatialIndex& index, const std::string& path,
+               std::string* error = nullptr);
+
+/// Loads an index file written by SaveIndex: reads the embedded kind spec
+/// and reconstructs that index kind, whatever it is — the caller needs no
+/// prior knowledge of what was saved. nullptr with a diagnostic in
+/// `*error` (if non-null); legacy RSMI2 files are refused with a distinct
+/// "rebuild and re-save" message.
+std::unique_ptr<SpatialIndex> LoadIndex(const std::string& path,
+                                        std::string* error = nullptr);
+
+/// Container header of an index file, readable without loading (or even
+/// validating) the payload — `rsmi_cli info` prints this.
+struct IndexContainerInfo {
+  uint32_t version = 0;
+  std::string spec;
+  uint64_t payload_bytes = 0;
+  uint32_t payload_crc = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Reads just the container header of the file at `path`. False with a
+/// diagnostic in `*error` (if non-null) when the file is missing, legacy,
+/// or not a container.
+bool ReadIndexContainerInfo(const std::string& path, IndexContainerInfo* info,
+                            std::string* error = nullptr);
+
+}  // namespace rsmi
+
+#endif  // RSMI_IO_INDEX_CONTAINER_H_

@@ -1,0 +1,38 @@
+#include "io/serializer.h"
+
+#include <cstdio>
+
+namespace rsmi {
+
+bool Serializer::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = buf_.empty() ||
+            std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool ReadFileFully(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<uint8_t> buf;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  buf.resize(static_cast<size_t>(size));
+  const bool ok =
+      buf.empty() || std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return false;
+  *out = std::move(buf);
+  return true;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,148 @@
+#ifndef RSMI_IO_SERIALIZER_H_
+#define RSMI_IO_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rsmi {
+
+/// Binary serialization sink used by index persistence (SpatialIndex::
+/// SaveTo and every component WriteTo). Bytes accumulate in memory so the
+/// container writer can checksum and length-prefix a payload after it is
+/// produced; WriteToFile flushes the finished image through one buffered
+/// write. Native endianness; index files are a cache, not an interchange
+/// format (the container header guards against loading a foreign one).
+class Serializer {
+ public:
+  void WriteBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void WritePod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&v, sizeof(T));
+  }
+
+  /// uint64 element count followed by the raw elements.
+  template <typename T>
+  void WriteVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(v.size());
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// uint32 byte count followed by the characters (no terminator).
+  void WriteString(const std::string& s) {
+    WritePod<uint32_t>(static_cast<uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+
+  /// Overwrites `n` already-written bytes at `offset`; the container
+  /// writer patches payload length and CRC into its header this way.
+  void PatchBytes(size_t offset, const void* data, size_t n) {
+    std::memcpy(buf_.data() + offset, data, n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const uint8_t* data() const { return buf_.data(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+  /// Writes the accumulated bytes to `path` (one buffered stream write).
+  /// False on any I/O failure; a partial file may remain — callers that
+  /// need atomicity write to a temp name and rename.
+  bool WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounded binary reader over an in-memory image (a whole index file or
+/// one container payload). Every read is range-checked; the first
+/// failure sticks (ok() stays false and further reads fail fast), and
+/// Fail() records a diagnostic that the container loader surfaces.
+class Deserializer {
+ public:
+  Deserializer(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Deserializer(const std::vector<uint8_t>& buf)
+      : Deserializer(buf.data(), buf.size()) {}
+
+  bool ReadBytes(void* out, size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      return Fail("unexpected end of data");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadPod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(v, sizeof(T));
+  }
+
+  /// Rejects element counts larger than the remaining bytes before
+  /// resizing, so a corrupted count cannot trigger a huge allocation.
+  template <typename T>
+  bool ReadVec(std::vector<T>* v) {
+    uint64_t n = 0;
+    if (!ReadPod(&n)) return false;
+    if (n > remaining() / sizeof(T)) {
+      return Fail("vector length exceeds remaining data");
+    }
+    v->resize(static_cast<size_t>(n));
+    if (n == 0) return true;
+    return ReadBytes(v->data(), static_cast<size_t>(n) * sizeof(T));
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t n = 0;
+    if (!ReadPod(&n)) return false;
+    if (n > remaining()) return Fail("string length exceeds remaining data");
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (!ok_ || n > size_ - pos_) return Fail("unexpected end of data");
+    pos_ += n;
+    return true;
+  }
+
+  /// Marks the stream failed with a diagnostic (first message wins) and
+  /// returns false, so `return Fail("why")` reads naturally.
+  bool Fail(const std::string& why) {
+    ok_ = false;
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  bool ok() const { return ok_; }
+  /// Diagnostic of the first failure; empty while ok().
+  const std::string& error() const { return error_; }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t offset() const { return pos_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+/// Reads the whole file into `*out`. False (and untouched `*out`) when
+/// the file cannot be opened or read.
+bool ReadFileFully(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace rsmi
+
+#endif  // RSMI_IO_SERIALIZER_H_

@@ -6,7 +6,7 @@
 #include <numeric>
 
 #include "common/rng.h"
-#include "common/serialize.h"
+#include "io/serializer.h"
 #include "nn/inference_engine.h"
 
 namespace rsmi {
@@ -206,24 +206,39 @@ double Mlp::Train(const std::vector<double>& x, const std::vector<double>& y,
   return last_loss;
 }
 
-bool Mlp::WriteTo(std::FILE* f) const {
-  return WritePod(f, in_) && WritePod(f, hidden_) && WriteVec(f, w1_) &&
-         WriteVec(f, b1_) && WriteVec(f, w2_) && WritePod(f, b2_);
+void Mlp::WriteTo(Serializer& out) const {
+  out.WritePod(in_);
+  out.WritePod(hidden_);
+  out.WriteVec(w1_);
+  out.WriteVec(b1_);
+  out.WriteVec(w2_);
+  out.WritePod(b2_);
 }
 
-bool Mlp::ReadFrom(std::FILE* f, Mlp* out) {
-  int in = 0;
+bool Mlp::ReadFrom(Deserializer& in, Mlp* out) {
+  int ind = 0;
   int hidden = 0;
-  if (!ReadPod(f, &in) || !ReadPod(f, &hidden)) return false;
-  Mlp m(in, hidden);
-  if (!ReadVec(f, &m.w1_) || !ReadVec(f, &m.b1_) || !ReadVec(f, &m.w2_) ||
-      !ReadPod(f, &m.b2_)) {
+  if (!in.ReadPod(&ind) || !in.ReadPod(&hidden)) return false;
+  // The constructor allocates hidden*in weights: bound the parameter
+  // count before trusting it so a corrupted header cannot trigger a
+  // huge allocation. The 16M-parameter ceiling (128 MB of weights per
+  // sub-model) is far beyond anything trainable here, so every index a
+  // build can produce also loads — real sub-models are 1-2 inputs and
+  // <=64 hidden units.
+  if (ind < 1 || hidden < 1 ||
+      static_cast<uint64_t>(ind) * static_cast<uint64_t>(hidden) >
+          (1u << 24)) {
+    return in.Fail("MLP dimensions out of range");
+  }
+  Mlp m(ind, hidden);
+  if (!in.ReadVec(&m.w1_) || !in.ReadVec(&m.b1_) || !in.ReadVec(&m.w2_) ||
+      !in.ReadPod(&m.b2_)) {
     return false;
   }
-  if (m.w1_.size() != static_cast<size_t>(in) * hidden ||
+  if (m.w1_.size() != static_cast<size_t>(ind) * hidden ||
       m.b1_.size() != static_cast<size_t>(hidden) ||
       m.w2_.size() != static_cast<size_t>(hidden)) {
-    return false;
+    return in.Fail("MLP weight shapes disagree with its dimensions");
   }
   m.RebuildEngine();  // the reads above replaced the constructor's weights
   *out = std::move(m);

@@ -10,6 +10,8 @@
 namespace rsmi {
 
 class InferenceEngine;
+class Serializer;    // io/serializer.h
+class Deserializer;  // io/serializer.h
 
 /// Training knobs for Mlp::Train.
 ///
@@ -111,9 +113,9 @@ class Mlp {
   /// persistence, the flat snapshot for serving).
   size_t SizeBytes() const { return 2 * ParameterCount() * sizeof(double); }
 
-  /// Binary persistence (index save/load).
-  bool WriteTo(std::FILE* f) const;
-  static bool ReadFrom(std::FILE* f, Mlp* out);
+  /// Binary persistence (index save/load, io/serializer.h).
+  void WriteTo(Serializer& out) const;
+  static bool ReadFrom(Deserializer& in, Mlp* out);
 
  private:
   /// (Re)builds the inference engine's flat weight snapshot; called

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/rng.h"
-#include "common/serialize.h"
 #include "sfc/z_curve.h"
 
 namespace rsmi {
@@ -81,14 +80,15 @@ int ShardPartitioner::ShardOf(const Point& p) const {
       splits_.begin());
 }
 
-bool ShardPartitioner::WriteTo(std::FILE* f) const {
-  return WritePod(f, bounds_) && WritePod(f, z_order_) &&
-         WriteVec(f, splits_);
+void ShardPartitioner::WriteTo(Serializer& out) const {
+  out.WritePod(bounds_);
+  out.WritePod(z_order_);
+  out.WriteVec(splits_);
 }
 
-bool ShardPartitioner::ReadFrom(std::FILE* f) {
-  return ReadPod(f, &bounds_) && ReadPod(f, &z_order_) &&
-         ReadVec(f, &splits_);
+bool ShardPartitioner::ReadFrom(Deserializer& in) {
+  return in.ReadPod(&bounds_) && in.ReadPod(&z_order_) &&
+         in.ReadVec(&splits_);
 }
 
 bool ShardPartitioner::Validate(std::string* error) const {

@@ -2,12 +2,12 @@
 #define RSMI_SHARD_SHARD_PARTITIONER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "io/serializer.h"
 
 namespace rsmi {
 
@@ -66,8 +66,8 @@ class ShardPartitioner {
 
   /// Binary persistence (the shard directory is part of a saved sharded
   /// deployment even when the inner indices are rebuilt from data).
-  bool WriteTo(std::FILE* f) const;
-  bool ReadFrom(std::FILE* f);
+  void WriteTo(Serializer& out) const;
+  bool ReadFrom(Deserializer& in);
 
   /// In-memory footprint of the routing structure.
   size_t SizeBytes() const {

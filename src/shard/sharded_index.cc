@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/group_by.h"
+#include "io/index_container.h"
 
 namespace rsmi {
 
@@ -218,6 +219,83 @@ IndexStats ShardedIndex::Stats() const {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+bool ShardedIndex::SaveTo(Serializer& out) const {
+  out.WritePod<uint32_t>(static_cast<uint32_t>(shards_.size()));
+  partitioner_.WriteTo(out);
+  out.WriteVec(regions_);
+  out.WritePod(live_points_);
+  // One self-describing container per shard: the inner kind spec rides
+  // inside each, so LoadFrom needs no knowledge of what the shards are —
+  // and a shard can itself be a sharded index (recursive specs).
+  for (const auto& shard : shards_) {
+    if (!WriteIndexContainer(out, *shard)) return false;
+  }
+  return true;
+}
+
+bool ShardedIndex::LoadFrom(Deserializer& in) {
+  uint32_t k = 0;
+  if (!in.ReadPod(&k)) return false;
+  if (k < 1 || k > 4096) {
+    return in.Fail("sharded index shard count out of range");
+  }
+  if (!partitioner_.ReadFrom(in)) return false;
+  if (partitioner_.num_shards() != static_cast<int>(k)) {
+    return in.Fail("partitioner shard count disagrees with shard table");
+  }
+  if (!in.ReadVec(&regions_)) return false;
+  if (regions_.size() != k) {
+    return in.Fail("region table size disagrees with shard count");
+  }
+  if (!in.ReadPod(&live_points_)) return false;
+  shards_.clear();
+  shards_.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    std::string why;
+    auto shard = ReadIndexContainer(in, &why);
+    if (shard == nullptr) {
+      return in.Fail("shard " + std::to_string(i) + ": " + why);
+    }
+    // The builder produces one kind for every shard, and KindSpec()
+    // describes the whole index via shard 0 — a payload mixing kinds is
+    // crafted, and would make the embedded spec lie about its contents.
+    if (!shards_.empty() && shard->KindSpec() != shards_[0]->KindSpec()) {
+      return in.Fail("sharded payload mixes inner index kinds");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  return true;
+}
+
+namespace {
+
+/// Walks every point stored under `index` — directly from its block
+/// store, or recursively through the shards of a nested ShardedIndex
+/// (whose own store is an empty sink). Returns false as soon as `fn`
+/// rejects a point.
+bool ForEachStoredPoint(const SpatialIndex& index,
+                        const std::function<bool(const Point&)>& fn) {
+  if (const auto* nested = dynamic_cast<const ShardedIndex*>(&index)) {
+    for (int i = 0; i < nested->num_shards(); ++i) {
+      if (!ForEachStoredPoint(nested->shard(i), fn)) return false;
+    }
+    return true;
+  }
+  const BlockStore& store = index.block_store();
+  for (int id = 0; id < static_cast<int>(store.NumBlocks()); ++id) {
+    for (const PointEntry& e : store.Peek(id).entries) {
+      if (!fn(e.pt)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool ShardedIndex::ValidateStructure(std::string* error) const {
   const auto fail = [error](const std::string& why) {
     if (error != nullptr) *error = why;
@@ -235,6 +313,15 @@ bool ShardedIndex::ValidateStructure(std::string* error) const {
     if (shards_[i] == nullptr) return fail("null shard");
     if (!shards_[i]->ValidateStructure(error)) return false;
     points += shards_[i]->Stats().num_points;
+    // Window/kNN fan-out prunes shards by region, so a region that does
+    // not cover its shard's stored points silently drops results —
+    // reject it here (the load path runs this as its final backstop).
+    if (!ForEachStoredPoint(*shards_[i], [&](const Point& p) {
+          return regions_[i].Valid() && regions_[i].Contains(p);
+        })) {
+      return fail("shard " + std::to_string(i) +
+                  " stores a point outside its recorded region");
+    }
   }
   if (points != live_points_) {
     return fail("sharded live-point count disagrees with shard totals");

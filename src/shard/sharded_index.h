@@ -117,6 +117,27 @@ class ShardedIndex : public SpatialIndex {
   /// table, and the per-shard point-count bookkeeping.
   bool ValidateStructure(std::string* error) const override;
 
+  /// Polymorphic persistence (io/index_container.h). SaveTo persists the
+  /// shard directory (partitioner + region table) and then one complete
+  /// nested container per shard — each carrying its own kind spec — so
+  /// arbitrarily nested specs ("sharded<2>:sharded<2>:grid") round-trip
+  /// through one file without rebuilding anything. LoadFrom dispatches
+  /// every nested container back through the factory.
+  std::string KindSpec() const override {
+    // Not persistable when the inner kind is not (e.g. sharded KDB).
+    const std::string inner = shards_[0]->KindSpec();
+    if (inner.empty()) return "";
+    return "sharded<" + std::to_string(num_shards()) + ">:" + inner;
+  }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell for the factory's load dispatch; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<ShardedIndex> MakeLoadShell() {
+    return std::unique_ptr<ShardedIndex>(new ShardedIndex(LoadTag{}));
+  }
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const SpatialIndex& shard(int i) const {
     return *shards_[static_cast<size_t>(i)];
@@ -129,6 +150,9 @@ class ShardedIndex : public SpatialIndex {
   }
 
  private:
+  struct LoadTag {};
+  explicit ShardedIndex(LoadTag) {}  // shell filled by LoadFrom
+
   size_t DirectoryBytes() const {
     return sizeof(*this) + partitioner_.SizeBytes() +
            shards_.capacity() * sizeof(shards_[0]) +

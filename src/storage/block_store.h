@@ -10,10 +10,10 @@
 #include <utility>
 #include <vector>
 
-#include "common/serialize.h"
 #include "core/query_context.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "io/serializer.h"
 
 namespace rsmi {
 
@@ -245,37 +245,56 @@ class BlockStore {
   /// Seq key of a block (chain-order comparisons across leaves).
   double SeqOf(int id) const { return blocks_[id].seq; }
 
-  /// Binary persistence (index save/load).
-  bool WriteTo(std::FILE* f) const {
-    if (!WritePod(f, capacity_) || !WritePod(f, tail_)) return false;
-    const uint64_t n = blocks_.size();
-    if (!WritePod(f, n)) return false;
+  /// Binary persistence (index save/load, io/serializer.h).
+  void WriteTo(Serializer& out) const {
+    out.WritePod(capacity_);
+    out.WritePod(tail_);
+    out.WritePod<uint64_t>(blocks_.size());
     for (const Block& b : blocks_) {
-      if (!WriteVec(f, b.entries) || !WritePod(f, b.prev) ||
-          !WritePod(f, b.next) || !WritePod(f, b.seq) ||
-          !WritePod(f, b.inserted) || !WritePod(f, b.cv_lo) ||
-          !WritePod(f, b.cv_hi) || !WritePod(f, b.mbr)) {
-        return false;
-      }
+      out.WriteVec(b.entries);
+      out.WritePod(b.prev);
+      out.WritePod(b.next);
+      out.WritePod(b.seq);
+      out.WritePod(b.inserted);
+      out.WritePod(b.cv_lo);
+      out.WritePod(b.cv_hi);
+      out.WritePod(b.mbr);
     }
-    return true;
   }
 
-  bool ReadFrom(std::FILE* f) {
-    if (!ReadPod(f, &capacity_) || !ReadPod(f, &tail_)) return false;
+  bool ReadFrom(Deserializer& in) {
+    if (!in.ReadPod(&capacity_) || !in.ReadPod(&tail_)) return false;
     uint64_t n = 0;
-    if (!ReadPod(f, &n)) return false;
+    if (!in.ReadPod(&n)) return false;
+    // Each block costs at least its fixed fields on disk; bound the count
+    // by the remaining bytes before allocating.
+    if (n > in.remaining() / (sizeof(uint64_t) + sizeof(int32_t) * 2)) {
+      return in.Fail("block count exceeds remaining data");
+    }
     blocks_.assign(n, Block{});
     for (Block& b : blocks_) {
-      if (!ReadVec(f, &b.entries) || !ReadPod(f, &b.prev) ||
-          !ReadPod(f, &b.next) || !ReadPod(f, &b.seq) ||
-          !ReadPod(f, &b.inserted) || !ReadPod(f, &b.cv_lo) ||
-          !ReadPod(f, &b.cv_hi) || !ReadPod(f, &b.mbr)) {
+      if (!in.ReadVec(&b.entries) || !in.ReadPod(&b.prev) ||
+          !in.ReadPod(&b.next) || !in.ReadPod(&b.seq) ||
+          !in.ReadPod(&b.inserted) || !in.ReadPod(&b.cv_lo) ||
+          !in.ReadPod(&b.cv_hi) || !in.ReadPod(&b.mbr)) {
         return false;
       }
+      // Chain pointers index blocks_: reject out-of-range ids here so a
+      // CRC-valid crafted payload cannot plant an OOB chain walk.
+      if (!ValidBlockRef(b.prev) || !ValidBlockRef(b.next)) {
+        return in.Fail("block chain pointer out of range");
+      }
+    }
+    if (capacity_ < 1 || !ValidBlockRef(tail_)) {
+      return in.Fail("block store header fields out of range");
     }
     accesses_ = 0;
     return true;
+  }
+
+  /// True when `id` is -1 (no block) or a valid index into the store.
+  bool ValidBlockRef(int id) const {
+    return id >= -1 && id < static_cast<int>(blocks_.size());
   }
 
   /// Bytes occupied if blocks were written to disk at fixed size:

@@ -15,6 +15,7 @@
 #include "baselines/factory.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "io/serializer.h"
 #include "nn/mlp.h"
 #include "gtest/gtest.h"
 
@@ -242,17 +243,11 @@ TEST(InferenceEngineTest, PersistedMlpKeepsExactPredictions) {
   // story ("build offline, query online") depends on a reloaded index
   // retracing the builder's predictions exactly.
   Mlp mlp(2, 11, /*seed=*/8, /*init_scale=*/24.0);
-  const std::string path =
-      ::testing::TempDir() + "/inference_engine_roundtrip.bin";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_TRUE(mlp.WriteTo(f));
-  std::fclose(f);
-  f = std::fopen(path.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
+  Serializer out;
+  mlp.WriteTo(out);
+  Deserializer in(out.buffer());
   Mlp loaded(1, 1);
-  ASSERT_TRUE(Mlp::ReadFrom(f, &loaded));
-  std::fclose(f);
+  ASSERT_TRUE(Mlp::ReadFrom(in, &loaded));
 
   const auto xs = RandomInputs(2, 64, 15);
   std::vector<double> a(64);

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "data/generators.h"
+#include "io/serializer.h"
 #include "nn/mlp.h"
 #include "rank/rank_space.h"
 #include "gtest/gtest.h"
@@ -225,17 +226,13 @@ TEST(MlpPropertyTest, PersistenceRoundTripsExactPredictions) {
   Mlp mlp(2, 11, 10, 24.0);
   mlp.Train(x, y, QuickConfig());
 
-  const std::string path = ::testing::TempDir() + "/mlp_roundtrip.bin";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_TRUE(mlp.WriteTo(f));
-  std::fclose(f);
+  Serializer out;
+  mlp.WriteTo(out);
 
-  f = std::fopen(path.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
+  Deserializer in(out.buffer());
   Mlp loaded(1, 1);
-  ASSERT_TRUE(Mlp::ReadFrom(f, &loaded));
-  std::fclose(f);
+  ASSERT_TRUE(Mlp::ReadFrom(in, &loaded));
+  EXPECT_EQ(in.remaining(), 0u);
 
   EXPECT_EQ(loaded.input_dim(), 2);
   EXPECT_EQ(loaded.hidden_dim(), 11);
@@ -244,21 +241,15 @@ TEST(MlpPropertyTest, PersistenceRoundTripsExactPredictions) {
   }
 }
 
-TEST(MlpPropertyTest, ReadFromRejectsTruncatedFile) {
+TEST(MlpPropertyTest, ReadFromRejectsTruncatedData) {
   Mlp mlp(2, 8, 1);
-  const std::string path = ::testing::TempDir() + "/mlp_truncated.bin";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_TRUE(mlp.WriteTo(f));
-  const long full = std::ftell(f);
-  std::fclose(f);
-  ASSERT_EQ(::truncate(path.c_str(), full / 2), 0);
+  Serializer out;
+  mlp.WriteTo(out);
 
-  f = std::fopen(path.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
-  Mlp out(1, 1);
-  EXPECT_FALSE(Mlp::ReadFrom(f, &out));
-  std::fclose(f);
+  Deserializer in(out.data(), out.size() / 2);
+  Mlp loaded(1, 1);
+  EXPECT_FALSE(Mlp::ReadFrom(in, &loaded));
+  EXPECT_FALSE(in.ok());
 }
 
 TEST(MlpPropertyTest, ParameterCountMatchesArchitecture) {

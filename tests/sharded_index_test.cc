@@ -20,6 +20,7 @@
 #include "data/ground_truth.h"
 #include "data/workloads.h"
 #include "exec/batch_query_engine.h"
+#include "io/serializer.h"
 #include "gtest/gtest.h"
 #include "shard/shard_partitioner.h"
 
@@ -94,18 +95,13 @@ TEST(ShardPartitionerTest, SerializationRoundTripPreservesRouting) {
   cfg.sample_cap = 512;  // sampled build path
   const ShardPartitioner part(data, cfg);
 
-  const std::string path = ::testing::TempDir() + "/partitioner.bin";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_TRUE(part.WriteTo(f));
-  std::fclose(f);
+  Serializer out;
+  part.WriteTo(out);
 
   ShardPartitioner loaded;
-  f = std::fopen(path.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
-  ASSERT_TRUE(loaded.ReadFrom(f));
-  std::fclose(f);
-  std::remove(path.c_str());
+  Deserializer in(out.buffer());
+  ASSERT_TRUE(loaded.ReadFrom(in));
+  EXPECT_EQ(in.remaining(), 0u);
 
   EXPECT_EQ(loaded.num_shards(), part.num_shards());
   EXPECT_EQ(loaded.splits(), part.splits());

@@ -95,6 +95,45 @@ def collect_shard_metrics(shard_path):
     }
 
 
+PERSIST_CELLS = (
+    ("save_mb_per_s_rsmi", "Persist/Save/RSMI"),
+    ("load_mb_per_s_rsmi", "Persist/Load/RSMI"),
+    ("save_mb_per_s_sharded4_rsmi", "Persist/Save/Sharded4RSMI"),
+    ("load_mb_per_s_sharded4_rsmi", "Persist/Load/Sharded4RSMI"),
+)
+
+
+def max_counter(benchmarks, name_prefix, counter):
+    values = [
+        float(b[counter])
+        for b in benchmarks
+        if b["name"].startswith(name_prefix) and counter in b
+    ]
+    if not values:
+        raise SystemExit(
+            f"error: no benchmark entries matching {name_prefix!r} with "
+            f"counter {counter!r} — wrong input file or filter?"
+        )
+    return max(values)
+
+
+def collect_persistence_metrics(persistence_path):
+    """SaveIndex/LoadIndex MB/s from bench_persistence.json.
+
+    Recorded in the uploaded artifact for trend-watching; deliberately
+    NOT gated — save/load is a cold-start path and its MB/s on shared
+    runners is dominated by the filesystem, so a threshold would only
+    flake. Best (max) repetition per cell, like a steady-state disk.
+    """
+    _, persist = load_benchmarks(persistence_path)
+    out = {}
+    for key, prefix in PERSIST_CELLS:
+        out[key] = max_counter(persist, prefix, "mb_per_s")
+    out["file_mb_sharded4_rsmi"] = max_counter(
+        persist, "Persist/Save/Sharded4RSMI", "file_mb")
+    return out
+
+
 def collect_metrics(inference_path, point_path):
     ctx, inference = load_benchmarks(inference_path)
     _, point = load_benchmarks(point_path)
@@ -131,6 +170,10 @@ def main():
                     help="bench_shard_scale JSON from --regression-out; "
                          "records the sharded-vs-monolithic point-latency "
                          "ratio and parallel-build speedup (not gated)")
+    ap.add_argument("--persistence",
+                    help="bench_persistence JSON from --regression-out; "
+                         "records SaveIndex/LoadIndex MB/s through the "
+                         "index-container format (not gated)")
     ap.add_argument("--baseline", help="committed BENCH_BASELINE.json to gate against")
     ap.add_argument("--metrics-out",
                     help="also write the collected metrics JSON here (CI "
@@ -145,6 +188,8 @@ def main():
     current = collect_metrics(args.inference, args.point)
     if args.shard:
         current["sharded"] = collect_shard_metrics(args.shard)
+    if args.persistence:
+        current["persistence"] = collect_persistence_metrics(args.persistence)
     print("current metrics:")
     print(json.dumps(current, indent=2))
     if args.metrics_out:
@@ -195,6 +240,13 @@ def main():
               f"{sh['sharded_point_ratio']:.2f}x; parallel build speedup "
               f"(K4/t4 vs mono): {sh['parallel_build_speedup']:.2f}x on "
               f"{sh['num_cpus']} cpus (recorded, not gated)")
+
+    if "persistence" in current:
+        pe = current["persistence"]
+        print(f"persistence save/load MB/s: rsmi "
+              f"{pe['save_mb_per_s_rsmi']:.0f}/{pe['load_mb_per_s_rsmi']:.0f}, "
+              f"sharded<4>:rsmi {pe['save_mb_per_s_sharded4_rsmi']:.0f}/"
+              f"{pe['load_mb_per_s_sharded4_rsmi']:.0f} (recorded, not gated)")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end persistence smoke over rsmi_cli: generate data, build a
+# sharded<4>:rsmi index, save it, then reload it for every query command
+# — info, stats, point, window, knn — and for an insert + re-save cycle.
+# Registered with ctest (label "persistence") so it runs in the Release
+# AND Debug CI legs; the saved index file lands in OUT_DIR, which CI
+# uploads as an artifact so cross-build loadability can be exercised.
+#
+# Usage: persistence_smoke.sh RSMI_CLI OUT_DIR
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 RSMI_CLI OUT_DIR" >&2
+  exit 2
+fi
+cli="$1"
+out_dir="$2"
+mkdir -p "$out_dir"
+data="$out_dir/points.csv"
+extra="$out_dir/extra.csv"
+idx="$out_dir/sharded4_rsmi.idx"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+"$cli" generate --n=3000 --dist=skewed --seed=7 --out="$data"
+"$cli" generate --n=50 --dist=uniform --seed=8 --out="$extra"
+
+# Build + save in one step; every later command works off the file only.
+"$cli" build --data="$data" --index="$idx" \
+  --shards=4 --shard-inner=rsmi --block=20 --threshold=400 --epochs=40 \
+  --build-threads=2 > "$out_dir/build.txt"
+
+"$cli" info "$idx" | tee "$out_dir/info.txt"
+grep -q 'sharded<4>:rsmi' "$out_dir/info.txt" \
+  || fail "info does not report the embedded sharded<4>:rsmi spec"
+
+"$cli" stats --index="$idx" | tee "$out_dir/stats.txt"
+grep -Eq 'points +3000' "$out_dir/stats.txt" \
+  || fail "reloaded index does not report 3000 points"
+
+# Window over the whole space: RSMI windows are approximate (no false
+# positives, may miss a tail), so require most points rather than all.
+# The first line is a stored coordinate printed at %.17g (round-trips
+# the double exactly), which the point query must then find exactly.
+"$cli" window --index="$idx" --rect=0,0,1,1 2>/dev/null > "$out_dir/window.txt"
+[[ "$(wc -l < "$out_dir/window.txt")" -ge 2000 ]] \
+  || fail "full-space window returned implausibly few points"
+first="$(head -1 "$out_dir/window.txt")"
+x="${first%,*}"
+y="${first#*,}"
+"$cli" point --index="$idx" --x="$x" --y="$y" | grep -q 'id=' \
+  || fail "reloaded index cannot find a stored point"
+
+[[ "$("$cli" knn --index="$idx" --x=0.5 --y=0.5 --k=10 2>/dev/null | wc -l)" -eq 10 ]] \
+  || fail "knn did not return 10 neighbors"
+
+# Updates round-trip through the same container: insert into the loaded
+# sharded index, re-save, reload, and see the new count.
+"$cli" insert --index="$idx" --data="$extra" > /dev/null
+"$cli" stats --index="$idx" | grep -Eq 'points +3050' \
+  || fail "re-saved index lost the inserted points"
+
+echo "PASS: sharded<4>:rsmi persisted, reloaded, queried, and updated via $idx"

@@ -3,13 +3,21 @@
 // Typical session:
 //   rsmi_cli generate --dist=osm --n=100000 --out=/tmp/points.csv
 //   rsmi_cli build    --data=/tmp/points.csv --index=/tmp/poi.rsmi
+//   rsmi_cli build    --data=/tmp/points.csv --index=/tmp/poi.shard
+//                     --shards=4 --shard-inner=rsmi
+//   rsmi_cli info     /tmp/poi.shard
 //   rsmi_cli stats    --index=/tmp/poi.rsmi
-//   rsmi_cli point    --index=/tmp/poi.rsmi --x=0.31 --y=0.72
+//   rsmi_cli point    --index=/tmp/poi.shard --x=0.31 --y=0.72
 //   rsmi_cli window   --index=/tmp/poi.rsmi --rect=0.2,0.2,0.4,0.4
 //   rsmi_cli knn      --index=/tmp/poi.rsmi --x=0.5 --y=0.5 --k=10
 //   rsmi_cli insert   --index=/tmp/poi.rsmi --data=/tmp/more.csv --rebuild
 //   rsmi_cli bench    --data=/tmp/points.csv --queries=500
 //   rsmi_cli throughput --data=/tmp/points.csv --threads=8 --queries=5000
+//
+// Index files are self-describing containers (src/io/index_container.h):
+// every command that takes --index loads whatever kind the file embeds —
+// plain RSMI, any baseline, or a recursive sharded spec — through the
+// polymorphic LoadIndex entry point.
 //
 // Every command prints one result per line on stdout; diagnostics go to
 // stderr. Exit status 0 on success, 1 on usage errors or I/O failure.
@@ -29,6 +37,7 @@
 #include "data/ground_truth.h"
 #include "data/io.h"
 #include "data/workloads.h"
+#include "io/index_container.h"
 #include "shard/sharded_index.h"
 
 namespace rsmi {
@@ -89,6 +98,8 @@ int Usage() {
       "  build     --data=FILE --index=FILE [--block=100]\n"
       "            [--threshold=10000] [--curve=hilbert|z] [--fill=1.0]\n"
       "            [--strategy=overflow|buffer] [--epochs=300]\n"
+      "  info      FILE (or --index=FILE): print the container header —\n"
+      "            embedded kind spec, format version, payload size, CRC\n"
       "  stats     --index=FILE\n"
       "  point     --index=FILE --x=X --y=Y\n"
       "  window    --index=FILE --rect=XLO,YLO,XHI,YHI [--exact]\n"
@@ -104,9 +115,13 @@ int Usage() {
       "            partition the data into K Z-order shards built in\n"
       "            parallel; SPEC is an index kind (rsmi, rsmia, zm,\n"
       "            grid, kdb, hrr, rstar; default rsmi) or a nested\n"
-      "            sharded<K>:SPEC. Sharded indices are built in memory\n"
-      "            from --data (no --index persistence yet), so point/\n"
-      "            window/knn take --data instead of --index.\n");
+      "            sharded<K>:SPEC.\n"
+      "\n"
+      "persistence: index files are self-describing containers. `build\n"
+      "  --index=FILE` saves whatever was built (including sharded\n"
+      "  specs); point/window/knn/stats/insert/delete `--index=FILE`\n"
+      "  reload any saved kind without rebuilding. --exact needs an\n"
+      "  RSMI-backed index (rsmi/rsmia files).\n");
   return 1;
 }
 
@@ -213,14 +228,27 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+/// Saves any index through the polymorphic container API, with a
+/// diagnostic on failure.
+bool SaveIndexOrComplain(const SpatialIndex& index, const std::string& path) {
+  std::string err;
+  if (!SaveIndex(index, path, &err)) {
+    std::fprintf(stderr, "cannot save index to %s: %s\n", path.c_str(),
+                 err.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "saved %s to %s\n", index.KindSpec().c_str(),
+               path.c_str());
+  return true;
+}
+
 int CmdBuild(const Flags& flags) {
   if (flags.Has("shards")) {
     auto index = BuildShardedFromFlags(flags);
     if (index == nullptr) return 1;
-    if (flags.Has("index")) {
-      std::fprintf(stderr,
-                   "note: sharded indices are in-memory only; --index "
-                   "ignored (query them via --data + --shards)\n");
+    if (flags.Has("index") &&
+        !SaveIndexOrComplain(*index, flags.Get("index", ""))) {
+      return 1;
     }
     const IndexStats st = index->Stats();
     std::printf("name=%s points=%zu height=%d models=%zu size_mb=%.2f\n",
@@ -248,10 +276,7 @@ int CmdBuild(const Flags& flags) {
   WallTimer t;
   RsmiIndex index(pts, ConfigFromFlags(flags));
   std::fprintf(stderr, "built in %.2fs\n", t.ElapsedSeconds());
-  if (!index.Save(index_path)) {
-    std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
-    return 1;
-  }
+  if (!SaveIndexOrComplain(index, index_path)) return 1;
   const IndexStats st = index.Stats();
   std::printf("points=%zu height=%d models=%zu size_mb=%.2f err=(%d,%d)\n",
               st.num_points, st.height, st.num_models,
@@ -260,40 +285,73 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
-std::unique_ptr<RsmiIndex> LoadIndexOrDie(const Flags& flags) {
+/// Loads whatever index kind the --index file embeds (rsmi, baselines,
+/// recursive sharded specs) through the polymorphic LoadIndex entry
+/// point; nullptr with a diagnostic on failure.
+std::unique_ptr<SpatialIndex> LoadIndexOrDie(const Flags& flags) {
   const std::string path = flags.Get("index", "");
   if (path.empty()) return nullptr;
-  auto index = RsmiIndex::Load(path);
+  std::string err;
+  auto index = LoadIndex(path, &err);
   if (index == nullptr) {
-    std::fprintf(stderr, "cannot load index %s\n", path.c_str());
+    std::fprintf(stderr, "cannot load index %s: %s\n", path.c_str(),
+                 err.c_str());
   }
   return index;
+}
+
+int CmdInfo(const Flags& flags, const std::string& positional) {
+  const std::string path =
+      positional.empty() ? flags.Get("index", "") : positional;
+  if (path.empty()) return Usage();
+  IndexContainerInfo info;
+  std::string err;
+  if (!ReadIndexContainerInfo(path, &info, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("spec         %s\n", info.spec.c_str());
+  std::printf("version      %u\n", info.version);
+  std::printf("payload_mb   %.3f\n", info.payload_bytes / 1048576.0);
+  std::printf("payload_crc  %08x\n", info.payload_crc);
+  std::printf("file_bytes   %llu\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  return 0;
 }
 
 int CmdStats(const Flags& flags) {
   auto index = LoadIndexOrDie(flags);
   if (index == nullptr) return 1;
   const IndexStats st = index->Stats();
+  std::printf("spec        %s\n", index->KindSpec().c_str());
+  std::printf("name        %s\n", st.name.c_str());
   std::printf("points      %zu\n", st.num_points);
   std::printf("height      %d\n", st.height);
   std::printf("models      %zu\n", st.num_models);
-  std::printf("blocks      %zu\n", index->block_store().NumBlocks());
   std::printf("size_mb     %.3f\n", st.size_bytes / 1048576.0);
-  std::printf("err_bounds  (%d, %d)\n", index->MaxErrBelow(),
-              index->MaxErrAbove());
-  std::printf("curve       %s\n",
-              CurveName(index->config().curve).c_str());
-  std::printf("block_cap   %d\n", index->config().block_capacity);
-  std::printf("threshold   %d\n", index->config().partition_threshold);
+  if (const RsmiIndex* rsmi = UnwrapRsmi(index.get())) {
+    std::printf("blocks      %zu\n", rsmi->block_store().NumBlocks());
+    std::printf("err_bounds  (%d, %d)\n", rsmi->MaxErrBelow(),
+                rsmi->MaxErrAbove());
+    std::printf("curve       %s\n", CurveName(rsmi->config().curve).c_str());
+    std::printf("block_cap   %d\n", rsmi->config().block_capacity);
+    std::printf("threshold   %d\n", rsmi->config().partition_threshold);
+  }
   return 0;
+}
+
+/// The index a query command runs against: the --index file (any saved
+/// kind) when given, else an in-memory sharded build from --data.
+std::unique_ptr<SpatialIndex> LoadOrBuildQueryIndex(const Flags& flags) {
+  if (flags.Has("index")) return LoadIndexOrDie(flags);
+  if (flags.Has("shards")) return BuildShardedFromFlags(flags);
+  return nullptr;
 }
 
 int CmdPoint(const Flags& flags) {
   // Cheap argument checks come before the (possibly expensive) build.
   if (!flags.Has("x") || !flags.Has("y")) return Usage();
-  std::unique_ptr<SpatialIndex> index = flags.Has("shards")
-                                            ? BuildShardedFromFlags(flags)
-                                            : LoadIndexOrDie(flags);
+  std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
   if (index == nullptr) return Usage();
   const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
   const auto hit = index->PointQuery(q);
@@ -321,25 +379,19 @@ bool ParseRect(const std::string& spec, Rect* out) {
 }
 
 int CmdWindow(const Flags& flags) {
-  if (flags.Has("shards") && flags.Has("exact")) {
-    std::fprintf(stderr,
-                 "--exact does not combine with --shards; use "
-                 "--shard-inner=rsmia for exact sharded queries\n");
-    return 1;
-  }
   Rect w;
   if (!ParseRect(flags.Get("rect", ""), &w)) return Usage();
-  std::unique_ptr<SpatialIndex> sharded;
-  std::unique_ptr<RsmiIndex> rsmi;
-  if (flags.Has("shards")) {
-    sharded = BuildShardedFromFlags(flags);
-  } else {
-    rsmi = LoadIndexOrDie(flags);
-  }
-  SpatialIndex* index = sharded != nullptr
-                            ? sharded.get()
-                            : static_cast<SpatialIndex*>(rsmi.get());
+  std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
   if (index == nullptr) return Usage();
+  RsmiIndex* rsmi = UnwrapRsmi(index.get());
+  if (flags.Has("exact") && rsmi == nullptr) {
+    std::fprintf(stderr,
+                 "--exact needs an RSMI-backed index (an rsmi/rsmia file); "
+                 "this one is '%s'. For sharded builds use "
+                 "--shard-inner=rsmia instead.\n",
+                 index->Name().c_str());
+    return 1;
+  }
   QueryContext ctx;
   WallTimer t;
   const auto result = flags.Has("exact") ? rsmi->WindowQueryExact(w, ctx)
@@ -353,24 +405,18 @@ int CmdWindow(const Flags& flags) {
 }
 
 int CmdKnn(const Flags& flags) {
-  if (flags.Has("shards") && flags.Has("exact")) {
+  if (!flags.Has("x") || !flags.Has("y")) return Usage();
+  std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
+  if (index == nullptr) return Usage();
+  RsmiIndex* rsmi = UnwrapRsmi(index.get());
+  if (flags.Has("exact") && rsmi == nullptr) {
     std::fprintf(stderr,
-                 "--exact does not combine with --shards; use "
-                 "--shard-inner=rsmia for exact sharded queries\n");
+                 "--exact needs an RSMI-backed index (an rsmi/rsmia file); "
+                 "this one is '%s'. For sharded builds use "
+                 "--shard-inner=rsmia instead.\n",
+                 index->Name().c_str());
     return 1;
   }
-  if (!flags.Has("x") || !flags.Has("y")) return Usage();
-  std::unique_ptr<SpatialIndex> sharded;
-  std::unique_ptr<RsmiIndex> rsmi;
-  if (flags.Has("shards")) {
-    sharded = BuildShardedFromFlags(flags);
-  } else {
-    rsmi = LoadIndexOrDie(flags);
-  }
-  SpatialIndex* index = sharded != nullptr
-                            ? sharded.get()
-                            : static_cast<SpatialIndex*>(rsmi.get());
-  if (index == nullptr) return Usage();
   const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   WallTimer t;
@@ -398,14 +444,19 @@ int CmdInsert(const Flags& flags) {
   std::fprintf(stderr, "inserted %zu points in %.2fs\n", pts.size(),
                t.ElapsedSeconds());
   if (flags.Has("rebuild")) {
-    const int rebuilt = index->RebuildOverflowingSubtrees();
-    std::fprintf(stderr, "rebuilt %d subtrees\n", rebuilt);
+    if (RsmiIndex* rsmi = UnwrapRsmi(index.get())) {
+      const int rebuilt = rsmi->RebuildOverflowingSubtrees();
+      std::fprintf(stderr, "rebuilt %d subtrees\n", rebuilt);
+    } else {
+      std::fprintf(stderr,
+                   "--rebuild is RSMI-only; skipped for '%s'\n",
+                   index->Name().c_str());
+    }
   }
+  // The updated index saves through the same polymorphic path it was
+  // loaded from — sharded files stay sharded files.
   const std::string out = flags.Get("out", flags.Get("index", ""));
-  if (!index->Save(out)) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
-  }
+  if (!SaveIndexOrComplain(*index, out)) return 1;
   std::printf("points=%zu\n", index->Stats().num_points);
   return 0;
 }
@@ -417,18 +468,17 @@ int CmdDelete(const Flags& flags) {
   const bool removed = index->Delete(p);
   std::printf(removed ? "deleted\n" : "not found\n");
   const std::string out = flags.Get("out", flags.Get("index", ""));
-  if (removed && !index->Save(out)) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
-  }
+  if (removed && !SaveIndexOrComplain(*index, out)) return 1;
   return 0;
 }
 
-/// Bench/throughput index over already-loaded points: the sharded spec
-/// when --shards is given, the plain RSMI otherwise. nullptr (with a
-/// diagnostic) on a bad spec.
+/// Bench/throughput index over already-loaded points: a saved index of
+/// any kind when --index is given, else the sharded spec when --shards
+/// is given, else a fresh plain RSMI. nullptr (with a diagnostic) on a
+/// bad spec or unloadable file.
 std::unique_ptr<SpatialIndex> BuildBenchIndex(const Flags& flags,
                                               const std::vector<Point>& pts) {
+  if (flags.Has("index")) return LoadIndexOrDie(flags);
   if (!flags.Has("shards")) {
     return std::make_unique<RsmiIndex>(pts, ConfigFromFlags(flags));
   }
@@ -517,9 +567,11 @@ int CmdThroughput(const Flags& flags) {
   }
   DeduplicatePositions(&pts, 42);
 
-  const std::string spec =
-      flags.Has("shards") ? ShardSpecFromFlags(flags) : std::string("RSMI");
-  std::fprintf(stderr, "building %s over %zu points...\n", spec.c_str(),
+  const std::string spec = flags.Has("index")
+                               ? "saved index " + flags.Get("index", "")
+                           : flags.Has("shards") ? ShardSpecFromFlags(flags)
+                                                 : std::string("RSMI");
+  std::fprintf(stderr, "preparing %s over %zu points...\n", spec.c_str(),
                pts.size());
   WallTimer build_timer;
   std::unique_ptr<SpatialIndex> built = BuildBenchIndex(flags, pts);
@@ -562,11 +614,19 @@ int CmdThroughput(const Flags& flags) {
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
-  const Flags flags(argc, argv, 2);
+  // `info` also takes its file as a positional argument.
+  std::string positional;
+  int first_flag = 2;
+  if (cmd == "info" && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    positional = argv[2];
+    first_flag = 3;
+  }
+  const Flags flags(argc, argv, first_flag);
   if (!flags.ok()) {
     std::fprintf(stderr, "bad argument: %s\n", flags.bad().c_str());
     return Usage();
   }
+  if (cmd == "info") return CmdInfo(flags, positional);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "stats") return CmdStats(flags);

@@ -27,7 +27,10 @@
 #                 CI bench-regression gate — plus DIR/bench_shard.json
 #                 (bench_shard_scale RSMI build/point cells, from which
 #                 check_bench_regression.py records the sharded-vs-
-#                 monolithic point-latency ratio; recorded, not gated).
+#                 monolithic point-latency ratio; recorded, not gated)
+#                 and DIR/bench_persistence.json (SaveIndex/LoadIndex
+#                 MB/s through the index-container format; recorded via
+#                 check_bench_regression.py --persistence, not gated).
 #                 Gate against the committed bench/BENCH_BASELINE.json
 #                 with tools/check_bench_regression.py --baseline, or
 #                 regenerate the snapshot with its --write-baseline mode.
@@ -70,7 +73,7 @@ if [[ -n "$regression_out" ]]; then
   export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
   export RSMI_BENCH_BUILD_THREADS=1
   mkdir -p "$regression_out"
-  for b in bench_inference bench_fig08_point_scale bench_shard_scale; do
+  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence; do
     if [[ ! -x "$bench_dir/$b" ]]; then
       echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
       exit 1
@@ -92,6 +95,12 @@ if [[ -n "$regression_out" ]]; then
     --benchmark_filter='Shard/(Build|Point)/RSMI' --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=false \
     --benchmark_out="$regression_out/bench_shard.json" \
+    --benchmark_out_format=json
+  echo "=== bench_persistence (pinned) -> $regression_out/bench_persistence.json ===" >&2
+  "$bench_dir/bench_persistence" \
+    --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_persistence.json" \
     --benchmark_out_format=json
   exit 0
 fi
