@@ -24,9 +24,9 @@ const std::vector<int> kThreadSweep = {1, 2, 4, 8};
 
 /// Workload cache: one mixed op stream per size, shared by every (kind,
 /// threads) cell so all cells replay identical queries.
-const std::vector<QueryOp>& MixedWorkload(const std::vector<Point>& data,
+const std::vector<Request>& MixedWorkload(const std::vector<Point>& data,
                                           size_t count) {
-  static std::map<size_t, std::vector<QueryOp>> cache;
+  static std::map<size_t, std::vector<Request>> cache;
   auto it = cache.find(count);
   if (it == cache.end()) {
     WorkloadMix mix;

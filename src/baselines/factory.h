@@ -112,6 +112,10 @@ class RsmiaView : public SpatialIndex {
                        std::optional<PointEntry>* out) const override {
     impl_->PointQueryBatch(qs, n, ctx, out);
   }
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                       std::optional<PointEntry>* out) const override {
+    impl_->PointQueryBatch(qs, n, ctxs, out);
+  }
   void Insert(const Point& p) override { impl_->Insert(p); }
   bool Delete(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override {

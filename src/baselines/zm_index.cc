@@ -218,18 +218,24 @@ ZmIndex::Prediction ZmIndex::PredictBlock(uint64_t z,
 }
 
 void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
-                                QueryContext& ctx, Prediction* out) const {
+                                QueryContext* ctxs, size_t ctx_stride,
+                                Prediction* out) const {
   if (n == 0) return;
   if (n_build_ == 0 || root_ == nullptr) {
     std::fill(out, out + n, Prediction{});
     return;
   }
   if (n == 1) {
-    out[0] = PredictBlock(zs[0], ctx);
+    out[0] = PredictBlock(zs[0], ctxs[0]);
     return;
   }
-  ctx.model_invocations += 3 * n;
-  ctx.descents += n;
+  // Per-op charging: every Z-value costs the fixed three-level descent,
+  // exactly the scalar PredictBlock charges.
+  for (size_t i = 0; i < n; ++i) {
+    QueryContext& ctx = ctxs[i * ctx_stride];
+    ctx.model_invocations += 3;
+    ++ctx.descents;
+  }
 
   std::vector<double> zn(n);
   for (size_t i = 0; i < n; ++i) zn[i] = NormZ(zs[i]);
@@ -307,6 +313,17 @@ std::optional<PointEntry> ZmIndex::PointQuery(const Point& q,
 
 void ZmIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
                               std::optional<PointEntry>* out) const {
+  PointQueryBatchImpl(qs, n, &ctx, 0, out);
+}
+
+void ZmIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                              std::optional<PointEntry>* out) const {
+  PointQueryBatchImpl(qs, n, ctxs, 1, out);
+}
+
+void ZmIndex::PointQueryBatchImpl(const Point* qs, size_t n,
+                                  QueryContext* ctxs, size_t ctx_stride,
+                                  std::optional<PointEntry>* out) const {
   if (n == 0) return;
   if (n_build_ == 0 && !has_insertions_) {
     std::fill(out, out + n, std::nullopt);
@@ -315,9 +332,9 @@ void ZmIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
   std::vector<uint64_t> zs(n);
   for (size_t i = 0; i < n; ++i) zs[i] = ZValue(qs[i]);
   std::vector<Prediction> preds(n);
-  PredictBlockBatch(zs.data(), n, ctx, preds.data());
+  PredictBlockBatch(zs.data(), n, ctxs, ctx_stride, preds.data());
   for (size_t i = 0; i < n; ++i) {
-    out[i] = LookupWithPrediction(qs[i], zs[i], preds[i], ctx);
+    out[i] = LookupWithPrediction(qs[i], zs[i], preds[i], ctxs[i * ctx_stride]);
   }
 }
 
@@ -405,7 +422,7 @@ std::pair<int, int> ZmIndex::WindowBlockRange(const Rect& w,
   // the pair costs one vectorized evaluation per level.
   const uint64_t zs[2] = {ZValue(w.lo), ZValue(w.hi)};
   Prediction p[2];
-  PredictBlockBatch(zs, 2, ctx, p);
+  PredictBlockBatch(zs, 2, &ctx, 0, p);
   const int begin =
       Clamp(p[0].block - p[0].err_below, 0, num_build_blocks_ - 1);
   const int end = Clamp(p[1].block + p[1].err_above, 0, num_build_blocks_ - 1);

@@ -67,6 +67,10 @@ class ZmIndex : public SpatialIndex {
   /// `n` scalar PointQuery calls.
   void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
                        std::optional<PointEntry>* out) const override;
+  /// Per-op-attributed batch (see SpatialIndex): same vectorized descent,
+  /// query i's costs charged to ctxs[i].
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                       std::optional<PointEntry>* out) const override;
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;
 
@@ -120,9 +124,17 @@ class ZmIndex : public SpatialIndex {
 
   /// Batched model descent: evaluates all `n` Z-values through the
   /// three-level RMI with one PredictBatch per (level, sub-model) group.
-  /// Bit-identical to n scalar PredictBlock calls, same ctx charges.
-  void PredictBlockBatch(const uint64_t* zs, size_t n, QueryContext& ctx,
-                         Prediction* out) const;
+  /// Bit-identical to n scalar PredictBlock calls; Z-value i's charges go
+  /// to `ctxs[i * ctx_stride]` (stride 0 = one shared context, stride 1 =
+  /// per-op attribution).
+  void PredictBlockBatch(const uint64_t* zs, size_t n, QueryContext* ctxs,
+                         size_t ctx_stride, Prediction* out) const;
+
+  /// Shared implementation behind both PointQueryBatch overloads; same
+  /// ctxs/ctx_stride convention as PredictBlockBatch.
+  void PointQueryBatchImpl(const Point* qs, size_t n, QueryContext* ctxs,
+                           size_t ctx_stride,
+                           std::optional<PointEntry>* out) const;
 
   /// The search phase of a point query, with the model prediction for
   /// `zq` already computed (shared by the scalar and batched paths).

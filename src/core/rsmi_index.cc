@@ -386,11 +386,11 @@ const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p,
 }
 
 void RsmiIndex::DescendNearestBatch(const Point* qs, size_t n,
-                                    QueryContext& ctx,
+                                    QueryContext* ctxs, size_t ctx_stride,
                                     const Node** leaves) const {
   if (n == 0) return;
   if (n == 1) {
-    leaves[0] = DescendNearest(qs[0], ctx);
+    leaves[0] = DescendNearest(qs[0], ctxs[0]);
     return;
   }
   // Level-synchronous descent: every point holds its current node; per
@@ -429,11 +429,14 @@ void RsmiIndex::DescendNearestBatch(const Point* qs, size_t n,
         });
     if (!any_internal) break;
   }
+  // Per-op charging: query i's descent costs go to ctxs[i * ctx_stride],
+  // the exact charges a scalar DescendNearest would make.
   for (size_t i = 0; i < n; ++i) {
     leaves[i] = cur[i];
+    QueryContext& ctx = ctxs[i * ctx_stride];
     ctx.model_invocations += depth[i] + 1;
+    ++ctx.descents;
   }
-  ctx.descents += n;
 }
 
 RsmiIndex::Node* RsmiIndex::DescendNearestMutable(const Point& p,
@@ -481,13 +484,24 @@ std::optional<PointEntry> RsmiIndex::PointQuery(const Point& q,
 
 void RsmiIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
                                 std::optional<PointEntry>* out) const {
+  PointQueryBatchImpl(qs, n, &ctx, 0, out);
+}
+
+void RsmiIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                                std::optional<PointEntry>* out) const {
+  PointQueryBatchImpl(qs, n, ctxs, 1, out);
+}
+
+void RsmiIndex::PointQueryBatchImpl(const Point* qs, size_t n,
+                                    QueryContext* ctxs, size_t ctx_stride,
+                                    std::optional<PointEntry>* out) const {
   if (n == 0) return;
   if (n == 1) {
-    out[0] = PointQuery(qs[0], ctx);
+    out[0] = PointQuery(qs[0], ctxs[0]);
     return;
   }
   std::vector<const Node*> leaves(n);
-  DescendNearestBatch(qs, n, ctx, leaves.data());
+  DescendNearestBatch(qs, n, ctxs, ctx_stride, leaves.data());
 
   // Batch the leaf-model evaluations too: group points per leaf and
   // predict each group's blocks with one call.
@@ -518,6 +532,7 @@ void RsmiIndex::PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
   // The block probing is per point, exactly Algorithm 1's scan.
   for (size_t i = 0; i < n; ++i) {
     const Node& leaf = *leaves[i];
+    QueryContext& ctx = ctxs[i * ctx_stride];
     int block_id = -1;
     size_t pos = 0;
     if (FindEntryFrom(leaf, qs[i], pb[i], ctx, &block_id, &pos)) {
@@ -616,7 +631,7 @@ std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w,
   // the batched descent (one vectorized model evaluation per shared
   // sub-model instead of one scalar call per corner per level).
   const Node* leaves[4];
-  DescendNearestBatch(corners, ncorners, ctx, leaves);
+  DescendNearestBatch(corners, ncorners, &ctx, 0, leaves);
   int begin = -1;
   int end = -1;
   for (size_t i = 0; i < ncorners; ++i) {

@@ -66,6 +66,10 @@ class RsmiIndex : public SpatialIndex {
   /// bit-identical across batch sizes and kernels).
   void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
                        std::optional<PointEntry>* out) const override;
+  /// Per-op-attributed batch (see SpatialIndex): same vectorized descent,
+  /// query i's costs charged to ctxs[i].
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                       std::optional<PointEntry>* out) const override;
 
   /// RSMIa: exact window query via an R-tree-style traversal of the
   /// sub-model MBRs and per-block MBRs (end of Section 4.2).
@@ -211,10 +215,17 @@ class RsmiIndex : public SpatialIndex {
   const Node* DescendNearest(const Point& p, QueryContext& ctx) const;
   /// Level-synchronous batched descent of `n` points: per level, points
   /// on the same sub-model are evaluated with one PredictBatch call.
-  /// Writes each point's leaf into `leaves`; charges `ctx` exactly like
-  /// `n` scalar descents.
-  void DescendNearestBatch(const Point* qs, size_t n, QueryContext& ctx,
-                           const Node** leaves) const;
+  /// Writes each point's leaf into `leaves`; query i's descent costs are
+  /// charged to `ctxs[i * ctx_stride]` exactly like a scalar descent —
+  /// stride 0 folds the whole batch into one shared context (the engine
+  /// hot path), stride 1 attributes per op (the serving layer).
+  void DescendNearestBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                           size_t ctx_stride, const Node** leaves) const;
+  /// Shared implementation behind both PointQueryBatch overloads; same
+  /// ctxs/ctx_stride convention as DescendNearestBatch.
+  void PointQueryBatchImpl(const Point* qs, size_t n, QueryContext* ctxs,
+                           size_t ctx_stride,
+                           std::optional<PointEntry>* out) const;
   /// Mutable robust descent collecting the root-to-leaf path (insertion
   /// needs it for recursive MBR maintenance, Section 5).
   Node* DescendNearestMutable(const Point& p, std::vector<Node*>* path,

@@ -82,6 +82,20 @@ class SpatialIndex {
     for (size_t i = 0; i < n; ++i) out[i] = PointQuery(qs[i], ctx);
   }
 
+  /// Per-op-attributed batch: identical results to the shared-context
+  /// overload, but query i's costs are charged to `ctxs[i]` — each
+  /// element must equal what a standalone PointQuery(qs[i]) would charge
+  /// (their sum equals the shared-context batch, which the parity tests
+  /// enforce). This is what lets the serving layer coalesce unrelated
+  /// clients' point requests into one vectorized batch while every
+  /// Response still reports its own exact QueryContext counters
+  /// (src/exec/request.h). Learned indices override both overloads from
+  /// one implementation; the default loops.
+  virtual void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                               std::optional<PointEntry>* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = PointQuery(qs[i], ctxs[i]);
+  }
+
   /// Context-free convenience wrappers (compatibility shims).
   ///
   /// \deprecated Prefer the QueryContext overloads: these wrappers exist

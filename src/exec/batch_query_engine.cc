@@ -25,7 +25,7 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
-std::vector<QueryOp> BuildMixedWorkload(const std::vector<Point>& data,
+std::vector<Request> BuildMixedWorkload(const std::vector<Point>& data,
                                         size_t count, const WorkloadMix& mix,
                                         uint64_t seed) {
   // Out-of-range fractions (CLI flags arrive unvalidated) are clamped so
@@ -46,44 +46,17 @@ std::vector<QueryOp> BuildMixedWorkload(const std::vector<Point>& data,
                                         mix.window_aspect, seed * 3 + 2);
   const auto kq = GenerateQueryPoints(data, n_knn, seed * 3 + 3);
 
-  std::vector<QueryOp> ops;
-  ops.reserve(count);
-  for (const Point& p : pq) {
-    QueryOp op;
-    op.type = QueryOp::Type::kPoint;
-    op.pt = p;
-    ops.push_back(op);
-  }
-  for (const Rect& w : wq) {
-    QueryOp op;
-    op.type = QueryOp::Type::kWindow;
-    op.window = w;
-    ops.push_back(op);
-  }
-  for (const Point& p : kq) {
-    QueryOp op;
-    op.type = QueryOp::Type::kKnn;
-    op.pt = p;
-    op.k = mix.k;
-    ops.push_back(op);
-  }
-  // Interleave the classes so every drained chunk is a mixed load.
+  std::vector<Request> reqs;
+  reqs.reserve(count);
+  for (const Point& p : pq) reqs.push_back(Request::PointLookup(p));
+  for (const Rect& w : wq) reqs.push_back(Request::WindowLookup(w));
+  for (const Point& p : kq) reqs.push_back(Request::KnnLookup(p, mix.k));
+  // Interleave the classes so every drained chunk is a mixed load, then
+  // stamp post-shuffle positions as ids (stable across replay media).
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-  std::shuffle(ops.begin(), ops.end(), rng.gen());
-  return ops;
-}
-
-uint64_t ExecuteQueryOp(const SpatialIndex& index, const QueryOp& op,
-                        QueryContext& ctx) {
-  switch (op.type) {
-    case QueryOp::Type::kPoint:
-      return index.PointQuery(op.pt, ctx).has_value() ? 1 : 0;
-    case QueryOp::Type::kWindow:
-      return index.WindowQuery(op.window, ctx).size();
-    case QueryOp::Type::kKnn:
-      return index.KnnQuery(op.pt, op.k, ctx).size();
-  }
-  return 0;
+  std::shuffle(reqs.begin(), reqs.end(), rng.gen());
+  for (size_t i = 0; i < reqs.size(); ++i) reqs[i].id = i;
+  return reqs;
 }
 
 BatchQueryEngine::BatchQueryEngine(int threads) {
@@ -105,7 +78,7 @@ BatchQueryEngine::~BatchQueryEngine() {
 }
 
 void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
-  const std::vector<QueryOp>& ops = *job->ops;
+  const std::vector<Request>& reqs = *job->reqs;
   const SpatialIndex& index = *job->index;
   // Stack-local accumulator: adjacent worker_costs_ elements share cache
   // lines, and every block access bumps a counter — fold once at the end
@@ -114,21 +87,21 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
   uint64_t results = 0;
   for (;;) {
     const size_t begin = job->next.fetch_add(kOpsPerGrab);
-    if (begin >= ops.size()) break;
-    const size_t end = std::min(begin + kOpsPerGrab, ops.size());
+    if (begin >= reqs.size()) break;
+    const size_t end = std::min(begin + kOpsPerGrab, reqs.size());
 
     // Same-model grouping: the chunk's point lookups go through one
     // PointQueryBatch call, which descends them level-synchronously and
     // evaluates shared sub-models with single vectorized calls (learned
     // indices override it; everything else loops — identical results
-    // either way). Window/kNN ops run individually as before.
+    // either way). Window/kNN requests run individually as before.
     size_t pt_ops[kOpsPerGrab];
     Point pts[kOpsPerGrab];
     size_t npts = 0;
     for (size_t i = begin; i < end; ++i) {
-      if (ops[i].type == QueryOp::Type::kPoint) {
+      if (reqs[i].type == Request::Type::kPoint) {
         pt_ops[npts] = i;
-        pts[npts] = ops[i].pt;
+        pts[npts] = reqs[i].pt;
         ++npts;
       }
     }
@@ -150,9 +123,11 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
       }
     }
     for (size_t i = begin; i < end; ++i) {
-      if (batch_points && ops[i].type == QueryOp::Type::kPoint) continue;
+      if (batch_points && reqs[i].type == Request::Type::kPoint) continue;
       const auto t0 = std::chrono::steady_clock::now();
-      results += ExecuteQueryOp(index, ops[i], local);
+      Response resp = ExecuteReadRequest(index, reqs[i]);
+      results += resp.ResultCount();
+      local.MergeFrom(resp.cost);
       (*job->latency_us)[i] =
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - t0)
@@ -184,11 +159,11 @@ void BatchQueryEngine::WorkerLoop(int worker_id) {
 }
 
 BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
-                                      const std::vector<QueryOp>& ops) {
-  std::vector<double> latency_us(ops.size(), 0.0);
+                                      const std::vector<Request>& reqs) {
+  std::vector<double> latency_us(reqs.size(), 0.0);
   Job job;
   job.index = &index;
-  job.ops = &ops;
+  job.reqs = &reqs;
   job.latency_us = &latency_us;
 
   for (QueryContext& c : worker_costs_) c = QueryContext{};
@@ -211,11 +186,11 @@ BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
           .count();
 
   BatchQueryStats stats;
-  stats.queries = ops.size();
+  stats.queries = reqs.size();
   stats.threads = threads();
   stats.wall_seconds = wall;
   stats.throughput_qps =
-      wall > 0.0 ? static_cast<double>(ops.size()) / wall : 0.0;
+      wall > 0.0 ? static_cast<double>(reqs.size()) / wall : 0.0;
   stats.total_results = job.total_results.load(std::memory_order_relaxed);
   for (const QueryContext& c : worker_costs_) stats.cost.MergeFrom(c);
 

@@ -10,22 +10,11 @@
 
 #include "core/query_context.h"
 #include "core/spatial_index.h"
+#include "exec/request.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 
 namespace rsmi {
-
-/// One operation of a replayed mixed workload.
-struct QueryOp {
-  enum class Type : uint8_t { kPoint, kWindow, kKnn };
-  Type type = Type::kPoint;
-  /// Query location (point and kNN queries).
-  Point pt{0.0, 0.0};
-  /// Query window (window queries only).
-  Rect window = Rect::Empty();
-  /// Neighbor count (kNN queries only).
-  uint32_t k = 0;
-};
 
 /// Mix and shape of a generated workload (defaults follow the paper's
 /// query setup: windows of 0.01% area and aspect 1, k = 25).
@@ -38,10 +27,12 @@ struct WorkloadMix {
   uint32_t k = 25;
 };
 
-/// Builds a deterministic shuffled mixed workload of `count` operations
-/// whose locations/windows follow the data distribution (the same
-/// generators the figure benches replay, data/workloads.h).
-std::vector<QueryOp> BuildMixedWorkload(const std::vector<Point>& data,
+/// Builds a deterministic shuffled mixed workload of `count` read
+/// requests whose locations/windows follow the data distribution (the
+/// same generators the figure benches replay, data/workloads.h).
+/// Request ids are the post-shuffle positions 0..count-1, so a workload
+/// replayed through the server matches responses back to operations.
+std::vector<Request> BuildMixedWorkload(const std::vector<Point>& data,
                                         size_t count, const WorkloadMix& mix,
                                         uint64_t seed);
 
@@ -63,11 +54,11 @@ struct BatchQueryStats {
   QueryContext cost;
 };
 
-/// Replays a batch of mixed queries against any SpatialIndex on a fixed
-/// pool of worker threads.
+/// Replays a batch of mixed read requests against any SpatialIndex on a
+/// fixed pool of worker threads.
 ///
 /// The engine is the consumer of the SpatialIndex thread-safety contract
-/// (reads concurrent, writes exclusive): each worker drains operations
+/// (reads concurrent, writes exclusive): each worker drains requests
 /// from a shared cursor and runs the context-taking query overloads with
 /// a thread-local QueryContext, so no query touches shared index state.
 /// Workers are spawned once in the constructor and reused across Run
@@ -90,18 +81,19 @@ class BatchQueryEngine {
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Replays `ops` against `index` on all workers and blocks until every
-  /// operation completed. The index must not be mutated while Run is in
-  /// flight.
+  /// Replays `reqs` (read requests: point/window/kNN; anything else
+  /// counts 0 results via ExecuteReadRequest's kFailedPrecondition path)
+  /// against `index` on all workers and blocks until every request
+  /// completed. The index must not be mutated while Run is in flight.
   BatchQueryStats Run(const SpatialIndex& index,
-                      const std::vector<QueryOp>& ops);
+                      const std::vector<Request>& reqs);
 
  private:
   /// Shared state of the batch currently in flight.
   struct Job {
     const SpatialIndex* index = nullptr;
-    const std::vector<QueryOp>* ops = nullptr;
-    /// Per-operation latency slots (each op writes only its own).
+    const std::vector<Request>* reqs = nullptr;
+    /// Per-request latency slots (each request writes only its own).
     std::vector<double>* latency_us = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<uint64_t> total_results{0};
@@ -123,12 +115,6 @@ class BatchQueryEngine {
   bool shutdown_ = false;
   Job* job_ = nullptr;
 };
-
-/// Runs one operation against `index`, charging `ctx`; returns the result
-/// cardinality. Shared by the engine, the throughput bench, and the
-/// concurrency tests' single-threaded ground-truth replays.
-uint64_t ExecuteQueryOp(const SpatialIndex& index, const QueryOp& op,
-                        QueryContext& ctx);
 
 }  // namespace rsmi
 

@@ -1,0 +1,74 @@
+#include "exec/request.h"
+
+namespace rsmi {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Response ExecuteReadRequest(const SpatialIndex& index, const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  switch (req.type) {
+    case Request::Type::kPoint:
+      resp.hit = index.PointQuery(req.pt, resp.cost);
+      if (!resp.hit.has_value()) resp.status = StatusCode::kNotFound;
+      return resp;
+    case Request::Type::kWindow:
+      resp.points = index.WindowQuery(req.window, resp.cost);
+      return resp;
+    case Request::Type::kKnn:
+      if (req.k == 0) {
+        resp.status = StatusCode::kInvalidArgument;
+        resp.message = "knn request with k == 0";
+        return resp;
+      }
+      resp.points = index.KnnQuery(req.pt, req.k, resp.cost);
+      return resp;
+    case Request::Type::kInsert:
+    case Request::Type::kDelete:
+    case Request::Type::kReload:
+      resp.status = StatusCode::kFailedPrecondition;
+      resp.message = "write/admin request on the read-only execution path";
+      return resp;
+  }
+  resp.status = StatusCode::kInvalidArgument;
+  resp.message = "unknown request type";
+  return resp;
+}
+
+Response ExecuteRequest(SpatialIndex& index, const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  switch (req.type) {
+    case Request::Type::kInsert:
+      index.Insert(req.pt);
+      return resp;
+    case Request::Type::kDelete:
+      if (!index.Delete(req.pt)) resp.status = StatusCode::kNotFound;
+      return resp;
+    case Request::Type::kReload: {
+      resp.status = StatusCode::kFailedPrecondition;
+      resp.message = "reload is a server snapshot operation";
+      return resp;
+    }
+    default:
+      return ExecuteReadRequest(index, req);
+  }
+}
+
+}  // namespace rsmi

@@ -1,7 +1,12 @@
 #include "io/index_container.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "baselines/factory.h"
 #include "common/crc32.h"
@@ -128,8 +133,58 @@ bool SaveIndex(const SpatialIndex& index, const std::string& path,
                std::string* error) {
   Serializer ser;
   if (!WriteIndexContainer(ser, index, error)) return false;
-  if (!ser.WriteToFile(path)) {
-    return SetError(error, "cannot write " + path);
+
+  // Atomic replace: write a temp file in the same directory, fsync it,
+  // then rename over the target. A crash at any point leaves either the
+  // old complete file or the new complete file — never a torn one a
+  // running server could reload. The temp name is pid-qualified so
+  // concurrent saves of different files cannot collide.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return SetError(error, "cannot create " + tmp + ": " +
+                               std::strerror(errno));
+  }
+  auto abort_tmp = [&](const std::string& why) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return SetError(error, why);
+  };
+  const uint8_t* data = ser.data();
+  size_t left = ser.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, data, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return abort_tmp("cannot write " + tmp + ": " + std::strerror(errno));
+    }
+    data += w;
+    left -= static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    return abort_tmp("cannot fsync " + tmp + ": " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "cannot close " + tmp + ": " +
+                               std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "cannot rename " + tmp + " over " + path + ": " +
+                               std::strerror(errno));
+  }
+  // Persist the rename itself: fsync the containing directory (best
+  // effort — some filesystems refuse directory fds).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return true;
 }

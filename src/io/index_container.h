@@ -57,7 +57,10 @@ std::unique_ptr<SpatialIndex> ReadIndexContainer(Deserializer& src,
 
 /// Persists `index` as a single-container file at `path`. Works for every
 /// index kind with a non-empty KindSpec() — RSMI (plain or rsmia view),
-/// ZM, Grid, R*, and sharded compositions of them.
+/// ZM, Grid, R*, and sharded compositions of them. The replace is atomic
+/// (temp file in the same directory + fsync + rename): a crashed or
+/// failed save leaves any previous file at `path` intact, so a running
+/// server can always reload it.
 bool SaveIndex(const SpatialIndex& index, const std::string& path,
                std::string* error = nullptr);
 

@@ -1,0 +1,185 @@
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "server/client.h"
+
+namespace rsmi {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Per-connection tallies, folded into the report at the end.
+struct ConnResult {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t not_found = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  std::vector<double> latency_us;
+};
+
+}  // namespace
+
+bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
+                std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (opts.target_qps <= 0.0 || opts.duration_s <= 0.0) {
+    return fail("target_qps and duration_s must be positive");
+  }
+  const int nconn = std::max(1, opts.connections);
+  const uint64_t total = std::max<uint64_t>(
+      1, static_cast<uint64_t>(opts.target_qps * opts.duration_s));
+
+  // The request stream: a deterministic mixed workload, cycled if the
+  // run is longer than the generated sample, deadline stamped on.
+  // Request ids are overwritten with the global schedule slot, which is
+  // how receivers look up the scheduled send time.
+  const size_t sample = static_cast<size_t>(std::min<uint64_t>(total, 20000));
+  std::vector<Request> workload =
+      BuildMixedWorkload(opts.data, sample, opts.mix, opts.seed);
+  if (workload.empty()) return fail("empty workload (no data points?)");
+
+  std::vector<std::unique_ptr<ServerClient>> clients;
+  clients.reserve(static_cast<size_t>(nconn));
+  for (int c = 0; c < nconn; ++c) {
+    std::string conn_error;
+    auto client = ServerClient::Connect(opts.host, opts.port, &conn_error);
+    if (client == nullptr) return fail(conn_error);
+    // A grace period on reads: if the server stalls or dies, receivers
+    // give up instead of hanging the run forever.
+    client->SetReceiveTimeout(5000);
+    clients.push_back(std::move(client));
+  }
+
+  // Absolute open-loop schedule: slot i is due at start + i/target_qps.
+  const double interval_s = 1.0 / opts.target_qps;
+  const auto start = Clock::now() + std::chrono::milliseconds(10);
+
+  std::vector<ConnResult> results(static_cast<size_t>(nconn));
+  std::vector<std::thread> senders;
+  std::vector<std::thread> receivers;
+  senders.reserve(static_cast<size_t>(nconn));
+  receivers.reserve(static_cast<size_t>(nconn));
+
+  for (int c = 0; c < nconn; ++c) {
+    senders.emplace_back([&, c] {
+      ServerClient& client = *clients[static_cast<size_t>(c)];
+      ConnResult& res = results[static_cast<size_t>(c)];
+      for (uint64_t i = static_cast<uint64_t>(c); i < total;
+           i += static_cast<uint64_t>(nconn)) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) * interval_s));
+        std::this_thread::sleep_until(due);
+        Request req = workload[i % workload.size()];
+        req.id = i;
+        req.deadline_us = opts.deadline_us;
+        if (!client.Send(req)) break;
+        ++res.sent;
+      }
+      client.ShutdownWrite();
+    });
+    receivers.emplace_back([&, c] {
+      ServerClient& client = *clients[static_cast<size_t>(c)];
+      ConnResult& res = results[static_cast<size_t>(c)];
+      res.latency_us.reserve(total / static_cast<uint64_t>(nconn) + 1);
+      Response resp;
+      while (client.Receive(&resp)) {
+        ++res.received;
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(resp.id) * interval_s));
+        res.latency_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - due)
+                .count());
+        switch (resp.status) {
+          case StatusCode::kOk:
+            ++res.ok;
+            break;
+          case StatusCode::kNotFound:
+            ++res.not_found;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++res.deadline_exceeded;
+            break;
+          default:
+            ++res.errors;
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : senders) t.join();
+  for (std::thread& t : receivers) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadgenReport r;
+  r.target_qps = opts.target_qps;
+  r.duration_s = wall;
+  std::vector<double> latencies;
+  for (const ConnResult& res : results) {
+    r.sent += res.sent;
+    r.received += res.received;
+    r.ok += res.ok;
+    r.not_found += res.not_found;
+    r.deadline_exceeded += res.deadline_exceeded;
+    r.errors += res.errors;
+    latencies.insert(latencies.end(), res.latency_us.begin(),
+                     res.latency_us.end());
+  }
+  r.achieved_qps =
+      wall > 0.0 ? static_cast<double>(r.received) / wall : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_us = PercentileSorted(latencies, 0.50);
+  r.p99_us = PercentileSorted(latencies, 0.99);
+  r.p999_us = PercentileSorted(latencies, 0.999);
+  *report = r;
+  if (r.received == 0) return fail("no responses received");
+  return true;
+}
+
+std::string LoadgenReportJson(const LoadgenReport& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"target_qps\": %.1f, \"achieved_qps\": %.1f, "
+      "\"duration_s\": %.3f, \"sent\": %llu, \"received\": %llu, "
+      "\"ok\": %llu, \"not_found\": %llu, \"deadline_exceeded\": %llu, "
+      "\"errors\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"p999_us\": %.1f}",
+      r.target_qps, r.achieved_qps, r.duration_s,
+      static_cast<unsigned long long>(r.sent),
+      static_cast<unsigned long long>(r.received),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.not_found),
+      static_cast<unsigned long long>(r.deadline_exceeded),
+      static_cast<unsigned long long>(r.errors), r.p50_us, r.p99_us,
+      r.p999_us);
+  return buf;
+}
+
+}  // namespace rsmi

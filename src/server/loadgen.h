@@ -1,0 +1,66 @@
+#ifndef RSMI_SERVER_LOADGEN_H_
+#define RSMI_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/batch_query_engine.h"
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// Load-generator configuration (`rsmi_cli loadgen`).
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Open-loop arrival rate across all connections.
+  double target_qps = 5000.0;
+  double duration_s = 5.0;
+  int connections = 4;
+  /// Shape of the generated request stream (same generator as the
+  /// in-process benches: BuildMixedWorkload over `data`).
+  WorkloadMix mix;
+  /// Sample locations for the workload generator.
+  std::vector<Point> data;
+  /// Deadline stamped on every request; 0 = none.
+  uint32_t deadline_us = 0;
+  uint64_t seed = 4242;
+};
+
+/// One run's results, reported as JSON by the CLI and recorded by CI.
+struct LoadgenReport {
+  double target_qps = 0.0;
+  double achieved_qps = 0.0;
+  double duration_s = 0.0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t not_found = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  /// Latency percentiles over received responses, microseconds,
+  /// measured from each request's *scheduled* send time (open-loop:
+  /// a stalled server inflates latency instead of silently lowering
+  /// the offered rate — no coordinated omission).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+/// Drives `target_qps` of mixed traffic for `duration_s` over
+/// `connections` pipelined connections (one sender + one receiver
+/// thread each). Requests follow an absolute schedule: request i is due
+/// at start + i/target_qps, ids are globally unique, and each
+/// connection owns the ids congruent to its slot. False with a
+/// diagnostic when no connection could be established or nothing was
+/// received.
+bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
+                std::string* error = nullptr);
+
+/// Serializes a report as a single JSON object (the CI artifact shape).
+std::string LoadgenReportJson(const LoadgenReport& report);
+
+}  // namespace rsmi
+
+#endif  // RSMI_SERVER_LOADGEN_H_

@@ -1,0 +1,378 @@
+#include "server/spatial_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "io/index_container.h"
+#include "server/wire.h"
+
+namespace rsmi {
+
+namespace {
+
+Response ErrorResponse(uint64_t id, StatusCode status, std::string message) {
+  Response resp;
+  resp.id = id;
+  resp.status = status;
+  resp.message = std::move(message);
+  return resp;
+}
+
+}  // namespace
+
+SpatialServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+std::unique_ptr<SpatialServer> SpatialServer::Start(const ServerOptions& opts,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<SpatialServer> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+
+  auto snapshot = std::make_shared<Snapshot>();
+  std::string load_error;
+  snapshot->index = LoadIndex(opts.index_path, &load_error);
+  if (snapshot->index == nullptr) {
+    return fail("cannot load " + opts.index_path + ": " + load_error);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return fail("bind: " + why);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return fail("listen: " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return fail("getsockname: " + why);
+  }
+
+  std::unique_ptr<SpatialServer> server(new SpatialServer());
+  server->default_path_ = opts.index_path;
+  server->snapshot_ = std::move(snapshot);
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->max_batch_ = std::max<size_t>(1, opts.max_batch);
+
+  const int n_workers = std::max(1, opts.threads);
+  server->workers_.reserve(static_cast<size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+SpatialServer::~SpatialServer() { Stop(); }
+
+void SpatialServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+
+    // 1. Stop accepting: shutdown unblocks the acceptor's accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+
+    // 2. Unblock every connection reader. Frames already read keep
+    // flowing into the admission queue; no new ones arrive.
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RD);
+      readers.swap(readers_);
+    }
+    for (std::thread& t : readers) t.join();
+
+    // 3. Everything admitted is now in the queues. Let the workers
+    // drain them (they answer every request, deadlines included), then
+    // exit.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      workers_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+
+    // 4. Drop the connections (the destructor closes each fd).
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  });
+}
+
+ServerStats SpatialServer::stats() const {
+  ServerStats s;
+  s.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  s.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::shared_ptr<SpatialServer::Snapshot> SpatialServer::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void SpatialServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or fatal accept error
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back(
+        [this, conn = std::move(conn)] { ReaderLoop(conn); });
+  }
+}
+
+void SpatialServer::ForgetConnection(
+    const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+               conns_.end());
+}
+
+void SpatialServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    const FrameReadResult r =
+        ReadFrame(conn->fd, kMaxRequestFrameBytes, &payload);
+    if (r == FrameReadResult::kEof || r == FrameReadResult::kError) {
+      // Queued requests still hold the connection (their responses go
+      // out first); dropping the registry reference lets the fd close
+      // right after the last one, so a done client sees prompt EOF.
+      ForgetConnection(conn);
+      return;
+    }
+    if (r == FrameReadResult::kTooLarge) {
+      // The stream cannot be resynchronized past an oversized frame:
+      // answer once, then drop this connection (others are unaffected).
+      SendResponse(*conn,
+                   ErrorResponse(0, StatusCode::kInvalidArgument,
+                                 "request frame exceeds limit"));
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ForgetConnection(conn);
+      return;
+    }
+    Request req;
+    if (!DecodeRequest(payload.data(), payload.size(), &req)) {
+      // A well-framed but undecodable payload is a per-request error;
+      // the frame boundary is intact, so the connection loop survives.
+      SendResponse(*conn,
+                   ErrorResponse(0, StatusCode::kInvalidArgument,
+                                 "undecodable request payload"));
+      continue;
+    }
+    Pending p;
+    p.req = std::move(req);
+    p.conn = conn;
+    if (p.req.deadline_us > 0) {
+      p.has_deadline = true;
+      p.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(p.req.deadline_us);
+    }
+    Enqueue(std::move(p));
+  }
+}
+
+void SpatialServer::Enqueue(Pending p) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    p.seq = next_seq_++;
+    if (p.req.type == Request::Type::kPoint) {
+      point_queue_.push_back(std::move(p));
+    } else {
+      other_queue_.push_back(std::move(p));
+    }
+  }
+  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+}
+
+void SpatialServer::WorkerLoop() {
+  std::vector<Pending> group;
+  for (;;) {
+    group.clear();
+    Pending single;
+    bool have_single = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return workers_stop_ || !point_queue_.empty() ||
+               !other_queue_.empty();
+      });
+      if (point_queue_.empty() && other_queue_.empty()) {
+        if (workers_stop_) return;
+        continue;
+      }
+      // Rough global FIFO across the two queues: serve whichever head
+      // was admitted first. A point head pulls its whole coalescible
+      // group along.
+      const bool take_points =
+          !point_queue_.empty() &&
+          (other_queue_.empty() ||
+           point_queue_.front().seq < other_queue_.front().seq);
+      if (take_points) {
+        const size_t take = std::min(max_batch_, point_queue_.size());
+        group.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          group.push_back(std::move(point_queue_.front()));
+          point_queue_.pop_front();
+        }
+      } else {
+        single = std::move(other_queue_.front());
+        other_queue_.pop_front();
+        have_single = true;
+      }
+    }
+    if (have_single) {
+      ExecuteSingle(single);
+    } else {
+      ExecutePointGroup(group);
+    }
+  }
+}
+
+void SpatialServer::SendResponse(Connection& conn, const Response& resp) {
+  const std::vector<uint8_t> payload = EncodeResponse(resp);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (WriteFrame(conn.fd, payload.data(), payload.size())) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SpatialServer::ExecuteSingle(const Pending& p) {
+  if (p.has_deadline && std::chrono::steady_clock::now() > p.deadline) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(*p.conn,
+                 ErrorResponse(p.req.id, StatusCode::kDeadlineExceeded,
+                               "deadline expired before execution"));
+    return;
+  }
+  if (p.req.type == Request::Type::kReload) {
+    SendResponse(*p.conn, DoReload(p.req));
+    return;
+  }
+  const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
+  Response resp;
+  if (p.req.type == Request::Type::kInsert ||
+      p.req.type == Request::Type::kDelete) {
+    std::unique_lock<std::shared_mutex> lock(snap->rw);
+    resp = ExecuteRequest(*snap->index, p.req);
+  } else {
+    std::shared_lock<std::shared_mutex> lock(snap->rw);
+    resp = ExecuteReadRequest(*snap->index, p.req);
+  }
+  SendResponse(*p.conn, resp);
+}
+
+void SpatialServer::ExecutePointGroup(const std::vector<Pending>& group) {
+  // Deadlines are checked here, at dequeue: an expired request is
+  // answered without ever touching the index or a batch slot.
+  std::vector<const Pending*> live;
+  live.reserve(group.size());
+  const auto now = std::chrono::steady_clock::now();
+  for (const Pending& p : group) {
+    if (p.has_deadline && now > p.deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(*p.conn,
+                   ErrorResponse(p.req.id, StatusCode::kDeadlineExceeded,
+                                 "deadline expired before execution"));
+    } else {
+      live.push_back(&p);
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    ExecuteSingle(*live[0]);
+    return;
+  }
+
+  // The coalescing hot path: one per-op-attributed PointQueryBatch over
+  // requests from any number of connections. Each response's counters
+  // are exactly what a standalone PointQuery would have charged.
+  const size_t n = live.size();
+  std::vector<Point> pts(n);
+  std::vector<QueryContext> ctxs(n);
+  std::vector<std::optional<PointEntry>> hits(n);
+  for (size_t i = 0; i < n; ++i) pts[i] = live[i]->req.pt;
+  {
+    const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
+    std::shared_lock<std::shared_mutex> lock(snap->rw);
+    snap->index->PointQueryBatch(pts.data(), n, ctxs.data(), hits.data());
+  }
+  coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_requests_.fetch_add(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Response resp;
+    resp.id = live[i]->req.id;
+    resp.hit = hits[i];
+    resp.cost = ctxs[i];
+    if (!resp.hit.has_value()) resp.status = StatusCode::kNotFound;
+    SendResponse(*live[i]->conn, resp);
+  }
+}
+
+Response SpatialServer::DoReload(const Request& req) {
+  const std::string path = req.path.empty() ? default_path_ : req.path;
+  auto next = std::make_shared<Snapshot>();
+  std::string load_error;
+  next->index = LoadIndex(path, &load_error);
+  if (next->index == nullptr) {
+    // The old snapshot keeps serving; a broken file on disk never takes
+    // the server down.
+    return ErrorResponse(req.id, StatusCode::kInternal,
+                         "reload failed: " + load_error);
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  Response resp;
+  resp.id = req.id;
+  resp.message = "reloaded " + path;
+  return resp;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,142 @@
+#include "server/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "io/serializer.h"
+
+namespace rsmi {
+
+std::vector<uint8_t> EncodeRequest(const Request& req) {
+  Serializer ser;
+  ser.WritePod<uint8_t>(static_cast<uint8_t>(req.type));
+  ser.WritePod<uint64_t>(req.id);
+  ser.WritePod<uint32_t>(req.deadline_us);
+  ser.WritePod<Point>(req.pt);
+  ser.WritePod<Rect>(req.window);
+  ser.WritePod<uint32_t>(req.k);
+  ser.WriteString(req.path);
+  return ser.buffer();
+}
+
+bool DecodeRequest(const uint8_t* data, size_t n, Request* out) {
+  Deserializer in(data, n);
+  uint8_t type = 0;
+  if (!in.ReadPod(&type)) return false;
+  if (type > static_cast<uint8_t>(Request::Type::kReload)) return false;
+  out->type = static_cast<Request::Type>(type);
+  if (!in.ReadPod(&out->id)) return false;
+  if (!in.ReadPod(&out->deadline_us)) return false;
+  if (!in.ReadPod(&out->pt)) return false;
+  if (!in.ReadPod(&out->window)) return false;
+  if (!in.ReadPod(&out->k)) return false;
+  if (!in.ReadString(&out->path)) return false;
+  // Trailing bytes mean the peer framed something else entirely.
+  return in.ok() && in.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& resp) {
+  Serializer ser;
+  ser.WritePod<uint64_t>(resp.id);
+  ser.WritePod<uint8_t>(static_cast<uint8_t>(resp.status));
+  ser.WritePod<uint8_t>(resp.hit.has_value() ? 1 : 0);
+  if (resp.hit.has_value()) ser.WritePod<PointEntry>(*resp.hit);
+  ser.WriteVec(resp.points);
+  ser.WritePod<QueryContext>(resp.cost);
+  ser.WriteString(resp.message);
+  return ser.buffer();
+}
+
+bool DecodeResponse(const uint8_t* data, size_t n, Response* out) {
+  Deserializer in(data, n);
+  if (!in.ReadPod(&out->id)) return false;
+  uint8_t status = 0;
+  if (!in.ReadPod(&status)) return false;
+  if (status > static_cast<uint8_t>(StatusCode::kInternal)) return false;
+  out->status = static_cast<StatusCode>(status);
+  uint8_t has_hit = 0;
+  if (!in.ReadPod(&has_hit)) return false;
+  if (has_hit > 1) return false;
+  if (has_hit != 0) {
+    PointEntry e;
+    if (!in.ReadPod(&e)) return false;
+    out->hit = e;
+  } else {
+    out->hit.reset();
+  }
+  if (!in.ReadVec(&out->points)) return false;
+  if (!in.ReadPod(&out->cost)) return false;
+  if (!in.ReadString(&out->message)) return false;
+  return in.ok() && in.remaining() == 0;
+}
+
+bool ReadExact(int fd, void* buf, size_t n) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+    } else if (r == 0) {
+      return false;  // EOF
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buf, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    // send + MSG_NOSIGNAL instead of write: a peer that closed mid-reply
+    // must fail the call, not raise SIGPIPE at the whole process.
+    const ssize_t r = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+    } else if (r < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FrameReadResult ReadFrame(int fd, uint32_t max_payload,
+                          std::vector<uint8_t>* payload) {
+  uint32_t len = 0;
+  {
+    // Distinguish the clean shutdown (EOF before any prefix byte) from a
+    // truncated prefix.
+    uint8_t first = 0;
+    const ssize_t r = ::read(fd, &first, 1);
+    if (r == 0) return FrameReadResult::kEof;
+    if (r < 0) {
+      if (errno == EINTR) return ReadFrame(fd, max_payload, payload);
+      return FrameReadResult::kError;
+    }
+    uint8_t rest[3];
+    if (!ReadExact(fd, rest, sizeof(rest))) return FrameReadResult::kError;
+    uint8_t raw[4] = {first, rest[0], rest[1], rest[2]};
+    std::memcpy(&len, raw, sizeof(len));
+  }
+  if (len > max_payload) return FrameReadResult::kTooLarge;
+  payload->resize(len);
+  if (len != 0 && !ReadExact(fd, payload->data(), len)) {
+    return FrameReadResult::kError;
+  }
+  return FrameReadResult::kOk;
+}
+
+bool WriteFrame(int fd, const uint8_t* payload, size_t n) {
+  const uint32_t len = static_cast<uint32_t>(n);
+  uint8_t prefix[4];
+  std::memcpy(prefix, &len, sizeof(prefix));
+  if (!WriteAll(fd, prefix, sizeof(prefix))) return false;
+  return n == 0 || WriteAll(fd, payload, n);
+}
+
+}  // namespace rsmi

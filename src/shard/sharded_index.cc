@@ -113,6 +113,42 @@ void ShardedIndex::PointQueryBatch(const Point* qs, size_t n,
       });
 }
 
+void ShardedIndex::PointQueryBatch(const Point* qs, size_t n,
+                                   QueryContext* ctxs,
+                                   std::optional<PointEntry>* out) const {
+  if (n == 0) return;
+  if (num_shards() == 1) {
+    shards_[0]->PointQueryBatch(qs, n, ctxs, out);
+    return;
+  }
+  std::vector<int> shard_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    shard_of[i] = partitioner_.ShardOf(qs[i]);
+  }
+  // Same per-shard regrouping as the shared-context overload, with each
+  // group's contexts gathered/scattered alongside its points so query i
+  // still charges exactly ctxs[i].
+  std::vector<uint32_t> scratch;
+  std::vector<Point> gathered;
+  std::vector<QueryContext> gathered_ctx;
+  std::vector<std::optional<PointEntry>> results;
+  ForEachGroupBy(
+      n, &scratch,
+      [&](uint32_t i) { return shard_of[i]; },
+      [&](const uint32_t* idx, size_t m) {
+        gathered.resize(m);
+        results.resize(m);
+        gathered_ctx.assign(m, QueryContext{});
+        for (size_t j = 0; j < m; ++j) gathered[j] = qs[idx[j]];
+        shards_[static_cast<size_t>(shard_of[idx[0]])]->PointQueryBatch(
+            gathered.data(), m, gathered_ctx.data(), results.data());
+        for (size_t j = 0; j < m; ++j) {
+          out[idx[j]] = std::move(results[j]);
+          ctxs[idx[j]].MergeFrom(gathered_ctx[j]);
+        }
+      });
+}
+
 std::vector<Point> ShardedIndex::WindowQuery(const Rect& w,
                                              QueryContext& ctx) const {
   if (num_shards() == 1) return shards_[0]->WindowQuery(w, ctx);

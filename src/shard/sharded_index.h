@@ -87,6 +87,10 @@ class ShardedIndex : public SpatialIndex {
   /// per-call costs are identical to `n` scalar PointQuery calls.
   void PointQueryBatch(const Point* qs, size_t n, QueryContext& ctx,
                        std::optional<PointEntry>* out) const override;
+  /// Per-op-attributed batch (see SpatialIndex): same per-shard routing,
+  /// query i's costs charged to ctxs[i].
+  void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
+                       std::optional<PointEntry>* out) const override;
 
   void Insert(const Point& p) override;
   bool Delete(const Point& p) override;

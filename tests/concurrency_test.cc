@@ -34,7 +34,7 @@ IndexBuildConfig TestConfig() {
   return cfg;
 }
 
-std::vector<QueryOp> TestWorkload(const std::vector<Point>& data) {
+std::vector<Request> TestWorkload(const std::vector<Point>& data) {
   WorkloadMix mix;
   mix.point_frac = 0.5;
   mix.window_frac = 0.3;
@@ -60,33 +60,17 @@ uint64_t Fingerprint(uint64_t count, const std::vector<Point>& pts) {
 
 /// Replays the whole workload, returning one fingerprint per operation.
 std::vector<uint64_t> Replay(const SpatialIndex& index,
-                             const std::vector<QueryOp>& ops,
+                             const std::vector<Request>& reqs,
                              QueryContext* total) {
-  std::vector<uint64_t> prints(ops.size());
-  for (size_t i = 0; i < ops.size(); ++i) {
-    QueryContext ctx;
-    const QueryOp& op = ops[i];
-    switch (op.type) {
-      case QueryOp::Type::kPoint: {
-        const auto hit = index.PointQuery(op.pt, ctx);
-        prints[i] = Fingerprint(
-            hit.has_value() ? 1 : 0,
-            hit.has_value() ? std::vector<Point>{hit->pt}
-                            : std::vector<Point>{});
-        break;
-      }
-      case QueryOp::Type::kWindow: {
-        const auto r = index.WindowQuery(op.window, ctx);
-        prints[i] = Fingerprint(r.size(), r);
-        break;
-      }
-      case QueryOp::Type::kKnn: {
-        const auto r = index.KnnQuery(op.pt, op.k, ctx);
-        prints[i] = Fingerprint(r.size(), r);
-        break;
-      }
+  std::vector<uint64_t> prints(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const Response resp = ExecuteReadRequest(index, reqs[i]);
+    if (resp.hit.has_value()) {
+      prints[i] = Fingerprint(1, {resp.hit->pt});
+    } else {
+      prints[i] = Fingerprint(resp.points.size(), resp.points);
     }
-    if (total != nullptr) total->MergeFrom(ctx);
+    if (total != nullptr) total->MergeFrom(resp.cost);
   }
   return prints;
 }
@@ -287,8 +271,10 @@ TEST(BatchQueryEngineTest, MatchesSingleThreadedTotals) {
   uint64_t truth_results = 0;
   {
     QueryContext ctx;
-    for (const QueryOp& op : ops) {
-      truth_results += ExecuteQueryOp(*index, op, ctx);
+    for (const Request& req : ops) {
+      const Response resp = ExecuteReadRequest(*index, req);
+      truth_results += resp.ResultCount();
+      ctx.MergeFrom(resp.cost);
     }
     truth_cost = ctx;
   }
@@ -348,17 +334,22 @@ TEST(BuildMixedWorkloadTest, MixAndDeterminism) {
   size_t knns = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(static_cast<int>(a[i].type), static_cast<int>(b[i].type));
+    // Ids are the post-shuffle positions, so server replays can match
+    // responses back to operations.
+    EXPECT_EQ(a[i].id, i);
     switch (a[i].type) {
-      case QueryOp::Type::kPoint:
+      case Request::Type::kPoint:
         ++points;
         break;
-      case QueryOp::Type::kWindow:
+      case Request::Type::kWindow:
         ++windows;
         break;
-      case QueryOp::Type::kKnn:
+      case Request::Type::kKnn:
         ++knns;
         EXPECT_EQ(a[i].k, 7u);
         break;
+      default:
+        FAIL() << "unexpected request type in read workload";
     }
   }
   EXPECT_EQ(points, 200u);

@@ -470,8 +470,10 @@ TEST(ShardedIndexTest, BatchQueryEngineTotalsMatchSingleThreadedReplay) {
 
   QueryContext truth_cost;
   uint64_t truth_results = 0;
-  for (const QueryOp& op : ops) {
-    truth_results += ExecuteQueryOp(*index, op, truth_cost);
+  for (const Request& req : ops) {
+    const Response resp = ExecuteReadRequest(*index, req);
+    truth_results += resp.ResultCount();
+    truth_cost.MergeFrom(resp.cost);
   }
 
   BatchQueryEngine engine(4);

@@ -22,6 +22,11 @@ keep a healthy speedup over looped scalar inference whenever the AVX2
 kernel is active (CI floor 1.5x to absorb shared-runner noise; the
 committed baseline records the >=2x acceptance measurement).
 
+Side inputs (--shard, --persistence, --serve) are recorded into the
+metrics artifact but never gated; --serve takes the loadgen JSON the
+serve smoke writes, and works without --inference/--point (which are
+only required, together, for the gate itself).
+
 Regenerate the snapshot after intentional perf changes:
 
     tools/run_benches.sh --regression-out /tmp/reg
@@ -134,6 +139,26 @@ def collect_persistence_metrics(persistence_path):
     return out
 
 
+def collect_serving_metrics(serve_path):
+    """Loadgen report from the serve smoke (rsmi_cli loadgen --out).
+
+    Recorded in the uploaded artifact for trend-watching; deliberately
+    NOT gated — end-to-end serving latency on shared runners folds in
+    scheduler and loopback-stack noise that a threshold would only turn
+    into flakes. The report is already the artifact shape; it is copied
+    through verbatim.
+    """
+    with open(serve_path) as f:
+        report = json.load(f)
+    for key in ("achieved_qps", "received", "p50_us", "p99_us", "p999_us"):
+        if key not in report:
+            raise SystemExit(
+                f"error: serve report {serve_path!r} is missing {key!r} — "
+                f"not a loadgen JSON?"
+            )
+    return report
+
+
 def collect_metrics(inference_path, point_path):
     ctx, inference = load_benchmarks(inference_path)
     _, point = load_benchmarks(point_path)
@@ -162,10 +187,12 @@ def collect_metrics(inference_path, point_path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--inference", required=True,
-                    help="bench_inference JSON from --regression-out")
-    ap.add_argument("--point", required=True,
-                    help="bench_fig08_point_scale JSON from --regression-out")
+    ap.add_argument("--inference",
+                    help="bench_inference JSON from --regression-out "
+                         "(required together with --point for the gate)")
+    ap.add_argument("--point",
+                    help="bench_fig08_point_scale JSON from --regression-out "
+                         "(required together with --inference for the gate)")
     ap.add_argument("--shard",
                     help="bench_shard_scale JSON from --regression-out; "
                          "records the sharded-vs-monolithic point-latency "
@@ -174,6 +201,10 @@ def main():
                     help="bench_persistence JSON from --regression-out; "
                          "records SaveIndex/LoadIndex MB/s through the "
                          "index-container format (not gated)")
+    ap.add_argument("--serve",
+                    help="loadgen JSON from the serve smoke (rsmi_cli "
+                         "loadgen --out); records end-to-end serving QPS "
+                         "and latency percentiles (not gated)")
     ap.add_argument("--baseline", help="committed BENCH_BASELINE.json to gate against")
     ap.add_argument("--metrics-out",
                     help="also write the collected metrics JSON here (CI "
@@ -185,11 +216,20 @@ def main():
                          "point cost (default 0.25)")
     args = ap.parse_args()
 
-    current = collect_metrics(args.inference, args.point)
+    if bool(args.inference) != bool(args.point):
+        raise SystemExit(
+            "error: --inference and --point must be given together "
+            "(they form the gated normalized point cost)")
+    gating = bool(args.inference)
+    if not gating and not (args.shard or args.persistence or args.serve):
+        raise SystemExit("error: nothing to collect — pass some input")
+    current = collect_metrics(args.inference, args.point) if gating else {}
     if args.shard:
         current["sharded"] = collect_shard_metrics(args.shard)
     if args.persistence:
         current["persistence"] = collect_persistence_metrics(args.persistence)
+    if args.serve:
+        current["serving"] = collect_serving_metrics(args.serve)
     print("current metrics:")
     print(json.dumps(current, indent=2))
     if args.metrics_out:
@@ -204,35 +244,37 @@ def main():
         print(f"wrote baseline -> {args.write_baseline}")
         return 0
 
-    if not args.baseline:
-        raise SystemExit("error: pass --baseline (or --write-baseline)")
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
     failures = []
-    for idx in POINT_INDICES:
-        base = baseline["normalized_point_cost"][idx]
-        cur = current["normalized_point_cost"][idx]
-        limit = base * (1.0 + args.threshold)
-        verdict = "OK" if cur <= limit else "REGRESSION"
-        print(f"{idx}: normalized point cost {cur:.1f} vs baseline "
-              f"{base:.1f} (limit {limit:.1f}) -> {verdict}")
-        if cur > limit:
-            failures.append(
-                f"{idx} point-query cost regressed {cur / base - 1.0:+.0%} "
-                f"(> {args.threshold:.0%} allowed)")
+    if gating:
+        if not args.baseline:
+            raise SystemExit("error: pass --baseline (or --write-baseline)")
+        with open(args.baseline) as f:
+            baseline = json.load(f)
 
-    if current["avx2"]:
-        speedup = current["batch_speedup"]
-        print(f"batched-inference speedup (avx2): {speedup:.2f}x "
-              f"(floor {AVX2_MIN_SPEEDUP}x; baseline recorded "
-              f"{baseline.get('batch_speedup', 0.0):.2f}x)")
-        if speedup < AVX2_MIN_SPEEDUP:
-            failures.append(
-                f"batched inference speedup {speedup:.2f}x fell below the "
-                f"{AVX2_MIN_SPEEDUP}x floor")
-    else:
-        print("avx2 kernel inactive on this host: speedup gate skipped")
+        for idx in POINT_INDICES:
+            base = baseline["normalized_point_cost"][idx]
+            cur = current["normalized_point_cost"][idx]
+            limit = base * (1.0 + args.threshold)
+            verdict = "OK" if cur <= limit else "REGRESSION"
+            print(f"{idx}: normalized point cost {cur:.1f} vs baseline "
+                  f"{base:.1f} (limit {limit:.1f}) -> {verdict}")
+            if cur > limit:
+                failures.append(
+                    f"{idx} point-query cost regressed "
+                    f"{cur / base - 1.0:+.0%} "
+                    f"(> {args.threshold:.0%} allowed)")
+
+        if current["avx2"]:
+            speedup = current["batch_speedup"]
+            print(f"batched-inference speedup (avx2): {speedup:.2f}x "
+                  f"(floor {AVX2_MIN_SPEEDUP}x; baseline recorded "
+                  f"{baseline.get('batch_speedup', 0.0):.2f}x)")
+            if speedup < AVX2_MIN_SPEEDUP:
+                failures.append(
+                    f"batched inference speedup {speedup:.2f}x fell below "
+                    f"the {AVX2_MIN_SPEEDUP}x floor")
+        else:
+            print("avx2 kernel inactive on this host: speedup gate skipped")
 
     if "sharded" in current:
         sh = current["sharded"]
@@ -247,6 +289,13 @@ def main():
               f"{pe['save_mb_per_s_rsmi']:.0f}/{pe['load_mb_per_s_rsmi']:.0f}, "
               f"sharded<4>:rsmi {pe['save_mb_per_s_sharded4_rsmi']:.0f}/"
               f"{pe['load_mb_per_s_sharded4_rsmi']:.0f} (recorded, not gated)")
+
+    if "serving" in current:
+        se = current["serving"]
+        print(f"serving: {se['achieved_qps']:.0f} qps achieved of "
+              f"{se.get('target_qps', 0.0):.0f} target, p50/p99/p999 "
+              f"{se['p50_us']:.0f}/{se['p99_us']:.0f}/{se['p999_us']:.0f} us "
+              f"over {se['received']} responses (recorded, not gated)")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -29,6 +29,10 @@
 #include <string>
 #include <vector>
 
+#include <cerrno>
+#include <csignal>
+#include <unistd.h>
+
 #include "baselines/factory.h"
 #include "common/timer.h"
 #include "core/rsmi_index.h"
@@ -38,6 +42,9 @@
 #include "data/io.h"
 #include "data/workloads.h"
 #include "io/index_container.h"
+#include "server/client.h"
+#include "server/loadgen.h"
+#include "server/spatial_server.h"
 #include "shard/sharded_index.h"
 
 namespace rsmi {
@@ -109,6 +116,17 @@ int Usage() {
       "  bench     --data=FILE [--queries=200] [--k=25] [--area=0.0001]\n"
       "  throughput --data=FILE [--threads=1,8] [--queries=5000] [--k=25]\n"
       "            [--area=0.0001] [--point-frac=0.6] [--window-frac=0.3]\n"
+      "  serve     --load=FILE [--port=0] [--threads=4] [--max-batch=16]\n"
+      "            [--port-file=FILE]: serve the index file over TCP\n"
+      "            until SIGINT/SIGTERM (graceful drain, exit 0)\n"
+      "  loadgen   --data=FILE --port=P [--host=127.0.0.1] [--qps=5000]\n"
+      "            [--duration=5] [--connections=4] [--deadline-us=0]\n"
+      "            [--point-frac=0.6] [--window-frac=0.3] [--k=25]\n"
+      "            [--area=0.0001] [--out=FILE]: drive a target QPS and\n"
+      "            print p50/p99/p999 + achieved QPS as JSON\n"
+      "\n"
+      "remote queries: point/window/knn accept --server=HOST:PORT to run\n"
+      "  against a serving process instead of a local file.\n"
       "\n"
       "sharding (build, point, window, knn, bench, throughput):\n"
       "  --shards=K --shard-inner=SPEC [--build-threads=T]\n"
@@ -348,9 +366,77 @@ std::unique_ptr<SpatialIndex> LoadOrBuildQueryIndex(const Flags& flags) {
   return nullptr;
 }
 
+/// Parses --server=HOST:PORT (host defaults to 127.0.0.1 when the value
+/// is just a port).
+bool ParseServerFlag(const Flags& flags, std::string* host, uint16_t* port) {
+  const std::string spec = flags.Get("server", "");
+  if (spec.empty()) return false;
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    *port = static_cast<uint16_t>(std::strtoul(spec.c_str(), nullptr, 10));
+  } else {
+    *host = spec.substr(0, colon);
+    *port = static_cast<uint16_t>(
+        std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+  }
+  return *port != 0;
+}
+
+/// Runs one read request against a serving process (--server=HOST:PORT)
+/// and prints the result in the same shape as the local query commands.
+int RunRemoteQuery(const Flags& flags, const Request& req) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseServerFlag(flags, &host, &port)) {
+    std::fprintf(stderr, "bad --server (want HOST:PORT)\n");
+    return 1;
+  }
+  std::string err;
+  auto client = ServerClient::Connect(host, port, &err);
+  if (client == nullptr) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  Response resp;
+  if (!client->Call(req, &resp)) {
+    std::fprintf(stderr, "connection lost mid-call\n");
+    return 1;
+  }
+  if (!resp.ok() && resp.status != StatusCode::kNotFound) {
+    std::fprintf(stderr, "server error (%s): %s\n",
+                 StatusCodeName(resp.status), resp.message.c_str());
+    return 1;
+  }
+  if (req.type == Request::Type::kPoint) {
+    if (!resp.hit.has_value()) {
+      std::printf("not found\n");
+    } else {
+      std::printf("%.17g,%.17g id=%lld\n", resp.hit->pt.x, resp.hit->pt.y,
+                  static_cast<long long>(resp.hit->id));
+    }
+  } else if (req.type == Request::Type::kKnn) {
+    for (const Point& p : resp.points) {
+      std::printf("%.17g,%.17g dist=%.6g\n", p.x, p.y, Dist(req.pt, p));
+    }
+    std::fprintf(stderr, "%zu neighbors\n", resp.points.size());
+  } else {
+    for (const Point& p : resp.points) std::printf("%.17g,%.17g\n", p.x, p.y);
+    std::fprintf(stderr, "%zu points (%llu block accesses)\n",
+                 resp.points.size(),
+                 static_cast<unsigned long long>(resp.cost.block_accesses));
+  }
+  return 0;
+}
+
 int CmdPoint(const Flags& flags) {
   // Cheap argument checks come before the (possibly expensive) build.
   if (!flags.Has("x") || !flags.Has("y")) return Usage();
+  if (flags.Has("server")) {
+    return RunRemoteQuery(
+        flags, Request::PointLookup(
+                   {flags.GetDouble("x", 0), flags.GetDouble("y", 0)}));
+  }
   std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
   if (index == nullptr) return Usage();
   const Point q{flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
@@ -381,6 +467,9 @@ bool ParseRect(const std::string& spec, Rect* out) {
 int CmdWindow(const Flags& flags) {
   Rect w;
   if (!ParseRect(flags.Get("rect", ""), &w)) return Usage();
+  if (flags.Has("server")) {
+    return RunRemoteQuery(flags, Request::WindowLookup(w));
+  }
   std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
   if (index == nullptr) return Usage();
   RsmiIndex* rsmi = UnwrapRsmi(index.get());
@@ -406,6 +495,12 @@ int CmdWindow(const Flags& flags) {
 
 int CmdKnn(const Flags& flags) {
   if (!flags.Has("x") || !flags.Has("y")) return Usage();
+  if (flags.Has("server")) {
+    return RunRemoteQuery(
+        flags,
+        Request::KnnLookup({flags.GetDouble("x", 0), flags.GetDouble("y", 0)},
+                           static_cast<uint32_t>(flags.GetInt("k", 10))));
+  }
   std::unique_ptr<SpatialIndex> index = LoadOrBuildQueryIndex(flags);
   if (index == nullptr) return Usage();
   RsmiIndex* rsmi = UnwrapRsmi(index.get());
@@ -611,6 +706,118 @@ int CmdThroughput(const Flags& flags) {
   return 0;
 }
 
+/// Self-pipe for the serve command: the signal handler writes one byte,
+/// the serving thread blocks on the read end. Async-signal-safe (write
+/// only) and race-free (a signal before the read still wakes it).
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*signo*/) {
+  const char byte = 1;
+  // The return value is irrelevant: a full pipe means shutdown is
+  // already pending.
+  [[maybe_unused]] const ssize_t r = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string load = flags.Get("load", "");
+  if (load.empty()) return Usage();
+  ServerOptions opts;
+  opts.index_path = load;
+  opts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  opts.threads = static_cast<int>(flags.GetInt("threads", 4));
+  opts.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 16));
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "cannot create shutdown pipe\n");
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::string err;
+  auto server = SpatialServer::Start(opts, &err);
+  if (server == nullptr) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving %s on 127.0.0.1:%u with %d workers\n",
+               load.c_str(), server->port(), server->threads());
+  // Scripts bind port 0 and read the actual port back from this file.
+  const std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server->port());
+    std::fclose(f);
+  }
+
+  char byte = 0;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutting down (draining in-flight requests)...\n");
+  server->Stop();
+  const ServerStats st = server->stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu responses, %llu coalesced in "
+               "%llu batches, %llu deadline-expired, %llu reloads)\n",
+               static_cast<unsigned long long>(st.requests_admitted),
+               static_cast<unsigned long long>(st.responses_sent),
+               static_cast<unsigned long long>(st.coalesced_requests),
+               static_cast<unsigned long long>(st.coalesced_batches),
+               static_cast<unsigned long long>(st.deadline_expired),
+               static_cast<unsigned long long>(st.reloads));
+  return 0;
+}
+
+int CmdLoadgen(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  if (data_path.empty() || !flags.Has("port")) return Usage();
+  LoadgenOptions opts;
+  if (!LoadPoints(data_path, &opts.data)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  DeduplicatePositions(&opts.data, 42);
+  opts.host = flags.Get("host", "127.0.0.1");
+  opts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  opts.target_qps = flags.GetDouble("qps", 5000.0);
+  opts.duration_s = flags.GetDouble("duration", 5.0);
+  opts.connections = static_cast<int>(flags.GetInt("connections", 4));
+  opts.deadline_us = static_cast<uint32_t>(flags.GetInt("deadline-us", 0));
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 4242));
+  opts.mix.point_frac = flags.GetDouble("point-frac", 0.6);
+  opts.mix.window_frac = flags.GetDouble("window-frac", 0.3);
+  opts.mix.window_area = flags.GetDouble("area", 0.0001);
+  opts.mix.k = static_cast<uint32_t>(flags.GetInt("k", 25));
+
+  LoadgenReport report;
+  std::string err;
+  if (!RunLoadgen(opts, &report, &err)) {
+    std::fprintf(stderr, "loadgen failed: %s\n", err.c_str());
+    return 1;
+  }
+  const std::string json = LoadgenReportJson(report);
+  std::printf("%s\n", json.c_str());
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
@@ -637,6 +844,8 @@ int Run(int argc, char** argv) {
   if (cmd == "delete") return CmdDelete(flags);
   if (cmd == "bench") return CmdBench(flags);
   if (cmd == "throughput") return CmdThroughput(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "loadgen") return CmdLoadgen(flags);
   return Usage();
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke over rsmi_cli: build a sharded<4>:rsmi index
+# file, start `rsmi_cli serve` on an ephemeral port, drive it with
+# `rsmi_cli loadgen`, probe correctness by comparing a remote point
+# lookup against the same lookup on a locally loaded copy, and check
+# graceful shutdown (SIGTERM -> drain -> exit 0). Registered with ctest
+# (label "serve") so it runs in the Release AND Debug CI legs; the
+# loadgen JSON lands in OUT_DIR, which CI uploads as an artifact and
+# records (non-gating) via check_bench_regression.py --serve.
+#
+# Usage: serve_smoke.sh RSMI_CLI OUT_DIR
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 RSMI_CLI OUT_DIR" >&2
+  exit 2
+fi
+cli="$1"
+out_dir="$2"
+mkdir -p "$out_dir"
+data="$out_dir/points.csv"
+idx="$out_dir/sharded4_rsmi.idx"
+port_file="$out_dir/port"
+server_log="$out_dir/server.log"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+"$cli" generate --n=3000 --dist=skewed --seed=7 --out="$data"
+"$cli" build --data="$data" --index="$idx" \
+  --shards=4 --shard-inner=rsmi --block=20 --threshold=400 --epochs=40 \
+  --build-threads=2 > "$out_dir/build.txt"
+
+rm -f "$port_file"
+"$cli" serve --load="$idx" --port=0 --threads=2 \
+  --port-file="$port_file" 2> "$server_log" &
+server_pid=$!
+
+# The server writes the actual port once it is listening.
+for _ in $(seq 1 100); do
+  [[ -s "$port_file" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[[ -s "$port_file" ]] || fail "server never wrote its port file"
+port="$(cat "$port_file")"
+
+# Correctness probe: a stored coordinate (printed at %.17g, which
+# round-trips the double exactly) must come back identically from the
+# serving process and from a direct load of the same file.
+"$cli" window --index="$idx" --rect=0,0,1,1 2>/dev/null > "$out_dir/window.txt"
+first="$(head -1 "$out_dir/window.txt")"
+x="${first%,*}"
+y="${first#*,}"
+"$cli" point --index="$idx" --x="$x" --y="$y" > "$out_dir/point_local.txt"
+"$cli" point --server="127.0.0.1:$port" --x="$x" --y="$y" \
+  > "$out_dir/point_remote.txt"
+grep -q 'id=' "$out_dir/point_local.txt" \
+  || fail "local point lookup found nothing"
+diff "$out_dir/point_local.txt" "$out_dir/point_remote.txt" \
+  || fail "remote point lookup differs from the direct one"
+
+# Sustained mixed traffic at a target QPS; the report is the CI artifact.
+"$cli" loadgen --data="$data" --port="$port" --qps=2000 --duration=2 \
+  --connections=4 --out="$out_dir/loadgen.json" > /dev/null
+grep -q '"p999_us"' "$out_dir/loadgen.json" \
+  || fail "loadgen report is missing percentiles"
+grep -q '"received": 0,' "$out_dir/loadgen.json" \
+  && fail "loadgen received no responses"
+grep -q '"errors": 0,' "$out_dir/loadgen.json" \
+  || fail "loadgen saw error responses"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+[[ "$rc" -eq 0 ]] || fail "server exited $rc on SIGTERM (log: $(cat "$server_log"))"
+grep -q 'shutting down' "$server_log" \
+  || fail "server log is missing the graceful-shutdown line"
+
+echo "PASS: served $idx, loadgen + remote probe OK, graceful shutdown ($out_dir/loadgen.json)"
