@@ -7,8 +7,8 @@
 #include <queue>
 #include <unordered_set>
 
-#include "common/group_by.h"
 #include "io/serializer.h"
+#include "nn/inference_engine.h"
 #include "sfc/z_curve.h"
 
 namespace rsmi {
@@ -229,6 +229,18 @@ void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
     out[0] = PredictBlock(zs[0], ctxs[0]);
     return;
   }
+  // Chunked fused descent: each chunk fits the bucketing scratch in
+  // cache. The width cannot affect results or charges (the engine is
+  // bit-identical across batch sizes, charges are per Z-value).
+  const size_t chunk = BatchDescentChunkWidth();
+  if (n > chunk) {
+    for (size_t s = 0; s < n; s += chunk) {
+      const size_t c = std::min(chunk, n - s);
+      PredictBlockBatch(zs + s, c, ctxs + s * ctx_stride, ctx_stride,
+                        out + s);
+    }
+    return;
+  }
   // Per-op charging: every Z-value costs the fixed three-level descent,
   // exactly the scalar PredictBlock charges.
   for (size_t i = 0; i < n; ++i) {
@@ -240,43 +252,52 @@ void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
   std::vector<double> zn(n);
   for (size_t i = 0; i < n; ++i) zn[i] = NormZ(zs[i]);
 
-  // Level 0: one vectorized evaluation for the whole batch.
+  // Level 0: one vectorized evaluation for the whole chunk, fused with
+  // the mid-level bucketing (predict -> clamp -> bucket as one pass).
+  const size_t m1 = mid_.size();
+  const size_t m2 = leaves_.size();
   std::vector<double> pred(n);
   root_->PredictBatch(zn.data(), n, pred.data());
-  std::vector<size_t> bucket(n);
+  std::vector<uint32_t> bucket(n);
+  std::vector<uint32_t> counts(std::max(m1, m2) + 1, 0);
   for (size_t i = 0; i < n; ++i) {
-    bucket[i] = std::min<size_t>(
-        mid_.size() - 1, static_cast<size_t>(std::max(0.0, pred[i]) *
-                                             static_cast<double>(mid_.size())));
+    bucket[i] = static_cast<uint32_t>(std::min<size_t>(
+        m1 - 1, static_cast<size_t>(std::max(0.0, pred[i]) *
+                                    static_cast<double>(m1))));
+    ++counts[bucket[i] + 1];
   }
+  for (size_t b = 0; b < m1; ++b) counts[b + 1] += counts[b];
 
-  // Levels 1 and 2: gather the samples landing on the same sub-model
-  // and evaluate each group at once.
-  std::vector<uint32_t> order;
-  std::vector<double> gx;
-  std::vector<double> gp;
-  auto run_level = [&](auto predict_group) {
-    ForEachGroupBy(
-        n, &order, [&](uint32_t i) { return bucket[i]; },
-        [&](const uint32_t* grp, size_t m) {
-          gx.resize(m);
-          for (size_t t = 0; t < m; ++t) gx[t] = zn[grp[t]];
-          predict_group(bucket[grp[0]], grp, m);
-        });
-  };
-
-  run_level([&](size_t b, const uint32_t* grp, size_t m) {
-    gp.resize(m);
+  // Level 1: stable counting-sort scatter groups the chunk by mid model
+  // (replacing the former per-level stable sort); each group gets one
+  // vectorized evaluation whose leaf buckets feed the next scatter.
+  std::vector<uint32_t> perm(n);
+  std::vector<uint32_t> perm2(n);
+  for (size_t i = 0; i < n; ++i) perm[counts[bucket[i]]++] = i;
+  std::vector<double> gx(n);
+  std::vector<double> gp(n);
+  // Post-scatter, counts[b] is bucket b's end (bucket 0 begins at 0).
+  for (size_t b = 0, begin = 0; b < m1; begin = counts[b], ++b) {
+    const size_t m = counts[b] - begin;
+    if (m == 0) continue;
+    for (size_t t = 0; t < m; ++t) gx[t] = zn[perm[begin + t]];
     mid_[b]->PredictBatch(gx.data(), m, gp.data());
     for (size_t t = 0; t < m; ++t) {
-      bucket[grp[t]] = std::min<size_t>(
-          leaves_.size() - 1,
-          static_cast<size_t>(std::max(0.0, gp[t]) *
-                              static_cast<double>(leaves_.size())));
+      bucket[perm[begin + t]] = static_cast<uint32_t>(std::min<size_t>(
+          m2 - 1, static_cast<size_t>(std::max(0.0, gp[t]) *
+                                      static_cast<double>(m2))));
     }
-  });
+  }
 
-  run_level([&](size_t c, const uint32_t* grp, size_t m) {
+  // Level 2: second scatter, then the leaf evaluations write the
+  // predictions straight into `out`.
+  counts.assign(m2 + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++counts[bucket[i] + 1];
+  for (size_t c = 0; c < m2; ++c) counts[c + 1] += counts[c];
+  for (size_t i = 0; i < n; ++i) perm2[counts[bucket[i]]++] = i;
+  for (size_t c = 0, begin = 0; c < m2; begin = counts[c], ++c) {
+    const size_t m = counts[c] - begin;
+    if (m == 0) continue;
     const LeafModel& lm = leaves_[c];
     if (!lm.trained) {
       // Untrained bucket: conservative whole-range prediction, exactly
@@ -285,10 +306,10 @@ void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
       p.block = num_build_blocks_ / 2;
       p.err_below = num_build_blocks_;
       p.err_above = num_build_blocks_;
-      for (size_t t = 0; t < m; ++t) out[grp[t]] = p;
-      return;
+      for (size_t t = 0; t < m; ++t) out[perm2[begin + t]] = p;
+      continue;
     }
-    gp.resize(m);
+    for (size_t t = 0; t < m; ++t) gx[t] = zn[perm2[begin + t]];
     lm.model->PredictBatch(gx.data(), m, gp.data());
     for (size_t t = 0; t < m; ++t) {
       Prediction p;
@@ -298,9 +319,9 @@ void ZmIndex::PredictBlockBatch(const uint64_t* zs, size_t n,
                       0, num_build_blocks_ - 1);
       p.err_below = lm.err_below;
       p.err_above = lm.err_above;
-      out[grp[t]] = p;
+      out[perm2[begin + t]] = p;
     }
-  });
+  }
 }
 
 std::optional<PointEntry> ZmIndex::PointQuery(const Point& q,

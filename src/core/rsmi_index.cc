@@ -11,8 +11,8 @@
 #include <unordered_set>
 #include <utility>
 
-#include "common/group_by.h"
 #include "io/index_container.h"
+#include "nn/inference_engine.h"
 #include "rank/rank_space.h"
 
 namespace rsmi {
@@ -385,6 +385,28 @@ const RsmiIndex::Node* RsmiIndex::DescendNearest(const Point& p,
   return const_cast<RsmiIndex*>(this)->DescendNearestMutable(p, nullptr, ctx);
 }
 
+/// One contiguous run of the fused descent's permutation array: all the
+/// chunk's points currently sitting on `node`, at internal depth `depth`.
+struct RsmiIndex::DescentSeg {
+  const Node* node;
+  uint32_t begin;
+  uint32_t end;
+  uint32_t depth;
+};
+
+/// Workspace reused across segments and chunks so the fused descent
+/// allocates once per batch, not once per level or sub-model.
+struct RsmiIndex::DescentScratch {
+  std::vector<DescentSeg> cur;
+  std::vector<DescentSeg> nxt;
+  std::vector<uint32_t> perm;    // point indices, grouped by segment
+  std::vector<uint32_t> perm2;   // scatter target, swapped per level
+  std::vector<uint32_t> slot;    // resolved child slot per segment point
+  std::vector<uint32_t> counts;  // counting-sort offsets (ncells + 1)
+  std::vector<double> feat;
+  std::vector<double> pred;
+};
+
 void RsmiIndex::DescendNearestBatch(const Point* qs, size_t n,
                                     QueryContext* ctxs, size_t ctx_stride,
                                     const Node** leaves) const {
@@ -393,49 +415,94 @@ void RsmiIndex::DescendNearestBatch(const Point* qs, size_t n,
     leaves[0] = DescendNearest(qs[0], ctxs[0]);
     return;
   }
-  // Level-synchronous descent: every point holds its current node; per
-  // level, points on the same sub-model are grouped and evaluated with
-  // one PredictBatch call.
-  std::vector<const Node*> cur(n, root_.get());
-  std::vector<uint64_t> depth(n, 0);
-  std::vector<uint32_t> order;
-  std::vector<double> feat;
-  std::vector<double> pred;
-  feat.reserve(2 * n);
-  pred.reserve(n);
-  for (;;) {
-    bool any_internal = false;
-    ForEachGroupBy(
-        n, &order,
-        [&](uint32_t i) { return reinterpret_cast<uintptr_t>(cur[i]); },
-        [&](const uint32_t* grp, size_t m) {
-          const Node* nd = cur[grp[0]];
-          if (nd->leaf) return;
-          any_internal = true;
-          feat.resize(2 * m);
-          for (size_t t = 0; t < m; ++t) {
-            nd->Features(qs[grp[t]], &feat[2 * t]);
-          }
-          pred.resize(m);
-          nd->model->PredictBatch(feat.data(), m, pred.data());
-          const int ncells = static_cast<int>(nd->children.size());
-          for (size_t t = 0; t < m; ++t) {
-            const int slot = Clamp(
-                static_cast<int>(std::lround(pred[t] * (ncells - 1))), 0,
-                ncells - 1);
-            cur[grp[t]] = nd->children[ResolveChildSlot(*nd, slot)].get();
-            ++depth[grp[t]];
-          }
-        });
-    if (!any_internal) break;
+  DescentScratch ws;
+  const size_t chunk = BatchDescentChunkWidth();
+  for (size_t s = 0; s < n; s += chunk) {
+    const size_t c = std::min(chunk, n - s);
+    DescendFusedChunk(qs + s, c, ctxs + s * ctx_stride, ctx_stride,
+                      leaves + s, nullptr, ws);
   }
-  // Per-op charging: query i's descent costs go to ctxs[i * ctx_stride],
-  // the exact charges a scalar DescendNearest would make.
-  for (size_t i = 0; i < n; ++i) {
-    leaves[i] = cur[i];
-    QueryContext& ctx = ctxs[i * ctx_stride];
-    ctx.model_invocations += depth[i] + 1;
-    ++ctx.descents;
+}
+
+void RsmiIndex::DescendFusedChunk(const Point* qs, size_t n,
+                                  QueryContext* ctxs, size_t ctx_stride,
+                                  const Node** leaves, int* pb,
+                                  DescentScratch& ws) const {
+  ws.perm.resize(n);
+  std::iota(ws.perm.begin(), ws.perm.end(), 0u);
+  ws.perm2.resize(n);
+  ws.cur.clear();
+  ws.cur.push_back(
+      DescentSeg{root_.get(), 0, static_cast<uint32_t>(n), 0});
+  while (!ws.cur.empty()) {
+    ws.nxt.clear();
+    for (const DescentSeg& seg : ws.cur) {
+      const Node* nd = seg.node;
+      const size_t m = seg.end - seg.begin;
+      const uint32_t* grp = ws.perm.data() + seg.begin;
+      if (nd->leaf) {
+        // Segment done: record the leaf and charge exactly what a scalar
+        // DescendNearest charges (the +1 is the leaf model).
+        for (size_t t = 0; t < m; ++t) {
+          const uint32_t q = grp[t];
+          leaves[q] = nd;
+          QueryContext& ctx = ctxs[q * ctx_stride];
+          ctx.model_invocations += seg.depth + 1;
+          ++ctx.descents;
+        }
+        // Fused leaf-block prediction: the point-query path gets the
+        // whole segment's block ids here instead of re-grouping the
+        // batch by leaf afterwards. Uncharged, like PredictLeafBlock
+        // inside FindEntry.
+        if (pb != nullptr && nd->num_blocks > 1) {
+          const int blocks = nd->num_blocks;
+          ws.feat.resize(2 * m);
+          for (size_t t = 0; t < m; ++t) {
+            nd->Features(qs[grp[t]], &ws.feat[2 * t]);
+          }
+          ws.pred.resize(m);
+          nd->model->PredictBatch(ws.feat.data(), m, ws.pred.data());
+          for (size_t t = 0; t < m; ++t) {
+            pb[grp[t]] = Clamp(
+                static_cast<int>(std::lround(ws.pred[t] * (blocks - 1))), 0,
+                blocks - 1);
+          }
+        }
+        continue;
+      }
+      // Internal segment: predict -> clamp -> resolve, fused with the
+      // stable counting-sort scatter that forms the child segments.
+      ws.feat.resize(2 * m);
+      for (size_t t = 0; t < m; ++t) {
+        nd->Features(qs[grp[t]], &ws.feat[2 * t]);
+      }
+      ws.pred.resize(m);
+      nd->model->PredictBatch(ws.feat.data(), m, ws.pred.data());
+      const int ncells = static_cast<int>(nd->children.size());
+      ws.slot.resize(m);
+      ws.counts.assign(ncells + 1, 0);
+      for (size_t t = 0; t < m; ++t) {
+        const int slot = Clamp(
+            static_cast<int>(std::lround(ws.pred[t] * (ncells - 1))), 0,
+            ncells - 1);
+        const int resolved = ResolveChildSlot(*nd, slot);
+        ws.slot[t] = static_cast<uint32_t>(resolved);
+        ++ws.counts[resolved + 1];
+      }
+      for (int c = 0; c < ncells; ++c) ws.counts[c + 1] += ws.counts[c];
+      for (int c = 0; c < ncells; ++c) {
+        if (ws.counts[c + 1] == ws.counts[c]) continue;
+        ws.nxt.push_back(DescentSeg{nd->children[c].get(),
+                                    seg.begin + ws.counts[c],
+                                    seg.begin + ws.counts[c + 1],
+                                    seg.depth + 1});
+      }
+      for (size_t t = 0; t < m; ++t) {
+        ws.perm2[seg.begin + ws.counts[ws.slot[t]]++] = grp[t];
+      }
+    }
+    ws.perm.swap(ws.perm2);
+    ws.cur.swap(ws.nxt);
   }
 }
 
@@ -500,34 +567,17 @@ void RsmiIndex::PointQueryBatchImpl(const Point* qs, size_t n,
     out[0] = PointQuery(qs[0], ctxs[0]);
     return;
   }
+  // Fused descent: leaf resolution and leaf-block prediction come out of
+  // one pass over the tree, chunked to keep the working set cache-sized.
   std::vector<const Node*> leaves(n);
-  DescendNearestBatch(qs, n, ctxs, ctx_stride, leaves.data());
-
-  // Batch the leaf-model evaluations too: group points per leaf and
-  // predict each group's blocks with one call.
-  std::vector<int> pb(n, 0);
-  std::vector<uint32_t> order;
-  std::vector<double> feat;
-  std::vector<double> pred;
-  ForEachGroupBy(
-      n, &order,
-      [&](uint32_t i) { return reinterpret_cast<uintptr_t>(leaves[i]); },
-      [&](const uint32_t* grp, size_t m) {
-        const Node* leaf = leaves[grp[0]];
-        const int blocks = leaf->num_blocks;
-        if (blocks <= 1) return;  // pb stays 0, like PredictLeafBlock
-        feat.resize(2 * m);
-        for (size_t t = 0; t < m; ++t) {
-          leaf->Features(qs[grp[t]], &feat[2 * t]);
-        }
-        pred.resize(m);
-        leaf->model->PredictBatch(feat.data(), m, pred.data());
-        for (size_t t = 0; t < m; ++t) {
-          pb[grp[t]] = Clamp(
-              static_cast<int>(std::lround(pred[t] * (blocks - 1))), 0,
-              blocks - 1);
-        }
-      });
+  std::vector<int> pb(n, 0);  // <= 1-block leaves keep 0 (PredictLeafBlock)
+  DescentScratch ws;
+  const size_t chunk = BatchDescentChunkWidth();
+  for (size_t s = 0; s < n; s += chunk) {
+    const size_t c = std::min(chunk, n - s);
+    DescendFusedChunk(qs + s, c, ctxs + s * ctx_stride, ctx_stride,
+                      leaves.data() + s, pb.data() + s, ws);
+  }
 
   // The block probing is per point, exactly Algorithm 1's scan.
   for (size_t i = 0; i < n; ++i) {

@@ -221,6 +221,20 @@ class RsmiIndex : public SpatialIndex {
   /// hot path), stride 1 attributes per op (the serving layer).
   void DescendNearestBatch(const Point* qs, size_t n, QueryContext* ctxs,
                            size_t ctx_stride, const Node** leaves) const;
+  struct DescentSeg;       // contiguous frontier segment of one sub-model
+  struct DescentScratch;   // reusable buffers of the fused descent
+  /// One chunk of the fused descent: the frontier is kept as contiguous
+  /// segments of a permutation array, each segment advanced with one
+  /// predict -> clamp -> stable counting-sort scatter into its child
+  /// segments (no per-level re-sort of the batch). Leaf segments charge
+  /// their descent costs to `ctxs[i * ctx_stride]` and, when `pb` is
+  /// non-null, predict the whole segment's blocks in the same pass
+  /// (`pb` entries of <= 1-block leaves must be pre-zeroed; they are
+  /// left untouched, like PredictLeafBlock). Results and charges are
+  /// identical to scalar descents for any chunk width.
+  void DescendFusedChunk(const Point* qs, size_t n, QueryContext* ctxs,
+                         size_t ctx_stride, const Node** leaves, int* pb,
+                         DescentScratch& ws) const;
   /// Shared implementation behind both PointQueryBatch overloads; same
   /// ctxs/ctx_stride convention as DescendNearestBatch.
   void PointQueryBatchImpl(const Point* qs, size_t n, QueryContext* ctxs,

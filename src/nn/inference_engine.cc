@@ -1,112 +1,46 @@
 #include "nn/inference_engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <new>
+#include <vector>
 
 #include "common/env.h"
+#include "common/timer.h"
+#include "nn/kernel_math.h"
+#include "nn/kernels.h"
 
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
 #define RSMI_X86_DISPATCH 1
-#include <immintrin.h>
-#endif
-
-#if defined(__GNUC__) || defined(__clang__)
-#define RSMI_ALWAYS_INLINE inline __attribute__((always_inline))
-#else
-#define RSMI_ALWAYS_INLINE inline
 #endif
 
 namespace rsmi {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Shared exp/sigmoid math.
-//
-// Both kernels (scalar and AVX2) execute this exact IEEE-754 operation
-// sequence — same FMA contractions, same rounding, same division — so
-// every dispatch path produces bit-identical results. std::exp cannot be
-// used here: libm implementations differ across platforms and cannot be
-// mirrored lane-for-lane in SIMD, which would break the build-time /
-// query-time reproducibility the learned index depends on. The rational
-// approximation below is the classic Cephes expm-style kernel (~1 ulp
-// over the clamped range).
-// ---------------------------------------------------------------------------
-
-constexpr double kExpClamp = 708.0;  // keeps 2^n finite and normal
-constexpr double kLog2E = 1.44269504088896340736;
-constexpr double kLn2Hi = 6.93145751953125e-1;
-constexpr double kLn2Lo = 1.42860682030941723212e-6;
-constexpr double kExpP0 = 1.26177193074810590878e-4;
-constexpr double kExpP1 = 3.02994407707441961300e-2;
-constexpr double kExpP2 = 9.99999999999999999910e-1;
-constexpr double kExpQ0 = 3.00198505138664455042e-6;
-constexpr double kExpQ1 = 2.52448340349684104192e-3;
-constexpr double kExpQ2 = 2.27265548208155028766e-1;
-constexpr double kExpQ3 = 2.00000000000000000005e0;
-
-RSMI_ALWAYS_INLINE double FastExp(double x) {
-  x = std::min(kExpClamp, std::max(-kExpClamp, x));
-  const double n = std::floor(std::fma(x, kLog2E, 0.5));
-  double r = std::fma(n, -kLn2Hi, x);
-  r = std::fma(n, -kLn2Lo, r);
-  const double rr = r * r;
-  const double p = r * std::fma(rr, std::fma(rr, kExpP0, kExpP1), kExpP2);
-  const double q =
-      std::fma(rr, std::fma(rr, std::fma(rr, kExpQ0, kExpQ1), kExpQ2), kExpQ3);
-  const double e = std::fma(2.0, p / (q - p), 1.0);
-  // 2^n via exponent bits; n is in [-1021, 1022] after the clamp.
-  const uint64_t bits = static_cast<uint64_t>(static_cast<int64_t>(n) + 1023)
-                        << 52;
-  double scale;
-  std::memcpy(&scale, &bits, sizeof(scale));
-  return e * scale;
-}
-
-RSMI_ALWAYS_INLINE double FastSigmoid(double a) {
-  return 1.0 / (1.0 + FastExp(-a));
-}
+using kernels::BatchFn;
+using OneFn = double (*)(int, int, const double*, const double*, const double*,
+                         double, const double*);
 
 // ---------------------------------------------------------------------------
-// Scalar kernel. The body is always_inline so the FMA-enabled wrapper
-// below compiles it with hardware vfmadd while the portable wrapper
-// falls back to libm fma — numerically identical either way (fma is
-// fused by definition), only the speed differs.
+// Scalar kernel. The body (nn/kernel_math.h) is always_inline so the
+// FMA-enabled wrapper below compiles it with hardware vfmadd while the
+// portable wrapper falls back to libm fma — numerically identical either
+// way (fma is fused by definition), only the speed differs.
 // ---------------------------------------------------------------------------
-
-RSMI_ALWAYS_INLINE double PredictOneImpl(int in, int hidden, const double* w1,
-                                         const double* b1, const double* w2,
-                                         double b2, const double* f) {
-  double acc = b2;
-  for (int j = 0; j < hidden; ++j) {
-    double a = b1[j];
-    const double* wrow = w1 + static_cast<size_t>(j) * in;
-    for (int i = 0; i < in; ++i) a = std::fma(wrow[i], f[i], a);
-    acc = std::fma(w2[j], FastSigmoid(a), acc);
-  }
-  return acc;
-}
-
-RSMI_ALWAYS_INLINE void PredictBatchImpl(int in, int hidden, const double* w1,
-                                         const double* b1, const double* w2,
-                                         double b2, const double* xs, size_t n,
-                                         double* out) {
-  for (size_t s = 0; s < n; ++s) {
-    out[s] = PredictOneImpl(in, hidden, w1, b1, w2, b2, xs + s * in);
-  }
-}
 
 double PredictOneScalar(int in, int hidden, const double* w1, const double* b1,
                         const double* w2, double b2, const double* f) {
-  return PredictOneImpl(in, hidden, w1, b1, w2, b2, f);
+  return nn_math::PredictOneImpl(in, hidden, w1, b1, w2, b2, f);
 }
 
 void PredictBatchScalar(int in, int hidden, const double* w1, const double* b1,
                         const double* w2, double b2, const double* xs,
                         size_t n, double* out) {
-  PredictBatchImpl(in, hidden, w1, b1, w2, b2, xs, n, out);
+  nn_math::PredictBatchImpl(in, hidden, w1, b1, w2, b2, xs, n, out);
 }
 
 #if defined(RSMI_X86_DISPATCH)
@@ -114,119 +48,22 @@ void PredictBatchScalar(int in, int hidden, const double* w1, const double* b1,
 __attribute__((target("fma"))) double PredictOneScalarFma(
     int in, int hidden, const double* w1, const double* b1, const double* w2,
     double b2, const double* f) {
-  return PredictOneImpl(in, hidden, w1, b1, w2, b2, f);
+  return nn_math::PredictOneImpl(in, hidden, w1, b1, w2, b2, f);
 }
 
 __attribute__((target("fma"))) void PredictBatchScalarFma(
     int in, int hidden, const double* w1, const double* b1, const double* w2,
     double b2, const double* xs, size_t n, double* out) {
-  PredictBatchImpl(in, hidden, w1, b1, w2, b2, xs, n, out);
-}
-
-// ---------------------------------------------------------------------------
-// AVX2+FMA kernel: 4 samples per vector, vectorized across the batch
-// dimension so each lane runs the scalar kernel's exact op sequence.
-// ---------------------------------------------------------------------------
-
-__attribute__((target("avx2,fma"), always_inline)) inline __m256d
-FastExpVec(__m256d x) {
-  const __m256d clamp_hi = _mm256_set1_pd(kExpClamp);
-  const __m256d clamp_lo = _mm256_set1_pd(-kExpClamp);
-  x = _mm256_min_pd(clamp_hi, _mm256_max_pd(clamp_lo, x));
-  const __m256d n = _mm256_floor_pd(
-      _mm256_fmadd_pd(x, _mm256_set1_pd(kLog2E), _mm256_set1_pd(0.5)));
-  __m256d r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Hi), x);
-  r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Lo), r);
-  const __m256d rr = _mm256_mul_pd(r, r);
-  const __m256d p = _mm256_mul_pd(
-      r, _mm256_fmadd_pd(
-             rr,
-             _mm256_fmadd_pd(rr, _mm256_set1_pd(kExpP0),
-                             _mm256_set1_pd(kExpP1)),
-             _mm256_set1_pd(kExpP2)));
-  const __m256d q = _mm256_fmadd_pd(
-      rr,
-      _mm256_fmadd_pd(
-          rr,
-          _mm256_fmadd_pd(rr, _mm256_set1_pd(kExpQ0), _mm256_set1_pd(kExpQ1)),
-          _mm256_set1_pd(kExpQ2)),
-      _mm256_set1_pd(kExpQ3));
-  const __m256d e = _mm256_fmadd_pd(
-      _mm256_set1_pd(2.0), _mm256_div_pd(p, _mm256_sub_pd(q, p)),
-      _mm256_set1_pd(1.0));
-  // 2^n via exponent bits, mirroring the scalar path. n is integral and
-  // within int32 range, so the (round-to-nearest) cvt is exact.
-  const __m128i n32 = _mm256_cvtpd_epi32(n);
-  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
-  const __m256i bits = _mm256_slli_epi64(
-      _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
-  return _mm256_mul_pd(e, _mm256_castsi256_pd(bits));
-}
-
-__attribute__((target("avx2,fma"), always_inline)) inline __m256d
-FastSigmoidVec(__m256d a) {
-  const __m256d neg = _mm256_xor_pd(a, _mm256_set1_pd(-0.0));
-  return _mm256_div_pd(
-      _mm256_set1_pd(1.0),
-      _mm256_add_pd(_mm256_set1_pd(1.0), FastExpVec(neg)));
-}
-
-__attribute__((target("avx2,fma"))) void PredictBatchAvx2(
-    int in, int hidden, const double* w1, const double* b1, const double* w2,
-    double b2, const double* xs, size_t n, double* out) {
-  const size_t groups = (in == 1 || in == 2) ? n / 4 : 0;
-  if (in == 2) {
-    for (size_t g = 0; g < groups; ++g) {
-      const double* base = xs + 8 * g;
-      const __m256d v0 = _mm256_loadu_pd(base);      // x0 y0 x1 y1
-      const __m256d v1 = _mm256_loadu_pd(base + 4);  // x2 y2 x3 y3
-      const __m256d xv = _mm256_unpacklo_pd(v0, v1);  // x0 x2 x1 x3
-      const __m256d yv = _mm256_unpackhi_pd(v0, v1);  // y0 y2 y1 y3
-      __m256d acc = _mm256_set1_pd(b2);
-      for (int j = 0; j < hidden; ++j) {
-        __m256d a = _mm256_set1_pd(b1[j]);
-        a = _mm256_fmadd_pd(_mm256_set1_pd(w1[2 * j]), xv, a);
-        a = _mm256_fmadd_pd(_mm256_set1_pd(w1[2 * j + 1]), yv, a);
-        acc = _mm256_fmadd_pd(_mm256_set1_pd(w2[j]), FastSigmoidVec(a), acc);
-      }
-      // Undo the unpack permutation (lanes are o0 o2 o1 o3).
-      _mm256_storeu_pd(out + 4 * g,
-                       _mm256_permute4x64_pd(acc, _MM_SHUFFLE(3, 1, 2, 0)));
-    }
-  } else if (in == 1) {
-    for (size_t g = 0; g < groups; ++g) {
-      const __m256d xv = _mm256_loadu_pd(xs + 4 * g);
-      __m256d acc = _mm256_set1_pd(b2);
-      for (int j = 0; j < hidden; ++j) {
-        const __m256d a =
-            _mm256_fmadd_pd(_mm256_set1_pd(w1[j]), xv, _mm256_set1_pd(b1[j]));
-        acc = _mm256_fmadd_pd(_mm256_set1_pd(w2[j]), FastSigmoidVec(a), acc);
-      }
-      _mm256_storeu_pd(out + 4 * g, acc);
-    }
-  }
-  // Tail (and any input_dim this kernel does not specialize): the scalar
-  // kernel is bit-identical, so finishing scalar changes nothing.
-  PredictBatchScalarFma(in, hidden, w1, b1, w2, b2, xs + groups * 4 * in,
-                        n - groups * 4, out + groups * 4);
+  nn_math::PredictBatchImpl(in, hidden, w1, b1, w2, b2, xs, n, out);
 }
 
 #endif  // RSMI_X86_DISPATCH
 
 // ---------------------------------------------------------------------------
-// Runtime dispatch.
+// Runtime dispatch policy (process-wide, decided once at first use).
+// The SIMD kernels themselves live in kernels_avx2.cc / kernels_avx512.cc
+// — per-ISA translation units looked up through nn/kernels.h.
 // ---------------------------------------------------------------------------
-
-using BatchFn = void (*)(int, int, const double*, const double*, const double*,
-                         double, const double*, size_t, double*);
-using OneFn = double (*)(int, int, const double*, const double*, const double*,
-                         double, const double*);
-
-struct Dispatch {
-  InferenceKernel kind = InferenceKernel::kScalar;
-  BatchFn batch = &PredictBatchScalar;
-  OneFn one = &PredictOneScalar;
-};
 
 bool CpuHasAvx2Fma() {
 #if defined(RSMI_X86_DISPATCH)
@@ -236,26 +73,89 @@ bool CpuHasAvx2Fma() {
 #endif
 }
 
+bool CpuHasAvx512() {
+#if defined(RSMI_X86_DISPATCH)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+bool Avx2Usable() { return CpuHasAvx2Fma() && kernels::GenericAvx2() != nullptr; }
+bool Avx512Usable() {
+  return CpuHasAvx512() && kernels::GenericAvx512() != nullptr;
+}
+
+enum class ForcedKernel { kNone, kScalar, kAvx2, kAvx512, kSpecialized };
+
+ForcedKernel ForcedKernelFromEnv() {
+  std::string v = GetEnvString("RSMI_FORCE_KERNEL", "");
+  if (v.empty()) {
+    // Back-compat escape hatch from PR 3.
+    return GetEnvInt64("RSMI_FORCE_SCALAR", 0) != 0 ? ForcedKernel::kScalar
+                                                    : ForcedKernel::kNone;
+  }
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "scalar") return ForcedKernel::kScalar;
+  if (v == "avx2") return ForcedKernel::kAvx2;
+  if (v == "avx512") return ForcedKernel::kAvx512;
+  if (v == "specialized") return ForcedKernel::kSpecialized;
+  return ForcedKernel::kNone;  // unknown value: default policy
+}
+
+struct Dispatch {
+  /// Generic kernel for shapes without a specialized instantiation.
+  InferenceKernel kind = InferenceKernel::kScalar;
+  BatchFn batch = &PredictBatchScalar;
+  OneFn one = &PredictOneScalar;
+  /// Bind specialized kernels at snapshot time where the shape matches.
+  bool specialize = false;
+  /// ISA hosting the specialized instantiations (widest usable).
+  InferenceKernel spec_isa = InferenceKernel::kScalar;
+};
+
 const Dispatch& ActiveDispatch() {
   static const Dispatch d = [] {
     Dispatch out;
 #if defined(RSMI_X86_DISPATCH)
     // Hardware-FMA scalar wrappers: bit-identical to the portable
     // kernel (fma is fused either way), only faster — so even the
-    // RSMI_FORCE_SCALAR escape hatch keeps them. The env var pins the
+    // forced-scalar escape hatch keeps them. Forcing scalar pins the
     // *scalar* kernel (no vector unit on the inference path); it does
     // not change the arithmetic.
     if (__builtin_cpu_supports("fma")) {
       out.batch = &PredictBatchScalarFma;
       out.one = &PredictOneScalarFma;
     }
-    if (GetEnvInt64("RSMI_FORCE_SCALAR", 0) != 0) return out;
-    if (CpuHasAvx2Fma()) {
-      out.kind = InferenceKernel::kAvx2;
-      out.batch = &PredictBatchAvx2;
-      out.one = &PredictOneScalarFma;  // bit-identical to any AVX2 lane
+#endif
+    const ForcedKernel forced = ForcedKernelFromEnv();
+    if (forced == ForcedKernel::kScalar) return out;
+    // Widest generic kernel the request and machine allow; unavailable
+    // requests fall back down the chain (avx512 -> avx2 -> scalar).
+    InferenceKernel width = InferenceKernel::kScalar;
+    if (Avx2Usable()) width = InferenceKernel::kAvx2;
+    if (Avx512Usable() && forced != ForcedKernel::kAvx2)
+      width = InferenceKernel::kAvx512;
+    if (width == InferenceKernel::kAvx512) {
+      out.kind = width;
+      out.batch = kernels::GenericAvx512();
+    } else if (width == InferenceKernel::kAvx2) {
+      out.kind = width;
+      out.batch = kernels::GenericAvx2();
+    }
+#if defined(RSMI_X86_DISPATCH)
+    if (width != InferenceKernel::kScalar) {
+      out.one = &PredictOneScalarFma;  // bit-identical to any SIMD lane
     }
 #endif
+    // Forcing a generic SIMD kernel disables shape specialization so
+    // the forced path is what actually runs (the CI matrix leans on
+    // this to exercise each generic kernel through the full stack).
+    out.specialize = (forced == ForcedKernel::kNone ||
+                      forced == ForcedKernel::kSpecialized) &&
+                     width != InferenceKernel::kScalar;
+    out.spec_isa = width;
     return out;
   }();
   return d;
@@ -269,24 +169,83 @@ std::string InferenceKernelName(InferenceKernel k) {
       return "scalar";
     case InferenceKernel::kAvx2:
       return "avx2";
+    case InferenceKernel::kAvx512:
+      return "avx512";
+    case InferenceKernel::kSpecialized:
+      return "specialized";
   }
   return "?";
 }
 
 InferenceKernel ActiveInferenceKernel() { return ActiveDispatch().kind; }
 
+std::string ActiveInferenceKernelDescription() {
+  const Dispatch& d = ActiveDispatch();
+  if (d.specialize) {
+    return "specialized+" + InferenceKernelName(d.spec_isa);
+  }
+  return InferenceKernelName(d.kind);
+}
+
 bool InferenceKernelAvailable(InferenceKernel k) {
   switch (k) {
     case InferenceKernel::kScalar:
       return true;
     case InferenceKernel::kAvx2:
-      return CpuHasAvx2Fma();
+      return Avx2Usable();
+    case InferenceKernel::kAvx512:
+      return Avx512Usable();
+    case InferenceKernel::kSpecialized:
+      return Avx2Usable() || Avx512Usable();
   }
   return false;
 }
 
+bool HasSpecializedKernelShape(int input_dim, int hidden_dim) {
+  return kernels::HasSpecializedShape(input_dim, hidden_dim);
+}
+
+namespace kernels {
+
+bool HasSpecializedShape(int in, int hidden) {
+#define RSMI_SPEC_ROW(IN, H) \
+  if (in == IN && hidden == H) return true;
+  RSMI_SPECIALIZED_SHAPES(RSMI_SPEC_ROW)
+#undef RSMI_SPEC_ROW
+  return false;
+}
+
+}  // namespace kernels
+
 void InferenceEngine::AlignedDeleter::operator()(double* p) const {
   ::operator delete[](p, std::align_val_t(64));
+}
+
+void InferenceEngine::BindKernel() {
+  const Dispatch& d = ActiveDispatch();
+  bound_kind_ = d.kind;
+  spec_isa_ = InferenceKernel::kScalar;
+  batch_ = d.batch;
+  one_ = d.one;
+  if (!d.specialize) return;
+  BatchFn spec = nullptr;
+  if (d.spec_isa == InferenceKernel::kAvx512) {
+    spec = kernels::SpecializedAvx512(in_, hidden_);
+  } else if (d.spec_isa == InferenceKernel::kAvx2) {
+    spec = kernels::SpecializedAvx2(in_, hidden_);
+  }
+  if (spec != nullptr) {
+    bound_kind_ = InferenceKernel::kSpecialized;
+    spec_isa_ = d.spec_isa;
+    batch_ = spec;
+  }
+}
+
+std::string InferenceEngine::bound_kernel_name() const {
+  if (bound_kind_ == InferenceKernel::kSpecialized) {
+    return "specialized(" + InferenceKernelName(spec_isa_) + ")";
+  }
+  return InferenceKernelName(bound_kind_);
 }
 
 InferenceEngine::InferenceEngine(int input_dim, int hidden_dim,
@@ -302,6 +261,7 @@ InferenceEngine::InferenceEngine(int input_dim, int hidden_dim,
   std::memcpy(p + h * input_dim, b1, h * sizeof(double));
   std::memcpy(p + h * input_dim + h, w2, h * sizeof(double));
   p[h * input_dim + 2 * h] = b2;
+  BindKernel();
 }
 
 void InferenceEngine::CopyFrom(const InferenceEngine& other) {
@@ -311,6 +271,7 @@ void InferenceEngine::CopyFrom(const InferenceEngine& other) {
   data_.reset(static_cast<double*>(
       ::operator new[](len_ * sizeof(double), std::align_val_t(64))));
   std::memcpy(data_.get(), other.data_.get(), len_ * sizeof(double));
+  BindKernel();  // same shape + same process policy => same binding
 }
 
 InferenceEngine::InferenceEngine(const InferenceEngine& other)
@@ -327,8 +288,8 @@ void InferenceEngine::PredictBatch(const double* xs, size_t n,
                                    double* out) const {
   const size_t h = static_cast<size_t>(hidden_);
   const double* p = data_.get();
-  ActiveDispatch().batch(in_, hidden_, p, p + h * in_, p + h * in_ + h,
-                         p[h * in_ + 2 * h], xs, n, out);
+  batch_(in_, hidden_, p, p + h * in_, p + h * in_ + h, p[h * in_ + 2 * h],
+         xs, n, out);
 }
 
 void InferenceEngine::PredictBatchWithKernel(InferenceKernel k,
@@ -339,21 +300,98 @@ void InferenceEngine::PredictBatchWithKernel(InferenceKernel k,
   const double* b1 = p + h * in_;
   const double* w2 = b1 + h;
   const double b2 = p[h * in_ + 2 * h];
-#if defined(RSMI_X86_DISPATCH)
-  if (k == InferenceKernel::kAvx2 && CpuHasAvx2Fma()) {
-    PredictBatchAvx2(in_, hidden_, p, b1, w2, b2, xs, n, out);
-    return;
+  BatchFn fn = nullptr;
+  switch (k) {
+    case InferenceKernel::kScalar:
+      break;
+    case InferenceKernel::kAvx2:
+      if (Avx2Usable()) fn = kernels::GenericAvx2();
+      break;
+    case InferenceKernel::kAvx512:
+      if (Avx512Usable()) fn = kernels::GenericAvx512();
+      break;
+    case InferenceKernel::kSpecialized:
+      if (Avx512Usable()) fn = kernels::SpecializedAvx512(in_, hidden_);
+      if (fn == nullptr && Avx2Usable())
+        fn = kernels::SpecializedAvx2(in_, hidden_);
+      break;
   }
-#endif
-  (void)k;
-  PredictBatchScalar(in_, hidden_, p, b1, w2, b2, xs, n, out);
+  if (fn == nullptr) fn = &PredictBatchScalar;
+  fn(in_, hidden_, p, b1, w2, b2, xs, n, out);
 }
 
 double InferenceEngine::Predict(const double* features) const {
   const size_t h = static_cast<size_t>(hidden_);
   const double* p = data_.get();
-  return ActiveDispatch().one(in_, hidden_, p, p + h * in_, p + h * in_ + h,
-                              p[h * in_ + 2 * h], features);
+  return one_(in_, hidden_, p, p + h * in_, p + h * in_ + h,
+              p[h * in_ + 2 * h], features);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-chunk width autotuner for the fused descents.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+size_t AutotuneChunkWidth() {
+  // Representative hot shape: the RSMI leaf model (in=2, hidden=51).
+  constexpr int kIn = 2;
+  constexpr int kHidden = 51;
+  std::vector<double> w1(static_cast<size_t>(kHidden) * kIn);
+  std::vector<double> b1(kHidden), w2(kHidden);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    // xorshift64*: deterministic pseudo-weights in [-1, 1).
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const uint64_t z = state * 0x2545f4914f6cdd1dull;
+    return static_cast<double>(z >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+  };
+  for (double& w : w1) w = next();
+  for (double& b : b1) b = next();
+  for (double& w : w2) w = next();
+  const InferenceEngine engine(kIn, kHidden, w1.data(), b1.data(), w2.data(),
+                               next());
+
+  constexpr size_t kSamples = 4096;
+  std::vector<double> xs(kSamples * kIn);
+  for (double& x : xs) x = next();
+  std::vector<double> out(kSamples);
+
+  constexpr size_t kCandidates[] = {128, 256, 512, 1024};
+  size_t best = kCandidates[1];
+  double best_us = std::numeric_limits<double>::infinity();
+  for (const size_t cand : kCandidates) {
+    double us = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      for (size_t s = 0; s < kSamples; s += cand) {
+        const size_t m = std::min(cand, kSamples - s);
+        engine.PredictBatch(xs.data() + s * kIn, m, out.data() + s);
+      }
+      us = std::min(us, timer.ElapsedMicros());
+    }
+    if (us < best_us) {
+      best_us = us;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t BatchDescentChunkWidth() {
+  static const size_t width = [] {
+    const int64_t forced = GetEnvInt64("RSMI_BATCH_CHUNK", 0);
+    if (forced > 0) {
+      return static_cast<size_t>(
+          std::min<int64_t>(std::max<int64_t>(forced, 16), 1 << 20));
+    }
+    return AutotuneChunkWidth();
+  }();
+  return width;
 }
 
 }  // namespace rsmi

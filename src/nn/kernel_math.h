@@ -1,0 +1,92 @@
+#ifndef RSMI_NN_KERNEL_MATH_H_
+#define RSMI_NN_KERNEL_MATH_H_
+
+// The *algorithm* shared by every inference kernel: the exact IEEE-754
+// operation sequence of the MLP forward pass (explicit FMA plus a
+// Cephes-style rational exp). Kernels (scalar, AVX2, AVX-512, and the
+// shape-specialized instantiations) are *schedules* of this algorithm —
+// they may reorder samples, block them, or widen lanes, but every lane
+// executes this op sequence unchanged, which is what keeps all dispatch
+// paths bit-identical (tests/inference_engine_test.cc asserts it).
+//
+// std::exp cannot be used here: libm implementations differ across
+// platforms and cannot be mirrored lane-for-lane in SIMD, which would
+// break the build-time / query-time reproducibility the learned index
+// depends on. The rational approximation below is the classic Cephes
+// expm-style kernel (~1 ulp over the clamped range).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RSMI_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define RSMI_ALWAYS_INLINE inline
+#endif
+
+namespace rsmi {
+namespace nn_math {
+
+constexpr double kExpClamp = 708.0;  // keeps 2^n finite and normal
+constexpr double kLog2E = 1.44269504088896340736;
+constexpr double kLn2Hi = 6.93145751953125e-1;
+constexpr double kLn2Lo = 1.42860682030941723212e-6;
+constexpr double kExpP0 = 1.26177193074810590878e-4;
+constexpr double kExpP1 = 3.02994407707441961300e-2;
+constexpr double kExpP2 = 9.99999999999999999910e-1;
+constexpr double kExpQ0 = 3.00198505138664455042e-6;
+constexpr double kExpQ1 = 2.52448340349684104192e-3;
+constexpr double kExpQ2 = 2.27265548208155028766e-1;
+constexpr double kExpQ3 = 2.00000000000000000005e0;
+
+RSMI_ALWAYS_INLINE double FastExp(double x) {
+  x = std::min(kExpClamp, std::max(-kExpClamp, x));
+  const double n = std::floor(std::fma(x, kLog2E, 0.5));
+  double r = std::fma(n, -kLn2Hi, x);
+  r = std::fma(n, -kLn2Lo, r);
+  const double rr = r * r;
+  const double p = r * std::fma(rr, std::fma(rr, kExpP0, kExpP1), kExpP2);
+  const double q =
+      std::fma(rr, std::fma(rr, std::fma(rr, kExpQ0, kExpQ1), kExpQ2), kExpQ3);
+  const double e = std::fma(2.0, p / (q - p), 1.0);
+  // 2^n via exponent bits; n is in [-1021, 1022] after the clamp.
+  const uint64_t bits = static_cast<uint64_t>(static_cast<int64_t>(n) + 1023)
+                        << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return e * scale;
+}
+
+RSMI_ALWAYS_INLINE double FastSigmoid(double a) {
+  return 1.0 / (1.0 + FastExp(-a));
+}
+
+RSMI_ALWAYS_INLINE double PredictOneImpl(int in, int hidden, const double* w1,
+                                         const double* b1, const double* w2,
+                                         double b2, const double* f) {
+  double acc = b2;
+  for (int j = 0; j < hidden; ++j) {
+    double a = b1[j];
+    const double* wrow = w1 + static_cast<size_t>(j) * in;
+    for (int i = 0; i < in; ++i) a = std::fma(wrow[i], f[i], a);
+    acc = std::fma(w2[j], FastSigmoid(a), acc);
+  }
+  return acc;
+}
+
+RSMI_ALWAYS_INLINE void PredictBatchImpl(int in, int hidden, const double* w1,
+                                         const double* b1, const double* w2,
+                                         double b2, const double* xs, size_t n,
+                                         double* out) {
+  for (size_t s = 0; s < n; ++s) {
+    out[s] = PredictOneImpl(in, hidden, w1, b1, w2, b2, xs + s * in);
+  }
+}
+
+}  // namespace nn_math
+}  // namespace rsmi
+
+#endif  // RSMI_NN_KERNEL_MATH_H_

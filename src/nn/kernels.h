@@ -1,0 +1,53 @@
+#ifndef RSMI_NN_KERNELS_H_
+#define RSMI_NN_KERNELS_H_
+
+// Internal registry of SIMD kernel schedules. The per-ISA translation
+// units (kernels_avx2.cc / kernels_avx512.cc, each compiled with its own
+// -m flags) export their entry points through these lookups; on builds
+// or targets where an ISA is unavailable the lookups return null and the
+// dispatcher in inference_engine.cc falls back down the chain. Nothing
+// outside src/nn/ includes this header.
+
+#include <cstddef>
+
+namespace rsmi {
+namespace kernels {
+
+/// Batched forward pass: (in, hidden, w1, b1, w2, b2, xs, n, out).
+using BatchFn = void (*)(int, int, const double*, const double*, const double*,
+                         double, const double*, size_t, double*);
+
+// The shapes the hidden-dim rule `(2 + classes) / 2` actually produces
+// with default configs, specialized as fixed-width fully-unrolled
+// instantiations: RSMI leaves (in=2, h=51) and internals for grid order
+// 3/2/1 (h=33/9/3), ZM leaves (in=1, h=50) and internals (h=16). Each
+// X(in, hidden) expands to one template instantiation per ISA plus a
+// row in the lookup tables, so the set is defined exactly once.
+#define RSMI_SPECIALIZED_SHAPES(X) \
+  X(1, 16)                         \
+  X(1, 50)                         \
+  X(2, 3)                          \
+  X(2, 9)                          \
+  X(2, 33)                         \
+  X(2, 51)
+
+/// True if (in, hidden) is in the specialized shape set. Independent of
+/// build flags and CPU — says nothing about whether a specialized
+/// kernel can actually run here.
+bool HasSpecializedShape(int in, int hidden);
+
+/// Generic shape-agnostic kernels, vectorized across the batch
+/// dimension. Null when the build cannot target the ISA (non-x86, or a
+/// toolchain without the per-source -m flags).
+BatchFn GenericAvx2();
+BatchFn GenericAvx512();
+
+/// Shape-specialized fully-unrolled kernels. Null when the shape is not
+/// in the specialized set or the build cannot target the ISA.
+BatchFn SpecializedAvx2(int in, int hidden);
+BatchFn SpecializedAvx512(int in, int hidden);
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#endif  // RSMI_NN_KERNELS_H_

@@ -1,0 +1,113 @@
+// AVX2+FMA kernel schedules. This translation unit is compiled with
+// -mavx2 -mfma (per-source flags in src/CMakeLists.txt) on x86 builds;
+// callers must gate on the runtime cpuid check in inference_engine.cc
+// before invoking anything returned from here. On targets where the
+// flags are absent the lookups return null and the dispatcher falls
+// back down the chain.
+
+#include "nn/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "nn/kernels_simd_body.h"
+
+namespace rsmi {
+namespace kernels {
+namespace {
+
+struct V4 {
+  using Vec = __m256d;
+  static constexpr int kBlocks = 2;
+  static constexpr size_t kWidth = 4;
+  static RSMI_ALWAYS_INLINE Vec Load(const double* p) {
+    return _mm256_loadu_pd(p);
+  }
+  static RSMI_ALWAYS_INLINE void Store(double* p, Vec v) {
+    _mm256_storeu_pd(p, v);
+  }
+  static RSMI_ALWAYS_INLINE Vec Set1(double x) { return _mm256_set1_pd(x); }
+  static RSMI_ALWAYS_INLINE Vec Min(Vec a, Vec b) {
+    return _mm256_min_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Max(Vec a, Vec b) {
+    return _mm256_max_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Floor(Vec a) { return _mm256_floor_pd(a); }
+  static RSMI_ALWAYS_INLINE Vec Fmadd(Vec a, Vec b, Vec c) {
+    return _mm256_fmadd_pd(a, b, c);
+  }
+  static RSMI_ALWAYS_INLINE Vec Fmsub(Vec a, Vec b, Vec c) {
+    return _mm256_fmsub_pd(a, b, c);
+  }
+  static RSMI_ALWAYS_INLINE Vec Mul(Vec a, Vec b) {
+    return _mm256_mul_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Add(Vec a, Vec b) {
+    return _mm256_add_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Sub(Vec a, Vec b) {
+    return _mm256_sub_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Div(Vec a, Vec b) {
+    return _mm256_div_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Neg(Vec a) {
+    return _mm256_xor_pd(a, _mm256_set1_pd(-0.0));
+  }
+  // 2^n via exponent bits, mirroring the scalar path. n is integral and
+  // within int32 range, so the (round-to-nearest) cvt is exact.
+  static RSMI_ALWAYS_INLINE Vec Exp2FromN(Vec n) {
+    const __m128i n32 = _mm256_cvtpd_epi32(n);
+    const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+    const __m256i bits =
+        _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+    return _mm256_castsi256_pd(bits);
+  }
+  // e * 2^n (n integral, product normal): exact either way, so the
+  // exponent-bits multiply matches vscalefpd bit-for-bit.
+  static RSMI_ALWAYS_INLINE Vec ScaleByExp2(Vec e, Vec n) {
+    return _mm256_mul_pd(e, Exp2FromN(n));
+  }
+  static RSMI_ALWAYS_INLINE void LoadPoints2(const double* p, Vec* xv,
+                                             Vec* yv) {
+    const Vec v0 = _mm256_loadu_pd(p);      // x0 y0 x1 y1
+    const Vec v1 = _mm256_loadu_pd(p + 4);  // x2 y2 x3 y3
+    *xv = _mm256_unpacklo_pd(v0, v1);       // x0 x2 x1 x3
+    *yv = _mm256_unpackhi_pd(v0, v1);       // y0 y2 y1 y3
+  }
+  // Undo the unpack permutation (lanes are o0 o2 o1 o3).
+  static RSMI_ALWAYS_INLINE void StorePoints2(double* p, Vec acc) {
+    _mm256_storeu_pd(p, _mm256_permute4x64_pd(acc, _MM_SHUFFLE(3, 1, 2, 0)));
+  }
+};
+
+}  // namespace
+
+BatchFn GenericAvx2() { return &GenericBatch<V4>; }
+
+BatchFn SpecializedAvx2(int in, int hidden) {
+#define RSMI_SPEC_ROW(IN, H) \
+  if (in == IN && hidden == H) return &SpecBatch<V4, IN, H>;
+  RSMI_SPECIALIZED_SHAPES(RSMI_SPEC_ROW)
+#undef RSMI_SPEC_ROW
+  return nullptr;
+}
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#else  // ISA unavailable in this build
+
+namespace rsmi {
+namespace kernels {
+
+BatchFn GenericAvx2() { return nullptr; }
+BatchFn SpecializedAvx2(int /*in*/, int /*hidden*/) { return nullptr; }
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#endif

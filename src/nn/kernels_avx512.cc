@@ -1,0 +1,118 @@
+// AVX-512 kernel schedules (8 doubles per vector). This translation
+// unit is compiled with -mavx512f -mavx512dq (per-source flags in
+// src/CMakeLists.txt) on x86 builds; callers must gate on the runtime
+// cpuid check in inference_engine.cc before invoking anything returned
+// from here. _mm512_xor_pd needs AVX512DQ, hence the dual requirement.
+
+#include "nn/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX512F__) && \
+    defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include "nn/kernels_simd_body.h"
+
+namespace rsmi {
+namespace kernels {
+namespace {
+
+struct V8 {
+  using Vec = __m512d;
+  static constexpr int kBlocks = 4;
+  static constexpr size_t kWidth = 8;
+  static RSMI_ALWAYS_INLINE Vec Load(const double* p) {
+    return _mm512_loadu_pd(p);
+  }
+  static RSMI_ALWAYS_INLINE void Store(double* p, Vec v) {
+    _mm512_storeu_pd(p, v);
+  }
+  static RSMI_ALWAYS_INLINE Vec Set1(double x) { return _mm512_set1_pd(x); }
+  static RSMI_ALWAYS_INLINE Vec Min(Vec a, Vec b) {
+    return _mm512_min_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Max(Vec a, Vec b) {
+    return _mm512_max_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Floor(Vec a) {
+    return _mm512_roundscale_pd(a, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  }
+  static RSMI_ALWAYS_INLINE Vec Fmadd(Vec a, Vec b, Vec c) {
+    return _mm512_fmadd_pd(a, b, c);
+  }
+  static RSMI_ALWAYS_INLINE Vec Fmsub(Vec a, Vec b, Vec c) {
+    return _mm512_fmsub_pd(a, b, c);
+  }
+  static RSMI_ALWAYS_INLINE Vec Mul(Vec a, Vec b) {
+    return _mm512_mul_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Add(Vec a, Vec b) {
+    return _mm512_add_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Sub(Vec a, Vec b) {
+    return _mm512_sub_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Div(Vec a, Vec b) {
+    return _mm512_div_pd(a, b);
+  }
+  static RSMI_ALWAYS_INLINE Vec Neg(Vec a) {
+    return _mm512_xor_pd(a, _mm512_set1_pd(-0.0));
+  }
+  // 2^n via exponent bits, mirroring the scalar path. n is integral and
+  // within int32 range, so the (round-to-nearest) cvt is exact.
+  static RSMI_ALWAYS_INLINE Vec Exp2FromN(Vec n) {
+    const __m256i n32 = _mm512_cvtpd_epi32(n);
+    const __m512i n64 = _mm512_cvtepi32_epi64(n32);
+    const __m512i bits =
+        _mm512_slli_epi64(_mm512_add_epi64(n64, _mm512_set1_epi64(1023)), 52);
+    return _mm512_castsi512_pd(bits);
+  }
+  // One vscalefpd replaces the cvt/add/shift/mul exponent-bits chain:
+  // e * 2^n with n integral and the product normal is exact, so both
+  // formulations produce the identical double.
+  static RSMI_ALWAYS_INLINE Vec ScaleByExp2(Vec e, Vec n) {
+    return _mm512_scalef_pd(e, n);
+  }
+  // vpermt2pd deinterleaves into natural lane order, so no store-side
+  // fixup is needed (unlike the AVX2 unpack trick).
+  static RSMI_ALWAYS_INLINE void LoadPoints2(const double* p, Vec* xv,
+                                             Vec* yv) {
+    const Vec v0 = _mm512_loadu_pd(p);      // x0 y0 .. x3 y3
+    const Vec v1 = _mm512_loadu_pd(p + 8);  // x4 y4 .. x7 y7
+    const __m512i idx_x = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m512i idx_y = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+    *xv = _mm512_permutex2var_pd(v0, idx_x, v1);  // x0 .. x7
+    *yv = _mm512_permutex2var_pd(v0, idx_y, v1);  // y0 .. y7
+  }
+  static RSMI_ALWAYS_INLINE void StorePoints2(double* p, Vec acc) {
+    _mm512_storeu_pd(p, acc);
+  }
+};
+
+}  // namespace
+
+BatchFn GenericAvx512() { return &GenericBatch<V8>; }
+
+BatchFn SpecializedAvx512(int in, int hidden) {
+#define RSMI_SPEC_ROW(IN, H) \
+  if (in == IN && hidden == H) return &SpecBatch<V8, IN, H>;
+  RSMI_SPECIALIZED_SHAPES(RSMI_SPEC_ROW)
+#undef RSMI_SPEC_ROW
+  return nullptr;
+}
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#else  // ISA unavailable in this build
+
+namespace rsmi {
+namespace kernels {
+
+BatchFn GenericAvx512() { return nullptr; }
+BatchFn SpecializedAvx512(int /*in*/, int /*hidden*/) { return nullptr; }
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#endif

@@ -1,0 +1,232 @@
+#ifndef RSMI_NN_KERNELS_SIMD_BODY_H_
+#define RSMI_NN_KERNELS_SIMD_BODY_H_
+
+// Shared SIMD *schedules* of the kernel algorithm (nn/kernel_math.h),
+// templated over an ISA traits struct `V` (__m256d or __m512d ops).
+// Include only from the per-ISA translation units — the templates are
+// instantiated there, under that file's -m flags. Every lane of every
+// schedule executes the scalar op sequence unchanged; schedules only
+// decide lane width, sample blocking, and unrolling, so bit-identity
+// across kernels holds by construction.
+//
+// Traits contract (all static):
+//   using Vec; kWidth;
+//   Load/Store (kWidth doubles), Set1, Min, Max, Floor, Fmadd (fused),
+//   Mul, Add, Sub, Div, Neg (flip sign bit), Exp2FromN (2^n via
+//   exponent bits for integral n), LoadPoints2 (deinterleave kWidth
+//   interleaved x,y pairs into an x and a y vector, lane order chosen
+//   by the ISA), StorePoints2 (store undoing LoadPoints2's lane order).
+
+#include <cstddef>
+
+#include "nn/kernel_math.h"
+
+#if defined(__clang__)
+#define RSMI_UNROLL_FULL _Pragma("unroll")
+#elif defined(__GNUC__)
+#define RSMI_UNROLL_FULL _Pragma("GCC unroll 64")
+#else
+#define RSMI_UNROLL_FULL
+#endif
+
+namespace rsmi {
+namespace kernels {
+
+template <class V>
+RSMI_ALWAYS_INLINE typename V::Vec FastExpVec(typename V::Vec x) {
+  using nn_math::kExpClamp;
+  using Vec = typename V::Vec;
+  x = V::Min(V::Set1(kExpClamp), V::Max(V::Set1(-kExpClamp), x));
+  const Vec n =
+      V::Floor(V::Fmadd(x, V::Set1(nn_math::kLog2E), V::Set1(0.5)));
+  Vec r = V::Fmadd(n, V::Set1(-nn_math::kLn2Hi), x);
+  r = V::Fmadd(n, V::Set1(-nn_math::kLn2Lo), r);
+  const Vec rr = V::Mul(r, r);
+  const Vec p = V::Mul(
+      r, V::Fmadd(rr,
+                  V::Fmadd(rr, V::Set1(nn_math::kExpP0),
+                           V::Set1(nn_math::kExpP1)),
+                  V::Set1(nn_math::kExpP2)));
+  const Vec q = V::Fmadd(
+      rr,
+      V::Fmadd(rr,
+               V::Fmadd(rr, V::Set1(nn_math::kExpQ0),
+                        V::Set1(nn_math::kExpQ1)),
+               V::Set1(nn_math::kExpQ2)),
+      V::Set1(nn_math::kExpQ3));
+  const Vec e =
+      V::Fmadd(V::Set1(2.0), V::Div(p, V::Sub(q, p)), V::Set1(1.0));
+  return V::Mul(e, V::Exp2FromN(n));
+}
+
+template <class V>
+RSMI_ALWAYS_INLINE typename V::Vec FastSigmoidVec(typename V::Vec a) {
+  return V::Div(V::Set1(1.0),
+                V::Add(V::Set1(1.0), FastExpVec<V>(V::Neg(a))));
+}
+
+// Specialized-schedule sigmoid: computes the exact same doubles as
+// FastSigmoidVec(a) with fewer instructions. Two bit-identical
+// rewrites (each intermediate rounds once on the same real value, so
+// every lane matches the scalar kernel to the last bit):
+//
+//  1. The input negation x = -a is folded away. With the intrinsic
+//     semantics min(a,b) = a<b?a:b / max(a,b) = a>b?a:b, one can show
+//     case-by-case (including NaN pass-through and +-0) that
+//       min(H, max(-H, -a)) == -(max(-H, min(H, a))),
+//     so the clamped negated input is -w for w = Max(-H, Min(H, a)).
+//     The two uses of x then carry the sign in exact constant/operator
+//     form: fma(x, log2e, .5) == fma(w, -log2e, .5)  (sign flip of a
+//     product operand is exact), and fma(n, -ln2hi, x) == n*(-ln2hi) -
+//     w == fmsub(n, -ln2hi, w) (same single-rounded value).
+//  2. The 2^n scaling goes through V::ScaleByExp2: e * 2^n where n is
+//     integral in [-1021, 1022] and e in (0.70, 1.42), so the product
+//     is normal and *exact* — any instruction computing e * 2^n (the
+//     exponent-bits multiply, or one vscalefpd on AVX-512) yields the
+//     identical double.
+template <class V>
+RSMI_ALWAYS_INLINE typename V::Vec FastSigmoidSpec(typename V::Vec a) {
+  using nn_math::kExpClamp;
+  using Vec = typename V::Vec;
+  const Vec w =
+      V::Max(V::Set1(-kExpClamp), V::Min(V::Set1(kExpClamp), a));
+  const Vec n =
+      V::Floor(V::Fmadd(w, V::Set1(-nn_math::kLog2E), V::Set1(0.5)));
+  Vec r = V::Fmsub(n, V::Set1(-nn_math::kLn2Hi), w);
+  r = V::Fmadd(n, V::Set1(-nn_math::kLn2Lo), r);
+  const Vec rr = V::Mul(r, r);
+  const Vec p = V::Mul(
+      r, V::Fmadd(rr,
+                  V::Fmadd(rr, V::Set1(nn_math::kExpP0),
+                           V::Set1(nn_math::kExpP1)),
+                  V::Set1(nn_math::kExpP2)));
+  const Vec q = V::Fmadd(
+      rr,
+      V::Fmadd(rr,
+               V::Fmadd(rr, V::Set1(nn_math::kExpQ0),
+                        V::Set1(nn_math::kExpQ1)),
+               V::Set1(nn_math::kExpQ2)),
+      V::Set1(nn_math::kExpQ3));
+  const Vec e =
+      V::Fmadd(V::Set1(2.0), V::Div(p, V::Sub(q, p)), V::Set1(1.0));
+  const Vec ex = V::ScaleByExp2(e, n);
+  return V::Div(V::Set1(1.0), V::Add(V::Set1(1.0), ex));
+}
+
+// Generic shape-agnostic schedule: one vector of samples in flight,
+// runtime loop over hidden units (the PR-3 AVX2 kernel, now widened to
+// any traits). Input dims other than 1/2 run the scalar kernel.
+template <class V>
+void GenericBatch(int in, int hidden, const double* w1, const double* b1,
+                  const double* w2, double b2, const double* xs, size_t n,
+                  double* out) {
+  constexpr size_t W = V::kWidth;
+  const size_t groups = (in == 1 || in == 2) ? n / W : 0;
+  if (in == 2) {
+    for (size_t g = 0; g < groups; ++g) {
+      typename V::Vec xv, yv;
+      V::LoadPoints2(xs + 2 * W * g, &xv, &yv);
+      typename V::Vec acc = V::Set1(b2);
+      for (int j = 0; j < hidden; ++j) {
+        typename V::Vec a = V::Set1(b1[j]);
+        a = V::Fmadd(V::Set1(w1[2 * j]), xv, a);
+        a = V::Fmadd(V::Set1(w1[2 * j + 1]), yv, a);
+        acc = V::Fmadd(V::Set1(w2[j]), FastSigmoidVec<V>(a), acc);
+      }
+      V::StorePoints2(out + W * g, acc);
+    }
+  } else if (in == 1) {
+    for (size_t g = 0; g < groups; ++g) {
+      const typename V::Vec xv = V::Load(xs + W * g);
+      typename V::Vec acc = V::Set1(b2);
+      for (int j = 0; j < hidden; ++j) {
+        const typename V::Vec a =
+            V::Fmadd(V::Set1(w1[j]), xv, V::Set1(b1[j]));
+        acc = V::Fmadd(V::Set1(w2[j]), FastSigmoidVec<V>(a), acc);
+      }
+      V::Store(out + W * g, acc);
+    }
+  }
+  // Tail (and any input_dim this schedule does not handle): the scalar
+  // kernel is bit-identical, so finishing scalar changes nothing.
+  nn_math::PredictBatchImpl(in, hidden, w1, b1, w2, b2,
+                            xs + groups * W * in, n - groups * W,
+                            out + groups * W);
+}
+
+// One tile of the specialized schedule: exactly kWidth * kBlocks
+// samples, compile-time shape, fully unrolled. Multiple blocks keep
+// several vectors in flight per weight pass, so each w1/b1/w2
+// broadcast is amortized across kBlocks vectors and the long-latency
+// divisions of independent blocks pipeline in the divider.
+template <class V, int kIn, int kHidden, int kBlocks>
+RSMI_ALWAYS_INLINE void SpecTile(const double* w1, const double* b1,
+                                 const double* w2, double b2,
+                                 const double* xs, double* out) {
+  static_assert(kIn == 1 || kIn == 2, "specialized shapes have in = 1 or 2");
+  constexpr size_t W = V::kWidth;
+  typename V::Vec xv[kBlocks], yv[kBlocks], acc[kBlocks];
+  RSMI_UNROLL_FULL
+  for (int t = 0; t < kBlocks; ++t) {
+    const double* base = xs + kIn * W * static_cast<size_t>(t);
+    if constexpr (kIn == 2) {
+      V::LoadPoints2(base, &xv[t], &yv[t]);
+    } else {
+      xv[t] = V::Load(base);
+      yv[t] = xv[t];  // unused; keeps the array fully initialized
+    }
+    acc[t] = V::Set1(b2);
+  }
+  RSMI_UNROLL_FULL
+  for (int j = 0; j < kHidden; ++j) {
+    const typename V::Vec w1x = V::Set1(w1[kIn * j]);
+    const typename V::Vec b1j = V::Set1(b1[j]);
+    const typename V::Vec w2j = V::Set1(w2[j]);
+    RSMI_UNROLL_FULL
+    for (int t = 0; t < kBlocks; ++t) {
+      typename V::Vec a = V::Fmadd(w1x, xv[t], b1j);
+      if constexpr (kIn == 2) {
+        a = V::Fmadd(V::Set1(w1[2 * j + 1]), yv[t], a);
+      }
+      acc[t] = V::Fmadd(w2j, FastSigmoidSpec<V>(a), acc[t]);
+    }
+  }
+  RSMI_UNROLL_FULL
+  for (int t = 0; t < kBlocks; ++t) {
+    double* o = out + W * static_cast<size_t>(t);
+    if constexpr (kIn == 2) {
+      V::StorePoints2(o, acc[t]);
+    } else {
+      V::Store(o, acc[t]);
+    }
+  }
+}
+
+// Shape-specialized schedule: compile-time (kIn, kHidden), two-block
+// main loop, one-block cleanup, scalar tail. Signature matches BatchFn;
+// the runtime dims are ignored (the caller binds the instantiation that
+// matches the engine's shape).
+template <class V, int kIn, int kHidden>
+void SpecBatch(int /*in*/, int /*hidden*/, const double* w1, const double* b1,
+               const double* w2, double b2, const double* xs, size_t n,
+               double* out) {
+  constexpr size_t W = V::kWidth;
+  // Small shapes are latency-bound (few sigmoid chains per pass), so
+  // they carry twice the blocks to keep the divider and FMA pipes fed;
+  // large shapes already expose enough ILP across hidden units.
+  constexpr int kB = kHidden <= 16 ? 2 * V::kBlocks : V::kBlocks;
+  size_t s = 0;
+  for (; s + kB * W <= n; s += kB * W) {
+    SpecTile<V, kIn, kHidden, kB>(w1, b1, w2, b2, xs + kIn * s, out + s);
+  }
+  for (; s + W <= n; s += W) {
+    SpecTile<V, kIn, kHidden, 1>(w1, b1, w2, b2, xs + kIn * s, out + s);
+  }
+  nn_math::PredictBatchImpl(kIn, kHidden, w1, b1, w2, b2, xs + kIn * s,
+                            n - s, out + s);
+}
+
+}  // namespace kernels
+}  // namespace rsmi
+
+#endif  // RSMI_NN_KERNELS_SIMD_BODY_H_

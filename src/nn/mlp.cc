@@ -73,6 +73,10 @@ void Mlp::RebuildEngine() {
                                               b1_.data(), w2_.data(), b2_);
 }
 
+size_t Mlp::SizeBytes() const {
+  return ParameterCount() * sizeof(double) + engine_->SnapshotBytes();
+}
+
 double Mlp::Predict(const double* features) const {
   return engine_->Predict(features);
 }

@@ -108,10 +108,11 @@ class Mlp {
   }
 
   /// In-memory footprint of the model (used for index-size metrics):
-  /// the parameters plus the inference engine's aligned snapshot of
-  /// them (each trained model keeps both — the vectors for training and
-  /// persistence, the flat snapshot for serving).
-  size_t SizeBytes() const { return 2 * ParameterCount() * sizeof(double); }
+  /// the parameter vectors plus the inference engine's aligned snapshot
+  /// of them (each trained model keeps both — the vectors for training
+  /// and persistence, the flat snapshot for serving). Exact: the engine
+  /// reports its actual snapshot length, including alignment padding.
+  size_t SizeBytes() const;
 
   /// Binary persistence (index save/load, io/serializer.h).
   void WriteTo(Serializer& out) const;

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "nn/inference_engine.h"
 #include "server/client.h"
 
 namespace rsmi {
@@ -163,14 +164,14 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
 }
 
 std::string LoadgenReportJson(const LoadgenReport& r) {
-  char buf[640];
+  char buf[704];
   std::snprintf(
       buf, sizeof(buf),
       "{\"target_qps\": %.1f, \"achieved_qps\": %.1f, "
       "\"duration_s\": %.3f, \"sent\": %llu, \"received\": %llu, "
       "\"ok\": %llu, \"not_found\": %llu, \"deadline_exceeded\": %llu, "
       "\"errors\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-      "\"p999_us\": %.1f}",
+      "\"p999_us\": %.1f, \"inference_kernel\": \"%s\"}",
       r.target_qps, r.achieved_qps, r.duration_s,
       static_cast<unsigned long long>(r.sent),
       static_cast<unsigned long long>(r.received),
@@ -178,7 +179,7 @@ std::string LoadgenReportJson(const LoadgenReport& r) {
       static_cast<unsigned long long>(r.not_found),
       static_cast<unsigned long long>(r.deadline_exceeded),
       static_cast<unsigned long long>(r.errors), r.p50_us, r.p99_us,
-      r.p999_us);
+      r.p999_us, ActiveInferenceKernelDescription().c_str());
   return buf;
 }
 

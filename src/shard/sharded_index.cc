@@ -7,10 +7,48 @@
 #include <thread>
 #include <utility>
 
+#include "common/env.h"
 #include "common/group_by.h"
 #include "io/index_container.h"
 
 namespace rsmi {
+namespace {
+
+/// Effective intra-query fan-out width: the environment override wins
+/// over the config (a serving knob an operator flips without a rebuild).
+int ResolveQueryThreads(int cfg_threads) {
+  const int64_t env = GetEnvInt64("RSMI_SHARD_QUERY_THREADS", 0);
+  const int64_t v = env > 0 ? env : cfg_threads;
+  return static_cast<int>(std::min<int64_t>(std::max<int64_t>(v, 1), 256));
+}
+
+/// Runs fn(0..jobs-1) on `workers` threads (atomic work stealing). Each
+/// job writes only its own output slot, so the only shared state is the
+/// counter; a sub-query failure is rethrown on the calling thread.
+void RunShardJobs(size_t jobs, int workers,
+                  const std::function<void(size_t)>& fn) {
+  std::atomic<size_t> next{0};
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (size_t j = next.fetch_add(1); j < jobs; j = next.fetch_add(1)) {
+          fn(j);
+        }
+      } catch (...) {
+        errors[static_cast<size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
 
 ShardedIndex::ShardedIndex(const std::vector<Point>& pts,
                            const ShardedIndexConfig& cfg,
@@ -18,6 +56,7 @@ ShardedIndex::ShardedIndex(const std::vector<Point>& pts,
   ShardPartitionerConfig pcfg = cfg.partition;
   pcfg.num_shards = cfg.num_shards;
   partitioner_ = ShardPartitioner(pts, pcfg);
+  query_threads_ = ResolveQueryThreads(cfg.query_threads);
 
   const size_t k = static_cast<size_t>(partitioner_.num_shards());
   std::vector<std::vector<Point>> parts(k);
@@ -154,11 +193,31 @@ std::vector<Point> ShardedIndex::WindowQuery(const Rect& w,
   if (num_shards() == 1) return shards_[0]->WindowQuery(w, ctx);
   // Fan out to the overlapping shards only: a shard's region bounds all
   // of its points, so non-intersecting shards cannot contribute.
-  std::vector<Point> out;
+  std::vector<size_t> hit;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!regions_[i].Valid() || !regions_[i].Intersects(w)) continue;
-    std::vector<Point> part = shards_[i]->WindowQuery(w, ctx);
-    out.insert(out.end(), part.begin(), part.end());
+    if (regions_[i].Valid() && regions_[i].Intersects(w)) hit.push_back(i);
+  }
+  std::vector<Point> out;
+  const int workers =
+      std::min<int>(query_threads_, static_cast<int>(hit.size()));
+  if (workers <= 1) {
+    for (const size_t i : hit) {
+      std::vector<Point> part = shards_[i]->WindowQuery(w, ctx);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+  // Parallel fan-out: each sub-query charges a private context; merging
+  // contexts and concatenating results in shard order makes the whole
+  // call indistinguishable from the sequential loop above.
+  std::vector<std::vector<Point>> parts(hit.size());
+  std::vector<QueryContext> sub(hit.size());
+  RunShardJobs(hit.size(), workers, [&](size_t j) {
+    parts[j] = shards_[hit[j]]->WindowQuery(w, sub[j]);
+  });
+  for (size_t j = 0; j < hit.size(); ++j) {
+    ctx.MergeFrom(sub[j]);
+    out.insert(out.end(), parts[j].begin(), parts[j].end());
   }
   return out;
 }
@@ -197,11 +256,33 @@ std::vector<Point> ShardedIndex::KnnQuery(const Point& q, size_t k,
     if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
     return a.pt.y < b.pt.y;
   };
+  // Parallel fan-out queries every candidate shard up front (the k-th
+  // distance bound that lets the sequential walk skip far shards only
+  // exists once nearer shards have answered). The merged result is
+  // identical — skipped shards cannot contribute, see the loop's break —
+  // but counted costs include the shards the sequential walk would have
+  // skipped; each sub-query charges a private context, merged at the end.
+  const int workers =
+      std::min<int>(query_threads_, static_cast<int>(order.size()));
+  std::vector<std::vector<Point>> parts;
+  std::vector<QueryContext> sub;
+  if (workers > 1) {
+    parts.resize(order.size());
+    sub.assign(order.size(), QueryContext{});
+    RunShardJobs(order.size(), workers, [&](size_t j) {
+      parts[j] = shards_[order[j].shard]->KnnQuery(q, k, sub[j]);
+    });
+  }
+
   std::vector<Cand> heap;  // max-heap under `farther`
   heap.reserve(k + 1);
-  for (const ShardDist& sd : order) {
+  for (size_t j = 0; j < order.size(); ++j) {
+    const ShardDist& sd = order[j];
     if (heap.size() == k && sd.d2 > heap.front().d2) break;
-    for (const Point& p : shards_[sd.shard]->KnnQuery(q, k, ctx)) {
+    const std::vector<Point> cand = workers > 1
+                                        ? std::move(parts[j])
+                                        : shards_[sd.shard]->KnnQuery(q, k, ctx);
+    for (const Point& p : cand) {
       const Cand c{SquaredDist(p, q), p};
       if (heap.size() < k) {
         heap.push_back(c);
@@ -213,6 +294,7 @@ std::vector<Point> ShardedIndex::KnnQuery(const Point& q, size_t k,
       }
     }
   }
+  for (const QueryContext& s : sub) ctx.MergeFrom(s);
   std::sort(heap.begin(), heap.end(), farther);
   std::vector<Point> out;
   out.reserve(heap.size());
@@ -274,6 +356,9 @@ bool ShardedIndex::SaveTo(Serializer& out) const {
 }
 
 bool ShardedIndex::LoadFrom(Deserializer& in) {
+  // Serving knob, not persisted structure: a loaded index fans out with
+  // whatever the deployment environment asks for.
+  query_threads_ = ResolveQueryThreads(1);
   uint32_t k = 0;
   if (!in.ReadPod(&k)) return false;
   if (k < 1 || k > 4096) {

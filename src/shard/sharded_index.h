@@ -25,6 +25,15 @@ struct ShardedIndexConfig {
   /// Worker threads for the parallel shard build. Shards build
   /// independently, so any thread count produces the same index.
   int build_threads = 1;
+  /// Worker threads for intra-query fan-out: a single window or kNN
+  /// query touching several shards runs the per-shard sub-queries
+  /// concurrently when > 1 (off by default — batch-level parallelism in
+  /// exec/ is usually the better use of cores under load; this helps
+  /// latency of isolated large queries). Results are identical at any
+  /// setting; the RSMI_SHARD_QUERY_THREADS environment variable
+  /// overrides it at runtime. See WindowQuery/KnnQuery for the cost
+  /// accounting caveat.
+  int query_threads = 1;
   /// Partitioner knobs (its num_shards is overridden by `num_shards`).
   ShardPartitionerConfig partition;
 };
@@ -52,7 +61,9 @@ using ShardBuilder = std::function<std::unique_ptr<SpatialIndex>(
 /// whose region intersects the window. kNN fans out best-first over
 /// shard regions sharing one result heap: once k candidates are held, a
 /// shard whose region is farther than the current k-th distance is
-/// skipped entirely.
+/// skipped entirely. Both fan-outs can run their per-shard sub-queries
+/// on a thread pool (`query_threads` / RSMI_SHARD_QUERY_THREADS) with
+/// identical results — see the per-method docs.
 ///
 /// Costs are charged to the caller's QueryContext exactly like any other
 /// index; routing itself is free (an in-memory binary search, like
@@ -76,8 +87,18 @@ class ShardedIndex : public SpatialIndex {
   using SpatialIndex::KnnQuery;
   std::optional<PointEntry> PointQuery(const Point& q,
                                        QueryContext& ctx) const override;
+  /// Fans out to the shards whose region intersects `w`. With
+  /// query_threads > 1 the per-shard sub-queries run concurrently, each
+  /// on its own QueryContext, merged into `ctx` in shard order —
+  /// results and counted costs identical to the sequential fan-out.
   std::vector<Point> WindowQuery(const Rect& w,
                                  QueryContext& ctx) const override;
+  /// Best-first over shard regions sharing one result heap. With
+  /// query_threads > 1 every candidate shard is queried concurrently and
+  /// the per-shard top-k sets are merged in the same region-distance
+  /// order — the *result* is identical, but counted costs can exceed the
+  /// sequential path's, which skips shards already excluded by the k-th
+  /// distance bound (a bound the parallel fan-out cannot know up front).
   std::vector<Point> KnnQuery(const Point& q, size_t k,
                               QueryContext& ctx) const override;
 
@@ -143,6 +164,8 @@ class ShardedIndex : public SpatialIndex {
   }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Effective intra-query fan-out width (config / env, clamped).
+  int query_threads() const { return query_threads_; }
   const SpatialIndex& shard(int i) const {
     return *shards_[static_cast<size_t>(i)];
   }
@@ -167,6 +190,10 @@ class ShardedIndex : public SpatialIndex {
   std::vector<std::unique_ptr<SpatialIndex>> shards_;
   std::vector<Rect> regions_;
   size_t live_points_ = 0;
+  /// Intra-query fan-out width (1 = sequential). Loaded indices resolve
+  /// it from the environment in LoadFrom (it is a serving knob, not part
+  /// of the persisted structure).
+  int query_threads_ = 1;
   /// Legacy-aggregate sink (no data blocks; see block_store()).
   BlockStore store_{0};
   // Descent-weighted avg-depth aggregate fed from finished contexts

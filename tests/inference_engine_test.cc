@@ -1,8 +1,9 @@
-// Inference-engine parity: every dispatch path (portable scalar, AVX2
-// when the CPU has it) must produce results within 1 ULP of the scalar
-// reference across random weights and inputs — by construction the
-// kernels share one IEEE op sequence, so the tests actually observe
-// 0 ULP — and Mlp::Predict / Mlp::PredictBatch must agree bit-for-bit.
+// Inference-engine parity: every dispatch path (portable scalar,
+// generic AVX2 / AVX-512 when the CPU has them, and the shape-specialized
+// kernels) must produce results within 1 ULP of the scalar reference
+// across random weights and inputs — by construction the kernels share
+// one IEEE op sequence, so the tests actually observe 0 ULP — and
+// Mlp::Predict / Mlp::PredictBatch must agree bit-for-bit.
 // That invariant is what lets the batched descents retrace the exact
 // structure the build produced (see nn/inference_engine.h).
 #include "nn/inference_engine.h"
@@ -41,10 +42,15 @@ struct Shape {
   int hidden;
 };
 
-/// The sub-model shapes the indices actually instantiate (RSMI leaf,
-/// RSMI internal, ZM leaf, ZM internal) plus a generic-width one that
-/// exercises the non-specialized kernel path.
-const Shape kShapes[] = {{2, 51}, {2, 9}, {1, 50}, {1, 16}, {3, 7}};
+/// Every specialized sub-model shape the indices instantiate (RSMI
+/// leaf, RSMI internals at grid orders 3/2/1, ZM leaf, ZM internal)
+/// plus a generic-width one that exercises the non-specialized path.
+const Shape kShapes[] = {{2, 51}, {2, 33}, {2, 9}, {2, 3},
+                         {1, 50}, {1, 16}, {3, 7}};
+
+const InferenceKernel kAllKernels[] = {
+    InferenceKernel::kScalar, InferenceKernel::kAvx2,
+    InferenceKernel::kAvx512, InferenceKernel::kSpecialized};
 
 InferenceEngine RandomEngine(const Shape& s, uint64_t seed, double scale) {
   Rng rng(seed);
@@ -79,14 +85,15 @@ TEST(InferenceEngineTest, EveryDispatchPathMatchesScalarWithinOneUlp) {
       const auto engine =
           RandomEngine(s, 1000 + s.hidden + static_cast<uint64_t>(scale),
                        scale);
-      const size_t n = 257;  // odd: exercises the SIMD tail
+      const size_t n = 257;  // odd: exercises every SIMD tail width
       const auto xs =
           RandomInputs(s.in, n, 77 + static_cast<uint64_t>(scale));
       std::vector<double> ref(n);
       engine.PredictBatchWithKernel(InferenceKernel::kScalar, xs.data(), n,
                                     ref.data());
-      for (const InferenceKernel k :
-           {InferenceKernel::kScalar, InferenceKernel::kAvx2}) {
+      for (const InferenceKernel k : kAllKernels) {
+        // kSpecialized silently falls back to scalar for non-member
+        // shapes — still a valid parity check of the fallback.
         if (!InferenceKernelAvailable(k)) continue;
         std::vector<double> got(n, -1e300);
         engine.PredictBatchWithKernel(k, xs.data(), n, got.data());
@@ -97,6 +104,74 @@ TEST(InferenceEngineTest, EveryDispatchPathMatchesScalarWithinOneUlp) {
               << " sample=" << i << " ref=" << ref[i] << " got=" << got[i];
         }
       }
+    }
+  }
+}
+
+TEST(InferenceEngineTest, BoundKernelFollowsShapeSetAndPolicy) {
+  // The engine binds its kernel once at snapshot time: specialized iff
+  // the process policy specializes (not forced to a generic kernel) AND
+  // the shape has an instantiation; otherwise the process-wide generic
+  // kernel. Phrased against the active policy so the whole suite stays
+  // green under any RSMI_FORCE_KERNEL (the CI matrix runs it that way).
+  const bool spec_policy =
+      ActiveInferenceKernelDescription().rfind("specialized", 0) == 0;
+  for (const Shape& s : kShapes) {
+    const auto engine = RandomEngine(s, 11 + s.hidden, 8.0);
+    const bool expect_spec =
+        spec_policy && HasSpecializedKernelShape(s.in, s.hidden);
+    EXPECT_EQ(engine.bound_kernel() == InferenceKernel::kSpecialized,
+              expect_spec)
+        << "in=" << s.in << " hidden=" << s.hidden
+        << " bound=" << engine.bound_kernel_name();
+    if (!expect_spec) {
+      EXPECT_EQ(engine.bound_kernel(), ActiveInferenceKernel())
+          << "in=" << s.in << " hidden=" << s.hidden;
+      EXPECT_EQ(engine.bound_kernel_name(),
+                InferenceKernelName(ActiveInferenceKernel()));
+    } else {
+      EXPECT_EQ(engine.bound_kernel_name().rfind("specialized(", 0), 0u)
+          << engine.bound_kernel_name();
+    }
+    // A copy re-binds under the same policy: identical binding.
+    const InferenceEngine copy = engine;
+    EXPECT_EQ(copy.bound_kernel(), engine.bound_kernel());
+  }
+  // Membership of the production shape set is a build invariant.
+  EXPECT_TRUE(HasSpecializedKernelShape(2, 51));
+  EXPECT_TRUE(HasSpecializedKernelShape(2, 33));
+  EXPECT_TRUE(HasSpecializedKernelShape(2, 9));
+  EXPECT_TRUE(HasSpecializedKernelShape(2, 3));
+  EXPECT_TRUE(HasSpecializedKernelShape(1, 50));
+  EXPECT_TRUE(HasSpecializedKernelShape(1, 16));
+  EXPECT_FALSE(HasSpecializedKernelShape(3, 7));
+}
+
+TEST(InferenceEngineTest, RetrainedModelKeepsKernelParity) {
+  // Training replaces the weights and re-snapshots the engine (as leaf
+  // retraining after heavy updates does); the fresh binding must keep
+  // every dispatch path on the new weights bit-identical.
+  const size_t n = 300;
+  std::vector<double> x(2 * n);
+  std::vector<double> y(n);
+  Rng rng(19);
+  for (size_t i = 0; i < n; ++i) {
+    x[2 * i] = rng.Uniform(-1.0, 1.0);
+    x[2 * i + 1] = rng.Uniform(-1.0, 1.0);
+    y[i] = 0.5 * x[2 * i] * x[2 * i + 1] + 0.5;
+  }
+  Mlp mlp(2, 51, /*seed=*/3, /*init_scale=*/24.0);  // specialized shape
+  MlpTrainConfig tc;
+  tc.epochs = 25;
+  for (int round = 0; round < 2; ++round) {
+    mlp.Train(x, y, tc);  // twice: initial fit, then a retrain
+    const size_t m = 131;  // odd tail again
+    const auto xs = RandomInputs(2, m, 23 + static_cast<uint64_t>(round));
+    std::vector<double> batch(m);
+    mlp.PredictBatch(xs.data(), m, batch.data());
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(UlpDistance(mlp.Predict(&xs[2 * i]), batch[i]), 0u)
+          << "round=" << round << " sample=" << i;
     }
   }
 }

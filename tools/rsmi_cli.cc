@@ -42,6 +42,7 @@
 #include "data/io.h"
 #include "data/workloads.h"
 #include "io/index_container.h"
+#include "nn/inference_engine.h"
 #include "server/client.h"
 #include "server/loadgen.h"
 #include "server/spatial_server.h"
@@ -334,6 +335,7 @@ int CmdInfo(const Flags& flags, const std::string& positional) {
   std::printf("payload_crc  %08x\n", info.payload_crc);
   std::printf("file_bytes   %llu\n",
               static_cast<unsigned long long>(info.file_bytes));
+  std::printf("kernel       %s\n", ActiveInferenceKernelDescription().c_str());
   return 0;
 }
 
@@ -347,6 +349,7 @@ int CmdStats(const Flags& flags) {
   std::printf("height      %d\n", st.height);
   std::printf("models      %zu\n", st.num_models);
   std::printf("size_mb     %.3f\n", st.size_bytes / 1048576.0);
+  std::printf("kernel      %s\n", ActiveInferenceKernelDescription().c_str());
   if (const RsmiIndex* rsmi = UnwrapRsmi(index.get())) {
     std::printf("blocks      %zu\n", rsmi->block_store().NumBlocks());
     std::printf("err_bounds  (%d, %d)\n", rsmi->MaxErrBelow(),
