@@ -1,0 +1,104 @@
+// Mixed read/write serving cells: the same BatchQueryEngine workload at
+// several write fractions, run twice per shape — once with buffered
+// (delta + epoch) writes that run concurrently with the readers, once
+// with immediate writes that take the engine's exclusive writer lock.
+// The delta-buffered column is the payoff of the epoch machinery: read
+// p99 should stay near the read-only baseline as the write fraction
+// grows, while the exclusive-writer column degrades. Each iteration
+// builds a fresh index (updates mutate it), so cells run Iterations(1)
+// like the build benches. tools/check_bench_regression.py --updates
+// records the buffered-vs-exclusive read-p99 ratio from this JSON
+// (non-gating).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/batch_query_engine.h"
+
+namespace rsmi {
+namespace bench {
+namespace {
+
+const std::vector<double> kWriteFracs = {0.0, 0.1, 0.3};
+const std::vector<int> kEngineThreadSweep = {1, 4};
+
+double NumCpus() {
+  return static_cast<double>(std::thread::hardware_concurrency());
+}
+
+void MixedUpdateBench(benchmark::State& state, const std::string& spec,
+                      int threads, double write_frac, bool buffered) {
+  const Scale& sc = GetScale();
+  const size_t n = sc.default_n;
+  const auto& data = Context::Get().Dataset(Distribution::kUniform, n);
+  WorkloadMix mix;
+  mix.k = kDefaultK;
+  mix.window_area = kDefaultWindowArea;
+  mix.write_frac = write_frac;
+  mix.buffered_writes = buffered;
+  const auto ops = BuildMixedWorkload(data, std::min(sc.point_queries, n),
+                                      mix, kQuerySeed);
+
+  BatchQueryEngine engine(threads);
+  BatchQueryStats st;
+  for (auto _ : state) {
+    // Fresh index per iteration: the write mix mutates it, and a cell
+    // must not measure an index grown by the previous iteration. The
+    // signal lives in the counters (engine-measured), not the iteration
+    // time, which includes this rebuild.
+    auto index = MakeIndexFromSpec(spec, data, BuildConfig());
+    st = engine.Run(*index, ops);
+  }
+  state.counters["throughput_qps"] = st.throughput_qps;
+  state.counters["p50_us"] = st.p50_us;
+  state.counters["p99_us"] = st.p99_us;
+  state.counters["p99_read_us"] = st.p99_read_us;
+  state.counters["writes"] = static_cast<double>(st.writes);
+  state.counters["write_frac"] = write_frac;
+  state.counters["buffered"] = buffered ? 1.0 : 0.0;
+  state.counters["threads"] = threads;
+  state.counters["num_cpus"] = NumCpus();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsmi
+
+int main(int argc, char** argv) {
+  using namespace rsmi;
+  using namespace rsmi::bench;
+  const std::string spec = "sharded<4>:rsmi";
+  for (int t : kEngineThreadSweep) {
+    for (double wf : kWriteFracs) {
+      char frac[16];
+      std::snprintf(frac, sizeof(frac), "%02d", static_cast<int>(wf * 100));
+      const std::string suffix =
+          "/w" + std::string(frac) + "/t" + std::to_string(t);
+      RegisterNamed("MixedUpdates/Buffered" + suffix,
+                    [spec, t, wf](benchmark::State& s) {
+                      MixedUpdateBench(s, spec, t, wf, /*buffered=*/true);
+                    })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+      // The write_frac=0 exclusive cell would measure the identical
+      // read-only path twice; one baseline column is enough.
+      if (wf == 0.0) continue;
+      RegisterNamed("MixedUpdates/Exclusive" + suffix,
+                    [spec, t, wf](benchmark::State& s) {
+                      MixedUpdateBench(s, spec, t, wf, /*buffered=*/false);
+                    })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -219,8 +219,8 @@ class RsmiView : public SpatialIndex {
                        std::optional<PointEntry>* out) const override {
     impl_->PointQueryBatch(qs, n, ctxs, out);
   }
-  void Insert(const Point& p) override { impl_->Insert(p); }
-  bool Delete(const Point& p) override { return impl_->Delete(p); }
+  void InsertOne(const Point& p) override { impl_->Insert(p); }
+  bool DeleteOne(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override { return impl_->Stats(); }
   void AggregateQueryContext(const QueryContext& ctx) const override {
     impl_->AggregateQueryContext(ctx);

@@ -120,8 +120,8 @@ class RsmiaView : public SpatialIndex {
                        std::optional<PointEntry>* out) const override {
     impl_->PointQueryBatch(qs, n, ctxs, out);
   }
-  void Insert(const Point& p) override { impl_->Insert(p); }
-  bool Delete(const Point& p) override { return impl_->Delete(p); }
+  void InsertOne(const Point& p) override { impl_->Insert(p); }
+  bool DeleteOne(const Point& p) override { return impl_->Delete(p); }
   IndexStats Stats() const override {
     IndexStats s = impl_->Stats();
     s.name = Name();

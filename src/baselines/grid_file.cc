@@ -170,7 +170,7 @@ std::vector<Point> GridFile::KnnQuery(const Point& q, size_t k,
   return out;
 }
 
-void GridFile::Insert(const Point& p) {
+void GridFile::InsertOne(const Point& p) {
   // "Grid adds a new point p to the last block in the cell enclosing p"
   // (Section 6.2.5).
   QueryContext ctx;
@@ -189,7 +189,7 @@ void GridFile::Insert(const Point& p) {
   AggregateQueryContext(ctx);
 }
 
-bool GridFile::Delete(const Point& p) {
+bool GridFile::DeleteOne(const Point& p) {
   QueryContext ctx;
   bool removed = false;
   for (int id : cells_[CellOf(p)]) {

@@ -213,7 +213,7 @@ std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k,
   return out;
 }
 
-void HrrTree::Insert(const Point& p) {
+void HrrTree::InsertOne(const Point& p) {
   // Dynamic insert with least-enlargement descent on the original MBRs.
   // The rank mapping stays frozen: the point receives half-integer ranks
   // (its position between the frozen build ranks), which extend the rank
@@ -335,7 +335,7 @@ void HrrTree::Insert(const Point& p) {
   AggregateQueryContext(ctx);
 }
 
-bool HrrTree::Delete(const Point& p) {
+bool HrrTree::DeleteOne(const Point& p) {
   QueryContext ctx;
   std::vector<Node*> stack = {root_.get()};
   while (!stack.empty()) {

@@ -438,7 +438,7 @@ std::unique_ptr<KdbTree::Node> KdbTree::InsertRec(Node* node, const Point& p,
   return nullptr;
 }
 
-void KdbTree::Insert(const Point& p) {
+void KdbTree::InsertOne(const Point& p) {
   QueryContext ctx;
   auto sibling = InsertRec(root_.get(), p, ctx);
   if (sibling != nullptr) {
@@ -454,7 +454,7 @@ void KdbTree::Insert(const Point& p) {
   AggregateQueryContext(ctx);
 }
 
-bool KdbTree::Delete(const Point& p) {
+bool KdbTree::DeleteOne(const Point& p) {
   QueryContext ctx;
   Node* cur = root_.get();
   while (cur != nullptr && !cur->leaf) {

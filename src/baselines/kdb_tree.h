@@ -43,8 +43,8 @@ class KdbTree : public SpatialIndex {
                                  QueryContext& ctx) const override;
   std::vector<Point> KnnQuery(const Point& q, size_t k,
                               QueryContext& ctx) const override;
-  void Insert(const Point& p) override;
-  bool Delete(const Point& p) override;
+  void InsertOne(const Point& p) override;
+  bool DeleteOne(const Point& p) override;
 
   IndexStats Stats() const override;
   const BlockStore& block_store() const override { return store_; }

@@ -345,7 +345,7 @@ void RStarTree::InsertEntry(const PointEntry& e, bool allow_reinsert,
   }
 }
 
-void RStarTree::Insert(const Point& p) {
+void RStarTree::InsertOne(const Point& p) {
   QueryContext ctx;
   InsertEntry(PointEntry{p, next_id_++}, /*allow_reinsert=*/true, ctx);
   ++live_points_;
@@ -453,7 +453,7 @@ std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k,
   return out;
 }
 
-bool RStarTree::Delete(const Point& p) {
+bool RStarTree::DeleteOne(const Point& p) {
   // Find the leaf containing p.
   QueryContext ctx;
   std::vector<Node*> stack = {root_.get()};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <queue>
@@ -535,7 +536,7 @@ std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k,
   return out;
 }
 
-void ZmIndex::Insert(const Point& p) {
+void ZmIndex::InsertOne(const Point& p) {
   // Update handling adopted from RSMI (Section 6.2.5): place into the
   // predicted block, overflow into an inserted block spliced after it.
   QueryContext ctx;
@@ -571,7 +572,7 @@ void ZmIndex::Insert(const Point& p) {
   AggregateQueryContext(ctx);
 }
 
-bool ZmIndex::Delete(const Point& p) {
+bool ZmIndex::DeleteOne(const Point& p) {
   QueryContext ctx;
   const uint64_t zp = ZValue(p);
   const Prediction pred = PredictBlock(zp, ctx);
@@ -687,8 +688,30 @@ bool ReadOptionalMlp(Deserializer& in, std::unique_ptr<Mlp>* m) {
 
 }  // namespace
 
+namespace {
+
+/// ZmConfig with deterministic padding (see PaddingZeroed in nn/mlp.h:
+/// WritePod persists raw bytes, and the holes inside `train` must not
+/// leak stack garbage into the file).
+ZmConfig PaddingZeroed(const ZmConfig& c) {
+  ZmConfig out;
+  std::memset(static_cast<void*>(&out), 0, sizeof(out));
+  out.block_capacity = c.block_capacity;
+  out.z_bits = c.z_bits;
+  out.train = PaddingZeroed(c.train);
+  out.sample_cap = c.sample_cap;
+  out.hidden_internal = c.hidden_internal;
+  out.hidden_leaf = c.hidden_leaf;
+  out.pmf_partitions = c.pmf_partitions;
+  out.knn_delta = c.knn_delta;
+  out.seed = c.seed;
+  return out;
+}
+
+}  // namespace
+
 bool ZmIndex::SaveTo(Serializer& out) const {
-  out.WritePod(cfg_);
+  out.WritePod(PaddingZeroed(cfg_));
   out.WritePod(data_bounds_);
   out.WritePod(span_x_);
   out.WritePod(span_y_);

@@ -71,8 +71,8 @@ class ZmIndex : public SpatialIndex {
   /// query i's costs charged to ctxs[i].
   void PointQueryBatch(const Point* qs, size_t n, QueryContext* ctxs,
                        std::optional<PointEntry>* out) const override;
-  void Insert(const Point& p) override;
-  bool Delete(const Point& p) override;
+  void InsertOne(const Point& p) override;
+  bool DeleteOne(const Point& p) override;
 
   IndexStats Stats() const override;
   const BlockStore& block_store() const override { return store_; }

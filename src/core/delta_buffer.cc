@@ -1,0 +1,72 @@
+#include "core/delta_buffer.h"
+
+#include <algorithm>
+
+namespace rsmi {
+
+namespace {
+
+struct EntryLess {
+  bool operator()(const DeltaBuffer::Entry& e, const Point& p) const {
+    return LessByXThenY{}(e.pt, p);
+  }
+};
+
+}  // namespace
+
+std::vector<DeltaBuffer::Entry>::iterator DeltaBuffer::LowerBound(
+    const Point& p) {
+  return std::lower_bound(entries_.begin(), entries_.end(), p, EntryLess{});
+}
+
+const DeltaBuffer::Entry* DeltaBuffer::Find(const Point& p) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), p, EntryLess{});
+  if (it == entries_.end() || !SamePosition(it->pt, p)) return nullptr;
+  return &*it;
+}
+
+void DeltaBuffer::AppendInsert(const Point& p) {
+  auto it = LowerBound(p);
+  if (it == entries_.end() || !SamePosition(it->pt, p)) {
+    it = entries_.insert(it, Entry{p, 0, 0});
+  }
+  ++it->pending_inserts;
+  log_.push_back({UpdateOp::Kind::kInsert, p});
+  ++net_count_;
+}
+
+bool DeltaBuffer::AppendDelete(const Point& p,
+                               const BaseContains& base_contains) {
+  auto it = LowerBound(p);
+  const bool found = it != entries_.end() && SamePosition(it->pt, p);
+  if (found && it->pending_inserts > 0) {
+    --it->pending_inserts;
+    if (it->pending_inserts == 0 && it->base_deletes == 0) entries_.erase(it);
+    log_.push_back({UpdateOp::Kind::kDelete, p});
+    --net_count_;
+    return true;
+  }
+  // The layer's own inserts can't satisfy the delete; it lands on the
+  // layers below — but only if the position exists there. A delete that
+  // already consumed a base copy (base_deletes > 0 with no pending
+  // insert) makes the position absent, so a second delete misses.
+  if (found && it->base_deletes > 0) return false;
+  if (!base_contains(p)) return false;
+  if (!found) it = entries_.insert(it, Entry{p, 0, 0});
+  ++it->base_deletes;
+  ++total_base_deletes_;
+  log_.push_back({UpdateOp::Kind::kDelete, p});
+  --net_count_;
+  return true;
+}
+
+bool DeltaBuffer::AppendOp(const UpdateOp& op,
+                           const BaseContains& base_contains) {
+  if (op.kind == UpdateOp::Kind::kInsert) {
+    AppendInsert(op.pt);
+    return true;
+  }
+  return AppendDelete(op.pt, base_contains);
+}
+
+}  // namespace rsmi

@@ -1,0 +1,96 @@
+#ifndef RSMI_CORE_DELTA_BUFFER_H_
+#define RSMI_CORE_DELTA_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/update.h"
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// A buffered-modification layer in the FAST/eFIND style: an ordered op
+/// log (the exact sequence a merge replays against the base structure)
+/// plus a position-sorted overlay that answers "what does this layer do
+/// to position p" in O(log n) for the read path.
+///
+/// A DeltaBuffer is immutable once published inside an epoch — writers
+/// copy-on-write the shard's active buffer, append, and publish the copy
+/// (see shard/sharded_index.h). All const methods are therefore safe to
+/// call from any number of reader threads with no synchronization.
+///
+/// Overlay semantics are relative to whatever lies *beneath* the layer
+/// (the shard's base index, possibly already overlaid by a frozen
+/// "merging" DeltaBuffer): `pending_inserts` copies of the position are
+/// added on top, `base_deletes` copies are removed from below. Deletes
+/// appended to the layer consume the layer's own pending inserts first
+/// (newest state wins) and only then charge a deletion against the
+/// layers below — and only if the position actually exists there, so a
+/// missed delete is a no-op in the log too, exactly as a sequential
+/// Delete returning false.
+class DeltaBuffer {
+ public:
+  /// Net effect of this layer on one position.
+  struct Entry {
+    Point pt;
+    /// Copies of `pt` this layer adds on top of the layers below.
+    uint32_t pending_inserts = 0;
+    /// Copies of `pt` this layer removes from the layers below.
+    uint32_t base_deletes = 0;
+  };
+
+  /// True when the buffered base existence probe says the position is
+  /// present beneath this layer.
+  using BaseContains = std::function<bool(const Point&)>;
+
+  bool empty() const { return log_.empty(); }
+  size_t size() const { return log_.size(); }
+
+  /// The exact op sequence appended so far, in arrival order — what a
+  /// merge replays and what persistence writes.
+  const std::vector<UpdateOp>& log() const { return log_; }
+
+  /// Position-sorted (LessByXThenY) overlay entries; entries whose two
+  /// counters are both zero are pruned, so every entry has an effect.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Net change to the visible point count (inserts minus successful
+  /// deletes).
+  int64_t NetCount() const { return net_count_; }
+
+  /// Total base_deletes across all entries — how many extra candidates a
+  /// kNN against the base must fetch to survive the overlay filter.
+  uint64_t TotalBaseDeletes() const { return total_base_deletes_; }
+
+  /// Overlay entry for position `p`, or nullptr when this layer has no
+  /// effect there.
+  const Entry* Find(const Point& p) const;
+
+  /// Appends an insert of `p`: logs it and adds one pending copy.
+  void AppendInsert(const Point& p);
+
+  /// Appends a delete of `p`. Consumes one of this layer's pending
+  /// inserts at `p` if any; otherwise asks `base_contains` whether the
+  /// position exists beneath and, if so, records one base deletion.
+  /// Returns false (and logs nothing) when the delete misses entirely.
+  bool AppendDelete(const Point& p, const BaseContains& base_contains);
+
+  /// Re-appends a persisted/replayed op through the same bookkeeping.
+  /// Returns false when a kDelete op misses (callers treat that as
+  /// corruption when replaying a log that was recorded as all-hits).
+  bool AppendOp(const UpdateOp& op, const BaseContains& base_contains);
+
+ private:
+  std::vector<Entry>::iterator LowerBound(const Point& p);
+
+  std::vector<UpdateOp> log_;
+  std::vector<Entry> entries_;  // sorted by position (LessByXThenY)
+  int64_t net_count_ = 0;
+  uint64_t total_base_deletes_ = 0;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_DELTA_BUFFER_H_

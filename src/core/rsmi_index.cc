@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <queue>
@@ -964,7 +965,7 @@ std::vector<Point> RsmiIndex::KnnQueryExact(const Point& q, size_t k,
 // Updates (Section 5)
 // ---------------------------------------------------------------------------
 
-void RsmiIndex::Insert(const Point& p) {
+void RsmiIndex::InsertOne(const Point& p) {
   // Writes require exclusive access; their costs go through a local
   // context folded into the legacy aggregate at the end, so insertion
   // block accesses keep showing up in block_accesses() as before.
@@ -1043,7 +1044,7 @@ void RsmiIndex::MergeLeafBuffer(Node* leaf, const std::vector<Node*>& path) {
   RebuildSubtree(slot, static_cast<int>(path.size()) - 1);
 }
 
-bool RsmiIndex::Delete(const Point& p) {
+bool RsmiIndex::DeleteOne(const Point& p) {
   QueryContext ctx;
   std::vector<Node*> path;
   Node* leaf = DescendNearestMutable(p, &path, ctx);
@@ -1385,8 +1386,35 @@ std::unique_ptr<RsmiIndex::Node> RsmiIndex::ReadNode(Deserializer& in,
   return node;
 }
 
+namespace {
+
+/// RsmiConfig with deterministic padding (see PaddingZeroed in nn/mlp.h:
+/// WritePod persists raw bytes, and the holes after `block_capacity` and
+/// inside `train` must not leak stack garbage into the file).
+RsmiConfig PaddingZeroed(const RsmiConfig& c) {
+  RsmiConfig out;
+  std::memset(static_cast<void*>(&out), 0, sizeof(out));
+  out.block_capacity = c.block_capacity;
+  out.build_fill_factor = c.build_fill_factor;
+  out.update_strategy = c.update_strategy;
+  out.leaf_buffer_capacity = c.leaf_buffer_capacity;
+  out.partition_threshold = c.partition_threshold;
+  out.curve = c.curve;
+  out.train = PaddingZeroed(c.train);
+  out.model_init_scale = c.model_init_scale;
+  out.internal_sample_cap = c.internal_sample_cap;
+  out.pmf_partitions = c.pmf_partitions;
+  out.knn_delta = c.knn_delta;
+  out.max_depth = c.max_depth;
+  out.build_threads = c.build_threads;
+  out.seed = c.seed;
+  return out;
+}
+
+}  // namespace
+
 bool RsmiIndex::SaveTo(Serializer& out) const {
-  out.WritePod(cfg_);
+  out.WritePod(PaddingZeroed(cfg_));
   out.WritePod(data_bounds_);
   out.WritePod(live_points_);
   out.WritePod(next_id_);

@@ -113,8 +113,8 @@ class RsmiIndex : public SpatialIndex {
     return r;
   }
 
-  void Insert(const Point& p) override;
-  bool Delete(const Point& p) override;
+  void InsertOne(const Point& p) override;
+  bool DeleteOne(const Point& p) override;
 
   /// RSMIr: rebuilds every subtree whose leaf grew beyond the partition
   /// threshold (call after every 10%*n insertions, Section 6.2.5).

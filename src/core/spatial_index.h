@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/query_context.h"
+#include "core/update.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 #include "storage/block_store.h"
@@ -38,16 +39,23 @@ struct IndexStats {
 /// block accesses through a per-call QueryContext, mirroring the paper's
 /// "# block accesses" metric.
 ///
-/// Thread-safety contract: **reads are concurrent, writes are
-/// exclusive.** The context-taking query methods (PointQuery /
-/// WindowQuery / KnnQuery with a QueryContext argument) are
-/// side-effect-free on the index — any number of threads may run them
-/// simultaneously, each with its own context (src/exec/ builds on this).
-/// Insert / Delete and any structural maintenance (rebuilds, Save/Load,
-/// attaching DiskBackedBlocks) require exclusive access: no query may be
-/// in flight while they run. The legacy context-free query wrappers are
-/// also safe to call concurrently; they fold their costs into a
-/// thread-safe aggregate (see below).
+/// Thread-safety contract: **reads are always concurrent; writes are
+/// concurrent where the kind supports buffering, exclusive otherwise.**
+/// The context-taking query methods (PointQuery / WindowQuery / KnnQuery
+/// with a QueryContext argument) are side-effect-free on the index — any
+/// number of threads may run them simultaneously, each with its own
+/// context (src/exec/ builds on this). Mutations go through
+/// ApplyUpdates(UpdateBatch, WriteOptions): when
+/// SupportsConcurrentUpdates() is true (the sharded index), buffered
+/// batches may run from any number of writer threads concurrently with
+/// readers — writers append into per-shard delta buffers and publish
+/// epoch snapshots, readers never block (see shard/sharded_index.h).
+/// Immediate (non-buffered) application, structural maintenance
+/// (rebuilds, Save/Load, attaching DiskBackedBlocks), and every write on
+/// a kind without concurrent-update support keep the legacy requirement:
+/// exclusive access, no query in flight. The legacy context-free query
+/// wrappers are also safe to call concurrently; they fold their costs
+/// into a thread-safe aggregate (see below).
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -124,12 +132,54 @@ class SpatialIndex {
     return r;
   }
 
-  /// Inserts a new point (Section 5). Exclusive access required.
-  virtual void Insert(const Point& p) = 0;
+  // --- Mutations ---
+  //
+  // The primary mutation surface is the batched ApplyUpdates below; the
+  // per-point Insert/Delete are thin shims over a size-1 immediate batch
+  // kept for the pre-batch call sites (figure benches, examples, tests).
+  // Subclasses implement the protected InsertOne/DeleteOne hooks (and
+  // optionally DoApplyUpdates for a smarter batch strategy) — the public
+  // entry points are non-virtual by design so options handling and the
+  // fence stay uniform across kinds.
+
+  /// Applies the batch's ops in order. Semantics are always equivalent
+  /// to applying the ops one by one sequentially; WriteOptions selects
+  /// the execution strategy (immediate vs. delta-buffered, optional
+  /// flush fence). Buffered application on a kind that supports
+  /// concurrent updates may run concurrently with readers and other
+  /// writers; everything else requires exclusive access.
+  UpdateResult ApplyUpdates(const UpdateBatch& batch,
+                            const WriteOptions& opts = WriteOptions{}) {
+    UpdateResult r = DoApplyUpdates(batch, opts);
+    if (opts.fence) FlushUpdates();
+    return r;
+  }
+
+  /// Inserts a new point (Section 5): a size-1 immediate batch.
+  void Insert(const Point& p) {
+    UpdateBatch b;
+    b.Insert(p);
+    ApplyUpdates(b);
+  }
 
   /// Deletes the point at exactly this position; false if absent.
-  /// Exclusive access required.
-  virtual bool Delete(const Point& p) = 0;
+  /// A size-1 immediate batch.
+  bool Delete(const Point& p) {
+    UpdateBatch b;
+    b.Delete(p);
+    return ApplyUpdates(b).delete_misses == 0;
+  }
+
+  /// True when buffered ApplyUpdates may run concurrently with readers
+  /// and other writers (per-shard delta buffers + epoch publication).
+  /// False (the default) keeps the legacy writes-exclusive contract.
+  virtual bool SupportsConcurrentUpdates() const { return false; }
+
+  /// Synchronously merges every buffered delta into the base structure:
+  /// after it returns (and absent concurrent writers), queries read pure
+  /// structure and SaveTo persists no pending ops. No-op on kinds
+  /// without buffering.
+  virtual void FlushUpdates() {}
 
   virtual IndexStats Stats() const = 0;
 
@@ -197,6 +247,36 @@ class SpatialIndex {
   virtual bool ValidateStructure(std::string* error) const {
     (void)error;
     return true;
+  }
+
+ protected:
+  /// Structural single-point insert — what the pre-batch virtual Insert
+  /// used to be. Exclusive access required.
+  virtual void InsertOne(const Point& p) = 0;
+
+  /// Structural single-point delete; false when the position is absent.
+  /// Exclusive access required.
+  virtual bool DeleteOne(const Point& p) = 0;
+
+  /// Batch application strategy. The default ignores WriteOptions::
+  /// buffered (there is no buffer to use) and applies the ops one by one
+  /// through InsertOne/DeleteOne; kinds with a delta layer override this
+  /// to buffer and to trigger merges.
+  virtual UpdateResult DoApplyUpdates(const UpdateBatch& batch,
+                                      const WriteOptions& opts) {
+    (void)opts;
+    UpdateResult r;
+    for (const UpdateOp& op : batch.ops) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        InsertOne(op.pt);
+        ++r.applied_inserts;
+      } else if (DeleteOne(op.pt)) {
+        ++r.applied_deletes;
+      } else {
+        ++r.delete_misses;
+      }
+    }
+    return r;
   }
 };
 

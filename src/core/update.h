@@ -1,0 +1,78 @@
+#ifndef RSMI_CORE_UPDATE_H_
+#define RSMI_CORE_UPDATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace rsmi {
+
+/// One point mutation. Updates travel through the system as ordered
+/// sequences of these — the batched mutation API (SpatialIndex::
+/// ApplyUpdates), the per-shard delta buffers, the kUpdateBatch wire op,
+/// and the persisted delta log all speak UpdateOp.
+struct UpdateOp {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1 };
+  Kind kind = Kind::kInsert;
+  Point pt;
+};
+
+/// An ordered batch of mutations. Order matters: applying the ops one by
+/// one in sequence defines the batch's semantics, and every execution
+/// strategy (immediate, delta-buffered, replay-at-merge, replay-at-load)
+/// must be observationally equivalent to that sequential application.
+struct UpdateBatch {
+  std::vector<UpdateOp> ops;
+
+  void Insert(const Point& p) { ops.push_back({UpdateOp::Kind::kInsert, p}); }
+  void Delete(const Point& p) { ops.push_back({UpdateOp::Kind::kDelete, p}); }
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+/// How a batch should be applied.
+struct WriteOptions {
+  /// When the index supports concurrent updates (see
+  /// SpatialIndex::SupportsConcurrentUpdates), buffer the ops in its
+  /// delta layer so concurrent readers are never blocked; background
+  /// maintenance merges the delta into the structure later. On indices
+  /// without that support this degrades to immediate application.
+  /// `false` applies the ops structurally right away (the legacy
+  /// exclusive-access write).
+  bool buffered = false;
+  /// Force every buffered delta (including this batch's) to be merged
+  /// into the base structure before the call returns — a synchronous
+  /// flush fence. Implies the post-conditions of FlushUpdates().
+  bool fence = false;
+};
+
+/// What a batch application did, op by op.
+struct UpdateResult {
+  /// Inserts applied (structurally or into a delta buffer).
+  uint64_t applied_inserts = 0;
+  /// Deletes that found their target.
+  uint64_t applied_deletes = 0;
+  /// Deletes whose position was absent — no-ops, exactly as a sequential
+  /// Delete returning false.
+  uint64_t delete_misses = 0;
+  /// Ops absorbed by a delta buffer rather than applied structurally.
+  uint64_t buffered_ops = 0;
+  /// Delta-threshold crossings this batch triggered (background shard
+  /// merges scheduled).
+  uint64_t merges_triggered = 0;
+
+  void MergeFrom(const UpdateResult& o) {
+    applied_inserts += o.applied_inserts;
+    applied_deletes += o.applied_deletes;
+    delete_misses += o.delete_misses;
+    buffered_ops += o.buffered_ops;
+    merges_triggered += o.merges_triggered;
+  }
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_CORE_UPDATE_H_

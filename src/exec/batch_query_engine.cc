@@ -14,6 +14,12 @@ namespace {
 /// worker idle while another sits on a long private run.
 constexpr size_t kOpsPerGrab = 16;
 
+bool IsWriteRequest(const Request& r) {
+  return r.type == Request::Type::kInsert ||
+         r.type == Request::Type::kDelete ||
+         r.type == Request::Type::kUpdateBatch;
+}
+
 double PercentileSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -32,12 +38,22 @@ std::vector<Request> BuildMixedWorkload(const std::vector<Point>& data,
   // the remainder arithmetic below cannot underflow.
   const double point_frac = std::min(1.0, std::max(0.0, mix.point_frac));
   const double window_frac = std::min(1.0, std::max(0.0, mix.window_frac));
+  const double write_frac = std::min(1.0, std::max(0.0, mix.write_frac));
+  // Writes take their share off the top; the read fractions split the
+  // rest. At write_frac = 0 every count below — and every generator seed
+  // — is exactly the pre-write workload, so read-only callers replay
+  // byte-identical request streams.
+  const size_t n_write =
+      static_cast<size_t>(write_frac * static_cast<double>(count));
+  const size_t reads = count - n_write;
   const size_t n_point =
-      static_cast<size_t>(point_frac * static_cast<double>(count));
+      static_cast<size_t>(point_frac * static_cast<double>(reads));
   const size_t n_window = std::min(
-      count - n_point,
-      static_cast<size_t>(window_frac * static_cast<double>(count)));
-  const size_t n_knn = count - n_point - n_window;
+      reads - n_point,
+      static_cast<size_t>(window_frac * static_cast<double>(reads)));
+  const size_t n_knn = reads - n_point - n_window;
+  const size_t n_ins = (n_write + 1) / 2;
+  const size_t n_del = std::min(n_write - n_ins, data.size());
 
   // Distinct generator seeds per query class so changing the mix does not
   // silently change which locations each class samples.
@@ -45,12 +61,42 @@ std::vector<Request> BuildMixedWorkload(const std::vector<Point>& data,
   const auto wq = GenerateWindowQueries(data, n_window, mix.window_area,
                                         mix.window_aspect, seed * 3 + 2);
   const auto kq = GenerateQueryPoints(data, n_knn, seed * 3 + 3);
+  // Inserts land at fresh jittered locations (perturbed off the data so
+  // they cannot collide with indexed points); deletes target *distinct*
+  // existing points, so every generated delete hits.
+  const auto iq = GenerateQueryPoints(data, n_ins, seed * 3 + 5, 1e-4);
+  std::vector<Point> dq;
+  if (n_del > 0) {
+    std::vector<size_t> idx(data.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    Rng drng(seed * 3 + 7);
+    dq.reserve(n_del);
+    for (size_t i = 0; i < n_del; ++i) {  // partial Fisher-Yates
+      const size_t j =
+          i + static_cast<size_t>(
+                  drng.UniformInt(0, static_cast<int64_t>(idx.size() - i - 1)));
+      std::swap(idx[i], idx[j]);
+      dq.push_back(data[idx[i]]);
+    }
+  }
 
   std::vector<Request> reqs;
   reqs.reserve(count);
   for (const Point& p : pq) reqs.push_back(Request::PointLookup(p));
   for (const Rect& w : wq) reqs.push_back(Request::WindowLookup(w));
   for (const Point& p : kq) reqs.push_back(Request::KnnLookup(p, mix.k));
+  for (size_t i = 0; i < iq.size() + dq.size(); ++i) {
+    Request r;
+    if (i < iq.size()) {
+      r.type = Request::Type::kInsert;
+      r.pt = iq[i];
+    } else {
+      r.type = Request::Type::kDelete;
+      r.pt = dq[i - iq.size()];
+    }
+    r.write_opts.buffered = mix.buffered_writes;
+    reqs.push_back(r);
+  }
   // Interleave the classes so every drained chunk is a mixed load, then
   // stamp post-shuffle positions as ids (stable across replay media).
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -84,7 +130,9 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
   // lines, and every block access bumps a counter — fold once at the end
   // instead of ping-ponging the line between workers all batch long.
   QueryContext local;
+  UpdateResult local_update;
   uint64_t results = 0;
+  uint64_t writes = 0;
   for (;;) {
     const size_t begin = job->next.fetch_add(kOpsPerGrab);
     if (begin >= reqs.size()) break;
@@ -109,7 +157,12 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
     if (batch_points) {
       std::optional<PointEntry> hits[kOpsPerGrab];
       const auto t0 = std::chrono::steady_clock::now();
-      index.PointQueryBatch(pts, npts, local, hits);
+      if (job->rw != nullptr) {
+        std::shared_lock<std::shared_mutex> lock(*job->rw);
+        index.PointQueryBatch(pts, npts, local, hits);
+      } else {
+        index.PointQueryBatch(pts, npts, local, hits);
+      }
       // Latency attribution: the batch is timed as a whole and split
       // evenly — per-op timers would charge the first op of a batch with
       // all the shared model evaluations.
@@ -125,7 +178,24 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
     for (size_t i = begin; i < end; ++i) {
       if (batch_points && reqs[i].type == Request::Type::kPoint) continue;
       const auto t0 = std::chrono::steady_clock::now();
-      Response resp = ExecuteReadRequest(index, reqs[i]);
+      Response resp;
+      if (job->mutable_index != nullptr && IsWriteRequest(reqs[i])) {
+        ++writes;
+        if (job->rw != nullptr) {
+          std::unique_lock<std::shared_mutex> lock(*job->rw);
+          resp = ExecuteRequest(*job->mutable_index, reqs[i]);
+        } else {
+          // Buffered writes on a concurrent-update index: the epoch
+          // machinery is the synchronization, nobody stops.
+          resp = ExecuteRequest(*job->mutable_index, reqs[i]);
+        }
+        local_update.MergeFrom(resp.update);
+      } else if (job->rw != nullptr) {
+        std::shared_lock<std::shared_mutex> lock(*job->rw);
+        resp = ExecuteReadRequest(index, reqs[i]);
+      } else {
+        resp = ExecuteReadRequest(index, reqs[i]);
+      }
       results += resp.ResultCount();
       local.MergeFrom(resp.cost);
       (*job->latency_us)[i] =
@@ -136,6 +206,11 @@ void BatchQueryEngine::DrainJob(Job* job, QueryContext* ctx) {
   }
   ctx->MergeFrom(local);
   job->total_results.fetch_add(results, std::memory_order_relaxed);
+  job->writes.fetch_add(writes, std::memory_order_relaxed);
+  if (writes != 0) {
+    std::lock_guard<std::mutex> lock(job->update_mu);
+    job->update.MergeFrom(local_update);
+  }
 }
 
 void BatchQueryEngine::WorkerLoop(int worker_id) {
@@ -160,9 +235,35 @@ void BatchQueryEngine::WorkerLoop(int worker_id) {
 
 BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
                                       const std::vector<Request>& reqs) {
-  std::vector<double> latency_us(reqs.size(), 0.0);
   Job job;
   job.index = &index;
+  return RunJob(job, reqs);
+}
+
+BatchQueryStats BatchQueryEngine::Run(SpatialIndex& index,
+                                      const std::vector<Request>& reqs) {
+  Job job;
+  job.index = &index;
+  job.mutable_index = &index;
+  // Exclusive-writer arbitration is only needed when some write cannot
+  // go through the index's own concurrent-update machinery; otherwise
+  // the whole batch runs lock-free.
+  std::shared_mutex rw;
+  bool needs_excl = false;
+  for (const Request& r : reqs) {
+    if (IsWriteRequest(r) &&
+        (!r.write_opts.buffered || !index.SupportsConcurrentUpdates())) {
+      needs_excl = true;
+      break;
+    }
+  }
+  if (needs_excl) job.rw = &rw;
+  return RunJob(job, reqs);
+}
+
+BatchQueryStats BatchQueryEngine::RunJob(Job& job,
+                                         const std::vector<Request>& reqs) {
+  std::vector<double> latency_us(reqs.size(), 0.0);
   job.reqs = &reqs;
   job.latency_us = &latency_us;
 
@@ -193,11 +294,26 @@ BatchQueryStats BatchQueryEngine::Run(const SpatialIndex& index,
       wall > 0.0 ? static_cast<double>(reqs.size()) / wall : 0.0;
   stats.total_results = job.total_results.load(std::memory_order_relaxed);
   for (const QueryContext& c : worker_costs_) stats.cost.MergeFrom(c);
+  stats.writes = job.writes.load(std::memory_order_relaxed);
+  stats.update = job.update;
+
+  // Read-only percentile before the all-request sort destroys the
+  // latency-to-request mapping.
+  if (stats.writes != 0) {
+    std::vector<double> read_lat;
+    read_lat.reserve(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!IsWriteRequest(reqs[i])) read_lat.push_back(latency_us[i]);
+    }
+    std::sort(read_lat.begin(), read_lat.end());
+    stats.p99_read_us = PercentileSorted(read_lat, 0.99);
+  }
 
   std::sort(latency_us.begin(), latency_us.end());
   stats.p50_us = PercentileSorted(latency_us, 0.50);
   stats.p99_us = PercentileSorted(latency_us, 0.99);
   stats.max_us = latency_us.empty() ? 0.0 : latency_us.back();
+  if (stats.writes == 0) stats.p99_read_us = stats.p99_us;
   return stats;
 }
 

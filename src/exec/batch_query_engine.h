@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -19,12 +20,22 @@ namespace rsmi {
 /// Mix and shape of a generated workload (defaults follow the paper's
 /// query setup: windows of 0.01% area and aspect 1, k = 25).
 struct WorkloadMix {
-  /// Fractions of point / window queries; the remainder is kNN.
+  /// Fractions of point / window queries; the remainder is kNN. With
+  /// write_frac > 0 these split the *read* share (count - writes).
   double point_frac = 0.6;
   double window_frac = 0.3;
   double window_area = 0.0001;
   double window_aspect = 1.0;
   uint32_t k = 25;
+  /// Fraction of the workload that are writes (half inserts at fresh
+  /// jittered locations, half deletes of distinct existing points — so
+  /// every delete hits). 0 (the default) produces the exact read-only
+  /// workload earlier callers got: same locations, same order.
+  double write_frac = 0.0;
+  /// WriteOptions::buffered stamped on generated write requests: true
+  /// lets indices with concurrent-update support run them without
+  /// stopping reads.
+  bool buffered_writes = true;
 };
 
 /// Builds a deterministic shuffled mixed workload of `count` read
@@ -52,6 +63,13 @@ struct BatchQueryStats {
   uint64_t total_results = 0;
   /// All workers' per-query costs folded together.
   QueryContext cost;
+  /// Write requests executed (mutable Run only; 0 on read-only replay).
+  uint64_t writes = 0;
+  /// p99 latency over the read requests alone — the number a mixed
+  /// read/write cell watches (writes stalling reads is the failure mode).
+  double p99_read_us = 0.0;
+  /// Aggregated write outcome across the batch.
+  UpdateResult update;
 };
 
 /// Replays a batch of mixed read requests against any SpatialIndex on a
@@ -88,20 +106,42 @@ class BatchQueryEngine {
   BatchQueryStats Run(const SpatialIndex& index,
                       const std::vector<Request>& reqs);
 
+  /// Mixed read/write replay. Buffered writes on an index with
+  /// concurrent-update support run with no locking at all (the index's
+  /// epoch machinery is the synchronization); otherwise the engine
+  /// arbitrates with a reader-writer lock — every write stops the world,
+  /// which is exactly the baseline the mixed-update bench compares
+  /// against. Reads behave as in the read-only overload.
+  BatchQueryStats Run(SpatialIndex& index, const std::vector<Request>& reqs);
+
  private:
   /// Shared state of the batch currently in flight.
   struct Job {
     const SpatialIndex* index = nullptr;
     const std::vector<Request>* reqs = nullptr;
+    /// Non-null on the mutable overload: where write requests execute.
+    SpatialIndex* mutable_index = nullptr;
+    /// Non-null when writes need exclusive access (no concurrent-update
+    /// support, or non-buffered writes in the batch): reads take it
+    /// shared, writes exclusive. Null = no locking (buffered writes on a
+    /// concurrent-update index, or a read-only batch).
+    std::shared_mutex* rw = nullptr;
     /// Per-request latency slots (each request writes only its own).
     std::vector<double>* latency_us = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<uint64_t> total_results{0};
+    std::atomic<uint64_t> writes{0};
+    /// Aggregated write outcomes (folded once per worker under mu).
+    std::mutex update_mu;
+    UpdateResult update;
   };
 
   void WorkerLoop(int worker_id);
   /// Drains `job` from the shared cursor, folding costs into `ctx`.
   static void DrainJob(Job* job, QueryContext* ctx);
+  /// Shared orchestration of both Run overloads: dispatches `job` to the
+  /// workers, waits, and assembles the stats.
+  BatchQueryStats RunJob(Job& job, const std::vector<Request>& reqs);
 
   std::vector<std::thread> workers_;
   /// One per worker, re-zeroed at the start of each Run.

@@ -42,6 +42,7 @@ Response ExecuteReadRequest(const SpatialIndex& index, const Request& req) {
     case Request::Type::kInsert:
     case Request::Type::kDelete:
     case Request::Type::kReload:
+    case Request::Type::kUpdateBatch:
       resp.status = StatusCode::kFailedPrecondition;
       resp.message = "write/admin request on the read-only execution path";
       return resp;
@@ -55,12 +56,25 @@ Response ExecuteRequest(SpatialIndex& index, const Request& req) {
   Response resp;
   resp.id = req.id;
   switch (req.type) {
-    case Request::Type::kInsert:
-      index.Insert(req.pt);
+    case Request::Type::kInsert: {
+      UpdateBatch b;
+      b.Insert(req.pt);
+      resp.update = index.ApplyUpdates(b, req.write_opts);
       return resp;
-    case Request::Type::kDelete:
-      if (!index.Delete(req.pt)) resp.status = StatusCode::kNotFound;
+    }
+    case Request::Type::kDelete: {
+      UpdateBatch b;
+      b.Delete(req.pt);
+      resp.update = index.ApplyUpdates(b, req.write_opts);
+      if (resp.update.delete_misses != 0) resp.status = StatusCode::kNotFound;
       return resp;
+    }
+    case Request::Type::kUpdateBatch: {
+      UpdateBatch b;
+      b.ops = req.ops;
+      resp.update = index.ApplyUpdates(b, req.write_opts);
+      return resp;
+    }
     case Request::Type::kReload: {
       resp.status = StatusCode::kFailedPrecondition;
       resp.message = "reload is a server snapshot operation";

@@ -27,6 +27,7 @@ struct Request {
     kDelete = 4,  ///< delete the point at exactly `pt` (write)
     kReload = 5,  ///< server only: atomically swap in a freshly loaded
                   ///< index snapshot (from `path`, or the serving default)
+    kUpdateBatch = 6,  ///< apply `ops` in order under `write_opts` (write)
   };
   Type type = Type::kPoint;
   /// Caller-chosen correlation id, echoed verbatim in the Response. The
@@ -48,6 +49,12 @@ struct Request {
   /// kReload only: index file to load; empty means the file the server
   /// was started with.
   std::string path;
+  /// kUpdateBatch only: the ops, applied in order.
+  std::vector<UpdateOp> ops;
+  /// Write execution options (kUpdateBatch, kInsert, kDelete). Buffered
+  /// writes run concurrently with reads on indices that support it; the
+  /// server falls back to exclusive application on those that don't.
+  WriteOptions write_opts;
 
   static Request PointLookup(const Point& p, uint64_t id = 0) {
     Request r;
@@ -68,6 +75,17 @@ struct Request {
     r.type = Type::kKnn;
     r.pt = p;
     r.k = k;
+    r.id = id;
+    return r;
+  }
+  /// The primary mutation request: a whole UpdateBatch in one round trip.
+  static Request Updates(UpdateBatch batch,
+                         const WriteOptions& opts = WriteOptions{},
+                         uint64_t id = 0) {
+    Request r;
+    r.type = Type::kUpdateBatch;
+    r.ops = std::move(batch.ops);
+    r.write_opts = opts;
     r.id = id;
     return r;
   }
@@ -108,6 +126,8 @@ struct Response {
   std::vector<Point> points;
   /// Counters charged by exactly this operation.
   QueryContext cost;
+  /// Write outcome (kInsert / kDelete / kUpdateBatch); zeros otherwise.
+  UpdateResult update;
   /// Diagnostic for non-OK statuses; empty on success.
   std::string message;
 
@@ -126,9 +146,12 @@ struct Response {
 /// the SpatialIndex contract — any number of callers may run it at once.
 Response ExecuteReadRequest(const SpatialIndex& index, const Request& req);
 
-/// Executes any data request, including writes. Insert/Delete require
-/// exclusive access to `index` (no query in flight) per the SpatialIndex
-/// thread-safety contract — the server takes its writer lock around this.
+/// Executes any data request, including writes. All three write types
+/// (kInsert / kDelete / kUpdateBatch) go through ApplyUpdates under the
+/// request's WriteOptions: buffered writes may run concurrently with
+/// readers when the index supports it (SupportsConcurrentUpdates());
+/// everything else requires exclusive access per the SpatialIndex
+/// thread-safety contract — the server picks the lock accordingly.
 /// kReload still fails (snapshot swaps are the server's job).
 Response ExecuteRequest(SpatialIndex& index, const Request& req);
 

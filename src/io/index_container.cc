@@ -45,11 +45,14 @@ bool ParseHeader(Deserializer& src, IndexContainerInfo* info,
                                " is newer than this binary supports (max " +
                                std::to_string(kIndexContainerVersion) + ")");
   }
-  // Only version 1 has ever existed, so anything below the current
-  // revision is a corrupted field, not an old format.
+  // Older revisions are refused, not migrated (v1 predates the sharded
+  // delta log): the container is a cache — rebuild and re-save.
   if (info->version < kIndexContainerVersion) {
-    return SetError(error, "unsupported index container version " +
-                               std::to_string(info->version));
+    return SetError(error, "old index container version " +
+                               std::to_string(info->version) +
+                               " (this binary reads " +
+                               std::to_string(kIndexContainerVersion) +
+                               "): rebuild the index and re-save it");
   }
   if (!src.ReadString(&info->spec) || !src.ReadPod(&info->payload_bytes) ||
       !src.ReadPod(&info->payload_crc)) {

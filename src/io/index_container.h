@@ -29,7 +29,12 @@ namespace rsmi {
 
 /// "RSIXBOX1" — RSMI index box, container revision 1.
 constexpr uint64_t kIndexContainerMagic = 0x31584F4258495352ull;
-constexpr uint32_t kIndexContainerVersion = 1;
+/// Format revisions: v1 was the original container; v2 extends the
+/// sharded payload with a per-shard buffered-delta op log, so an index
+/// saved while concurrent writes are still buffered (not yet merged)
+/// round-trips losslessly. The version is exact-match on load — the
+/// container is a session cache, not an interchange format.
+constexpr uint32_t kIndexContainerVersion = 2;
 
 /// Magic of the legacy pre-container RsmiIndex::Save format ("RSMI2").
 /// Those files carry no spec, no checksum, and no version field; they are

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,27 @@ struct MlpTrainConfig {
   int early_stop_patience = 15;
   uint64_t seed = 42;
 };
+
+/// Member-wise copy over zeroed storage: same values, but the struct's
+/// padding holes hold 0 instead of whatever was on the stack when the
+/// config was assembled. Persistence code WritePods configs raw (bytes,
+/// padding included), and the on-disk image must be a pure function of
+/// the index state — identical indexes must produce identical files and
+/// CRCs.
+inline MlpTrainConfig PaddingZeroed(const MlpTrainConfig& c) {
+  MlpTrainConfig out;
+  std::memset(static_cast<void*>(&out), 0, sizeof(out));
+  out.learning_rate = c.learning_rate;
+  out.final_learning_rate = c.final_learning_rate;
+  out.epochs = c.epochs;
+  out.batch_size = c.batch_size;
+  out.use_adam = c.use_adam;
+  out.max_samples = c.max_samples;
+  out.early_stop_tol = c.early_stop_tol;
+  out.early_stop_patience = c.early_stop_patience;
+  out.seed = c.seed;
+  return out;
+}
 
 /// A multilayer perceptron with one sigmoid hidden layer and a linear
 /// output neuron — the sub-model architecture used by both RSMI and the

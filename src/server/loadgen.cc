@@ -34,8 +34,18 @@ struct ConnResult {
   uint64_t not_found = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t errors = 0;
+  uint64_t write_ops = 0;
+  uint64_t failed_reads = 0;
   std::vector<double> latency_us;
+  std::vector<double> read_latency_us;
+  std::vector<double> write_latency_us;
 };
+
+bool IsWriteRequest(const Request& r) {
+  return r.type == Request::Type::kInsert ||
+         r.type == Request::Type::kDelete ||
+         r.type == Request::Type::kUpdateBatch;
+}
 
 }  // namespace
 
@@ -113,9 +123,20 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
             start + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(
                             static_cast<double>(resp.id) * interval_s));
-        res.latency_us.push_back(
+        const double lat =
             std::chrono::duration<double, std::micro>(Clock::now() - due)
-                .count());
+                .count();
+        res.latency_us.push_back(lat);
+        // Ids are schedule slots, so the originating request — and with
+        // it the read/write class — is recoverable from the id alone.
+        const bool is_write =
+            IsWriteRequest(workload[resp.id % workload.size()]);
+        if (is_write) {
+          ++res.write_ops;
+          res.write_latency_us.push_back(lat);
+        } else {
+          res.read_latency_us.push_back(lat);
+        }
         switch (resp.status) {
           case StatusCode::kOk:
             ++res.ok;
@@ -128,6 +149,7 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
             break;
           default:
             ++res.errors;
+            if (!is_write) ++res.failed_reads;
             break;
         }
       }
@@ -141,7 +163,10 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
   LoadgenReport r;
   r.target_qps = opts.target_qps;
   r.duration_s = wall;
+  r.write_frac = opts.mix.write_frac;
   std::vector<double> latencies;
+  std::vector<double> read_latencies;
+  std::vector<double> write_latencies;
   for (const ConnResult& res : results) {
     r.sent += res.sent;
     r.received += res.received;
@@ -149,8 +174,15 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
     r.not_found += res.not_found;
     r.deadline_exceeded += res.deadline_exceeded;
     r.errors += res.errors;
+    r.write_ops += res.write_ops;
+    r.failed_reads += res.failed_reads;
     latencies.insert(latencies.end(), res.latency_us.begin(),
                      res.latency_us.end());
+    read_latencies.insert(read_latencies.end(), res.read_latency_us.begin(),
+                          res.read_latency_us.end());
+    write_latencies.insert(write_latencies.end(),
+                           res.write_latency_us.begin(),
+                           res.write_latency_us.end());
   }
   r.achieved_qps =
       wall > 0.0 ? static_cast<double>(r.received) / wall : 0.0;
@@ -158,20 +190,26 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
   r.p50_us = PercentileSorted(latencies, 0.50);
   r.p99_us = PercentileSorted(latencies, 0.99);
   r.p999_us = PercentileSorted(latencies, 0.999);
+  std::sort(read_latencies.begin(), read_latencies.end());
+  r.p99_read_us = PercentileSorted(read_latencies, 0.99);
+  std::sort(write_latencies.begin(), write_latencies.end());
+  r.p99_write_us = PercentileSorted(write_latencies, 0.99);
   *report = r;
   if (r.received == 0) return fail("no responses received");
   return true;
 }
 
 std::string LoadgenReportJson(const LoadgenReport& r) {
-  char buf[704];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"target_qps\": %.1f, \"achieved_qps\": %.1f, "
       "\"duration_s\": %.3f, \"sent\": %llu, \"received\": %llu, "
       "\"ok\": %llu, \"not_found\": %llu, \"deadline_exceeded\": %llu, "
       "\"errors\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-      "\"p999_us\": %.1f, \"inference_kernel\": \"%s\"}",
+      "\"p999_us\": %.1f, \"write_frac\": %.3f, \"write_ops\": %llu, "
+      "\"failed_reads\": %llu, \"p99_read_us\": %.1f, "
+      "\"p99_write_us\": %.1f, \"inference_kernel\": \"%s\"}",
       r.target_qps, r.achieved_qps, r.duration_s,
       static_cast<unsigned long long>(r.sent),
       static_cast<unsigned long long>(r.received),
@@ -179,7 +217,10 @@ std::string LoadgenReportJson(const LoadgenReport& r) {
       static_cast<unsigned long long>(r.not_found),
       static_cast<unsigned long long>(r.deadline_exceeded),
       static_cast<unsigned long long>(r.errors), r.p50_us, r.p99_us,
-      r.p999_us, ActiveInferenceKernelDescription().c_str());
+      r.p999_us, r.write_frac,
+      static_cast<unsigned long long>(r.write_ops),
+      static_cast<unsigned long long>(r.failed_reads), r.p99_read_us,
+      r.p99_write_us, ActiveInferenceKernelDescription().c_str());
   return buf;
 }
 

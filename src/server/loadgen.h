@@ -46,6 +46,17 @@ struct LoadgenReport {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
+  /// Echo of WorkloadMix::write_frac for the run.
+  double write_frac = 0.0;
+  /// Responses to write requests (insert/delete/update batches).
+  uint64_t write_ops = 0;
+  /// Read responses that came back with an error status (not_found on a
+  /// point miss is not a failure; deadline overruns are counted in
+  /// deadline_exceeded). Zero means no read was broken by the write mix.
+  uint64_t failed_reads = 0;
+  /// Per-class latency split (same open-loop measurement as p99_us).
+  double p99_read_us = 0.0;
+  double p99_write_us = 0.0;
 };
 
 /// Drives `target_qps` of mixed traffic for `duration_s` over

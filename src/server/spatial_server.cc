@@ -296,9 +296,21 @@ void SpatialServer::ExecuteSingle(const Pending& p) {
   const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
   Response resp;
   if (p.req.type == Request::Type::kInsert ||
-      p.req.type == Request::Type::kDelete) {
-    std::unique_lock<std::shared_mutex> lock(snap->rw);
-    resp = ExecuteRequest(*snap->index, p.req);
+      p.req.type == Request::Type::kDelete ||
+      p.req.type == Request::Type::kUpdateBatch) {
+    // Writes no longer stop the world when the index buffers them:
+    // buffered requests on a concurrent-update index take the shared
+    // lock (the delta-buffer/epoch machinery handles writer-writer and
+    // writer-reader interleaving), so reads keep flowing. Everything
+    // else keeps the exclusive writer lock.
+    if (p.req.write_opts.buffered &&
+        snap->index->SupportsConcurrentUpdates()) {
+      std::shared_lock<std::shared_mutex> lock(snap->rw);
+      resp = ExecuteRequest(*snap->index, p.req);
+    } else {
+      std::unique_lock<std::shared_mutex> lock(snap->rw);
+      resp = ExecuteRequest(*snap->index, p.req);
+    }
   } else {
     std::shared_lock<std::shared_mutex> lock(snap->rw);
     resp = ExecuteReadRequest(*snap->index, p.req);

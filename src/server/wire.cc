@@ -19,6 +19,15 @@ std::vector<uint8_t> EncodeRequest(const Request& req) {
   ser.WritePod<Rect>(req.window);
   ser.WritePod<uint32_t>(req.k);
   ser.WriteString(req.path);
+  uint8_t wflags = 0;
+  if (req.write_opts.buffered) wflags |= 1;
+  if (req.write_opts.fence) wflags |= 2;
+  ser.WritePod<uint8_t>(wflags);
+  ser.WritePod<uint32_t>(static_cast<uint32_t>(req.ops.size()));
+  for (const UpdateOp& op : req.ops) {
+    ser.WritePod<uint8_t>(static_cast<uint8_t>(op.kind));
+    ser.WritePod<Point>(op.pt);
+  }
   return ser.buffer();
 }
 
@@ -26,7 +35,7 @@ bool DecodeRequest(const uint8_t* data, size_t n, Request* out) {
   Deserializer in(data, n);
   uint8_t type = 0;
   if (!in.ReadPod(&type)) return false;
-  if (type > static_cast<uint8_t>(Request::Type::kReload)) return false;
+  if (type > static_cast<uint8_t>(Request::Type::kUpdateBatch)) return false;
   out->type = static_cast<Request::Type>(type);
   if (!in.ReadPod(&out->id)) return false;
   if (!in.ReadPod(&out->deadline_us)) return false;
@@ -34,6 +43,24 @@ bool DecodeRequest(const uint8_t* data, size_t n, Request* out) {
   if (!in.ReadPod(&out->window)) return false;
   if (!in.ReadPod(&out->k)) return false;
   if (!in.ReadString(&out->path)) return false;
+  uint8_t wflags = 0;
+  if (!in.ReadPod(&wflags)) return false;
+  if (wflags > 3) return false;
+  out->write_opts.buffered = (wflags & 1) != 0;
+  out->write_opts.fence = (wflags & 2) != 0;
+  uint32_t nops = 0;
+  if (!in.ReadPod(&nops)) return false;
+  if (nops > in.remaining() / (1 + sizeof(Point))) return false;
+  out->ops.clear();
+  out->ops.reserve(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    uint8_t kind = 0;
+    UpdateOp op;
+    if (!in.ReadPod(&kind) || !in.ReadPod(&op.pt)) return false;
+    if (kind > static_cast<uint8_t>(UpdateOp::Kind::kDelete)) return false;
+    op.kind = static_cast<UpdateOp::Kind>(kind);
+    out->ops.push_back(op);
+  }
   // Trailing bytes mean the peer framed something else entirely.
   return in.ok() && in.remaining() == 0;
 }
@@ -46,6 +73,11 @@ std::vector<uint8_t> EncodeResponse(const Response& resp) {
   if (resp.hit.has_value()) ser.WritePod<PointEntry>(*resp.hit);
   ser.WriteVec(resp.points);
   ser.WritePod<QueryContext>(resp.cost);
+  ser.WritePod<uint64_t>(resp.update.applied_inserts);
+  ser.WritePod<uint64_t>(resp.update.applied_deletes);
+  ser.WritePod<uint64_t>(resp.update.delete_misses);
+  ser.WritePod<uint64_t>(resp.update.buffered_ops);
+  ser.WritePod<uint64_t>(resp.update.merges_triggered);
   ser.WriteString(resp.message);
   return ser.buffer();
 }
@@ -69,6 +101,11 @@ bool DecodeResponse(const uint8_t* data, size_t n, Response* out) {
   }
   if (!in.ReadVec(&out->points)) return false;
   if (!in.ReadPod(&out->cost)) return false;
+  if (!in.ReadPod(&out->update.applied_inserts)) return false;
+  if (!in.ReadPod(&out->update.applied_deletes)) return false;
+  if (!in.ReadPod(&out->update.delete_misses)) return false;
+  if (!in.ReadPod(&out->update.buffered_ops)) return false;
+  if (!in.ReadPod(&out->update.merges_triggered)) return false;
   if (!in.ReadString(&out->message)) return false;
   return in.ok() && in.remaining() == 0;
 }

@@ -21,18 +21,25 @@ namespace rsmi {
 ///
 /// Request payload:
 ///   u8 type | u64 id | u32 deadline_us | Point pt | Rect window |
-///   u32 k | string path
+///   u32 k | string path | u8 write_flags | u32 num_ops |
+///   num_ops * (u8 kind | Point pt)
 /// Response payload:
 ///   u64 id | u8 status | u8 has_hit | [PointEntry hit] |
-///   vec<Point> points | QueryContext cost | string message
+///   vec<Point> points | QueryContext cost |
+///   5 * u64 update counters (applied_inserts, applied_deletes,
+///   delete_misses, buffered_ops, merges_triggered) | string message
+///
+/// write_flags: bit 0 = WriteOptions::buffered, bit 1 = fence. The op
+/// list rides on every request for uniformity but is only non-empty on
+/// kUpdateBatch (ops are encoded field-wise — UpdateOp has padding).
 ///
 /// A frame whose length prefix exceeds the cap is a protocol violation
 /// (the connection cannot be resynchronized — the server closes it); a
 /// frame whose *payload* fails to decode is a per-request error (the
 /// server answers kInvalidArgument and keeps the connection).
 
-/// Cap on request frames the server accepts: no legal request comes
-/// close (the largest carries one reload path).
+/// Cap on request frames the server accepts. The largest legal request
+/// is an update batch (~58k ops fit); clients split bigger batches.
 constexpr uint32_t kMaxRequestFrameBytes = 1u << 20;
 /// Cap on response frames the client accepts: window results over a
 /// dense region can run to millions of points.

@@ -1,0 +1,359 @@
+// Concurrent-update correctness for the epoch/RCU sharded index: N
+// writer threads stream buffered UpdateBatches while M reader threads
+// run point/window/kNN queries the whole time. Every read must be
+// consistent with SOME prefix of the applied updates (per-writer insert
+// visibility is monotone: once a writer's i-th insert is visible, all
+// its earlier inserts are), no read may ever block on or be torn by a
+// concurrent merge, and after the writers join + FlushUpdates() the
+// final structure must be bit-identical (SaveTo bytes) to applying the
+// same ops sequentially with immediate writes. Under TSan
+// (cmake --preset tsan) this is the data-race proof for the whole
+// buffered-write machinery: COW delta publication, epoch swaps, and the
+// background maintenance merge.
+#include "shard/sharded_index.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/rng.h"
+#include "core/update.h"
+#include "data/generators.h"
+#include "io/index_container.h"
+#include "io/serializer.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+constexpr size_t kPoints = 2000;
+constexpr int kShards = 4;
+constexpr int kWriters = 4;
+constexpr int kReaders = 4;
+/// Ops per writer — enough to cross the merge threshold several times
+/// per shard so the test exercises freeze, background merge, and
+/// carry-over of the active delta accumulated during a merge.
+constexpr size_t kOpsPerWriter = 300;
+
+IndexBuildConfig TestConfig() {
+  IndexBuildConfig cfg;
+  cfg.block_capacity = 20;
+  cfg.partition_threshold = 400;
+  cfg.train.epochs = 40;
+  cfg.train.batch_size = 128;
+  cfg.internal_sample_cap = 2048;
+  return cfg;
+}
+
+/// A sharded RSMI built directly (not via spec) so the test controls
+/// the merge threshold and background-merge mode.
+std::unique_ptr<ShardedIndex> BuildSharded(const std::vector<Point>& data,
+                                           size_t merge_threshold,
+                                           bool background_merge) {
+  ShardedIndexConfig scfg;
+  scfg.num_shards = kShards;
+  scfg.delta_merge_threshold = merge_threshold;
+  scfg.background_merge = background_merge;
+  const IndexBuildConfig inner = TestConfig();
+  return std::make_unique<ShardedIndex>(
+      data, scfg, [&inner](const std::vector<Point>& pts, int /*shard*/) {
+        return MakeIndexFromSpec("rsmi", pts, inner);
+      });
+}
+
+/// Each writer's script: an ordered list of batches, plus the flat
+/// insert sequence (for the monotone-visibility check) in apply order.
+struct WriterScript {
+  std::vector<UpdateBatch> batches;
+  std::vector<Point> inserts;
+};
+
+/// Deterministic per-writer scripts. Writer w owns the shards with
+/// index % kWriters == w, so two writers never race on one shard's
+/// arrival order and the concurrent interleaving is op-for-op
+/// equivalent to some fixed sequential order (writer 0's ops, then
+/// writer 1's, ...) per shard — which is exactly the order the
+/// reference index replays below.
+std::vector<WriterScript> MakeScripts(const ShardedIndex& index,
+                                      const std::vector<Point>& data) {
+  std::vector<WriterScript> scripts(kWriters);
+  std::vector<Rng> rngs;
+  for (int w = 0; w < kWriters; ++w) {
+    rngs.emplace_back(/*seed=*/9000 + static_cast<uint64_t>(w));
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    WriterScript& s = scripts[w];
+    UpdateBatch batch;
+    size_t emitted = 0;
+    size_t del_cursor = static_cast<size_t>(w);
+    while (emitted < kOpsPerWriter) {
+      // ~3/4 inserts at fresh perturbed locations, ~1/4 deletes of
+      // distinct seeded points; both filtered to the writer's shards.
+      const bool want_delete = (emitted % 4) == 3;
+      if (want_delete && del_cursor < data.size()) {
+        const Point victim = data[del_cursor];
+        del_cursor += static_cast<size_t>(kWriters);
+        if (index.partitioner().ShardOf(victim) % kWriters != w) continue;
+        batch.Delete(victim);
+      } else {
+        const size_t i =
+            static_cast<size_t>(rngs[w].UniformInt(
+                0, static_cast<int64_t>(data.size()) - 1));
+        const Point p{data[i].x + rngs[w].Uniform(1e-5, 9e-5),
+                      data[i].y + rngs[w].Uniform(1e-5, 9e-5)};
+        if (index.partitioner().ShardOf(p) % kWriters != w) continue;
+        batch.Insert(p);
+        s.inserts.push_back(p);
+      }
+      ++emitted;
+      if (batch.size() == 8) {
+        s.batches.push_back(batch);
+        batch = UpdateBatch{};
+      }
+    }
+    if (!batch.empty()) s.batches.push_back(batch);
+  }
+  return scripts;
+}
+
+/// Applies every script to `index` in writer order with the given
+/// options — the sequential reference execution.
+void ApplySequentially(SpatialIndex& index,
+                       const std::vector<WriterScript>& scripts,
+                       const WriteOptions& opts) {
+  for (const WriterScript& s : scripts) {
+    for (const UpdateBatch& b : s.batches) index.ApplyUpdates(b, opts);
+  }
+}
+
+Serializer SaveBytes(const SpatialIndex& index) {
+  Serializer ser;
+  std::string err;
+  EXPECT_TRUE(WriteIndexContainer(ser, index, &err)) << err;
+  return ser;
+}
+
+class ConcurrentUpdateTest : public ::testing::TestWithParam<bool> {};
+
+/// The headline test: writers + readers at once, then bit-identity
+/// against the stop-the-world sequential application.
+TEST_P(ConcurrentUpdateTest, WritersAndReadersRaceThenConverge) {
+  const bool background = GetParam();
+  auto data = GenerateDataset(Distribution::kUniform, kPoints, 42);
+  DeduplicatePositions(&data, 42);
+
+  auto index = BuildSharded(data, /*merge_threshold=*/48, background);
+  ASSERT_TRUE(index->SupportsConcurrentUpdates());
+  const auto scripts = MakeScripts(*index, data);
+
+  WriteOptions buffered;
+  buffered.buffered = true;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads_done{0};
+  std::vector<std::string> reader_errors(kReaders);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(/*seed=*/777 + static_cast<uint64_t>(r));
+      uint64_t round = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++round;
+        QueryContext ctx;
+        // Monotone prefix visibility: scan one writer's insert sequence
+        // newest-to-oldest; after the first visible insert, every older
+        // one must be visible too (per shard, writers publish in order
+        // and epochs only ever add a writer's earlier ops).
+        const WriterScript& s =
+            scripts[static_cast<size_t>(round) % kWriters];
+        bool seen_visible = false;
+        for (size_t i = s.inserts.size(); i-- > 0;) {
+          const bool visible =
+              index->PointQuery(s.inserts[i], ctx).has_value();
+          if (visible) {
+            seen_visible = true;
+          } else if (seen_visible) {
+            reader_errors[r] =
+                "insert " + std::to_string(i) +
+                " invisible although a later insert of the same writer "
+                "was already visible";
+            stop.store(true, std::memory_order_release);
+            return;
+          }
+        }
+        // Window + kNN smoke on the same snapshot machinery: must never
+        // crash, block, or return malformed results mid-merge.
+        const size_t c =
+            static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                      data.size()) -
+                                                      1));
+        const Rect w{Point{data[c].x - 0.01, data[c].y - 0.01},
+                     Point{data[c].x + 0.01, data[c].y + 0.01}};
+        for (const Point& p : index->WindowQuery(w, ctx)) {
+          if (!w.Contains(p)) {
+            reader_errors[r] = "window result outside the window";
+            stop.store(true, std::memory_order_release);
+            return;
+          }
+        }
+        const auto knn = index->KnnQuery(data[c], 5, ctx);
+        if (knn.size() > 5) {
+          reader_errors[r] = "kNN returned more than k points";
+          stop.store(true, std::memory_order_release);
+          return;
+        }
+        reads_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (const UpdateBatch& b : scripts[static_cast<size_t>(w)].batches) {
+        index->ApplyUpdates(b, buffered);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& e : reader_errors) EXPECT_EQ(e, "");
+  EXPECT_GT(reads_done.load(), 0u);
+
+  // Drain every buffered op into the base structures, then demand
+  // bit-identity with the stop-the-world reference: same data, same ops
+  // in the per-shard-equivalent sequential order, immediate writes.
+  index->FlushUpdates();
+  for (int i = 0; i < index->num_shards(); ++i) {
+    EXPECT_EQ(index->shard_delta_size(i), 0u);
+  }
+  std::string why;
+  EXPECT_TRUE(index->ValidateStructure(&why)) << why;
+
+  auto reference = BuildSharded(data, /*merge_threshold=*/48, background);
+  ApplySequentially(*reference, scripts, WriteOptions{});
+
+  const Serializer got = SaveBytes(*index);
+  const Serializer want = SaveBytes(*reference);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size()), 0)
+      << "concurrent-then-flushed bytes differ from sequential immediate "
+         "application";
+}
+
+INSTANTIATE_TEST_SUITE_P(BackgroundAndInlineMerge, ConcurrentUpdateTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "BackgroundMerge"
+                                             : "InlineMerge";
+                         });
+
+/// Buffered deletes must take effect on reads immediately (before any
+/// merge) and survive the merge; delete misses are counted, not logged.
+TEST(ConcurrentUpdateSemanticsTest, BufferedDeletesAndMisses) {
+  auto data = GenerateDataset(Distribution::kUniform, 600, 7);
+  DeduplicatePositions(&data, 7);
+  auto index = BuildSharded(data, /*merge_threshold=*/1000000,
+                            /*background_merge=*/false);
+
+  WriteOptions buffered;
+  buffered.buffered = true;
+  UpdateBatch batch;
+  batch.Delete(data[0]);
+  batch.Delete(Point{-5.0, -5.0});  // miss: nothing at this position
+  const UpdateResult res = index->ApplyUpdates(batch, buffered);
+  EXPECT_EQ(res.applied_deletes, 1u);
+  EXPECT_EQ(res.delete_misses, 1u);
+  EXPECT_EQ(res.buffered_ops, 1u);
+
+  QueryContext ctx;
+  EXPECT_FALSE(index->PointQuery(data[0], ctx).has_value());
+  index->FlushUpdates();
+  EXPECT_FALSE(index->PointQuery(data[0], ctx).has_value());
+  EXPECT_TRUE(index->PointQuery(data[1], ctx).has_value());
+}
+
+/// Buffered inserts are visible before the merge, with the sentinel id,
+/// and gain a real block id after the flush.
+TEST(ConcurrentUpdateSemanticsTest, BufferedInsertVisibilityAndIds) {
+  auto data = GenerateDataset(Distribution::kUniform, 600, 11);
+  DeduplicatePositions(&data, 11);
+  auto index = BuildSharded(data, /*merge_threshold=*/1000000,
+                            /*background_merge=*/false);
+
+  const Point fresh{data[5].x + 3e-5, data[5].y + 3e-5};
+  WriteOptions buffered;
+  buffered.buffered = true;
+  UpdateBatch batch;
+  batch.Insert(fresh);
+  index->ApplyUpdates(batch, buffered);
+
+  QueryContext ctx;
+  auto hit = index->PointQuery(fresh, ctx);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, -1);  // buffered sentinel: no base id yet
+  index->FlushUpdates();
+  hit = index->PointQuery(fresh, ctx);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(hit->id, 0);
+}
+
+/// A fence (WriteOptions::fence) flushes synchronously: after
+/// ApplyUpdates returns, nothing is buffered.
+TEST(ConcurrentUpdateSemanticsTest, FenceDrainsAllShards) {
+  auto data = GenerateDataset(Distribution::kUniform, 600, 13);
+  DeduplicatePositions(&data, 13);
+  auto index = BuildSharded(data, /*merge_threshold=*/1000000,
+                            /*background_merge=*/true);
+
+  WriteOptions opts;
+  opts.buffered = true;
+  opts.fence = true;
+  UpdateBatch batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.Insert(Point{data[i].x + 2e-5, data[i].y + 2e-5});
+  }
+  index->ApplyUpdates(batch, opts);
+  for (int i = 0; i < index->num_shards(); ++i) {
+    EXPECT_EQ(index->shard_delta_size(i), 0u);
+  }
+  std::string why;
+  EXPECT_TRUE(index->ValidateStructure(&why)) << why;
+}
+
+/// An inner kind without persistence (kdb) cannot merge, so buffered
+/// requests must degrade to immediate application instead of wedging.
+TEST(ConcurrentUpdateSemanticsTest, NonPersistableInnerDegradesToImmediate) {
+  auto data = GenerateDataset(Distribution::kUniform, 600, 17);
+  DeduplicatePositions(&data, 17);
+  ShardedIndexConfig scfg;
+  scfg.num_shards = kShards;
+  const IndexBuildConfig inner = TestConfig();
+  ShardedIndex index(data, scfg,
+                     [&inner](const std::vector<Point>& pts, int /*shard*/) {
+                       return MakeIndexFromSpec("kdb", pts, inner);
+                     });
+  EXPECT_FALSE(index.SupportsConcurrentUpdates());
+
+  WriteOptions buffered;
+  buffered.buffered = true;
+  UpdateBatch batch;
+  batch.Insert(Point{data[3].x + 4e-5, data[3].y + 4e-5});
+  const UpdateResult res = index.ApplyUpdates(batch, buffered);
+  EXPECT_EQ(res.applied_inserts, 1u);
+  EXPECT_EQ(res.buffered_ops, 0u);  // applied immediately, not buffered
+  for (int i = 0; i < index.num_shards(); ++i) {
+    EXPECT_EQ(index.shard_delta_size(i), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -34,10 +34,11 @@ against the baseline's recorded best ratio (15% tolerance). Skipped
 when the specialized kernels are inactive (forced generic/scalar, or a
 non-SIMD host).
 
-Side inputs (--shard, --persistence, --serve) are recorded into the
-metrics artifact but never gated; --serve takes the loadgen JSON the
-serve smoke writes, and works without --inference/--point (which are
-only required, together, for the gate itself).
+Side inputs (--shard, --persistence, --updates, --serve) are recorded
+into the metrics artifact but never gated; --serve takes the loadgen
+JSON the serve smoke writes, and all of them work without
+--inference/--point (which are only required, together, for the gate
+itself).
 
 Regenerate the snapshot after intentional perf changes:
 
@@ -158,6 +159,38 @@ def collect_persistence_metrics(persistence_path):
     return out
 
 
+UPDATES_BASELINE = "MixedUpdates/Buffered/w00/t1"
+UPDATES_BUFFERED = "MixedUpdates/Buffered/w10/t1"
+UPDATES_EXCLUSIVE = "MixedUpdates/Exclusive/w10/t1"
+
+
+def collect_updates_metrics(updates_path):
+    """Mixed read/write cells from bench_updates.json.
+
+    Recorded in the uploaded artifact for trend-watching; deliberately
+    NOT gated — the delta-buffered vs exclusive-writer comparison only
+    means something with real reader/writer contention, and 1-vCPU
+    runners serialize everything anyway (see num_cpus). read_p99_ratio
+    < 1 means buffered writes kept read tail latency below the
+    exclusive-writer path at the same 10% write mix.
+    """
+    ctx, updates = load_benchmarks(updates_path)
+    read_only = min_counter(updates, UPDATES_BASELINE, "p99_read_us")
+    buffered = min_counter(updates, UPDATES_BUFFERED, "p99_read_us")
+    exclusive = min_counter(updates, UPDATES_EXCLUSIVE, "p99_read_us")
+    return {
+        "read_p99_us_read_only": read_only,
+        "read_p99_us_buffered_w10": buffered,
+        "read_p99_us_exclusive_w10": exclusive,
+        "read_p99_ratio": buffered / exclusive if exclusive > 0 else 0.0,
+        "throughput_qps_buffered_w10": min_counter(
+            updates, UPDATES_BUFFERED, "throughput_qps"),
+        "throughput_qps_exclusive_w10": min_counter(
+            updates, UPDATES_EXCLUSIVE, "throughput_qps"),
+        "num_cpus": ctx.get("num_cpus"),
+    }
+
+
 def collect_serving_metrics(serve_path):
     """Loadgen report from the serve smoke (rsmi_cli loadgen --out).
 
@@ -242,6 +275,10 @@ def main():
                     help="bench_persistence JSON from --regression-out; "
                          "records SaveIndex/LoadIndex MB/s through the "
                          "index-container format (not gated)")
+    ap.add_argument("--updates",
+                    help="bench_mixed_updates JSON from --regression-out; "
+                         "records mixed read/write cells — delta-buffered "
+                         "vs exclusive-writer read p99 (not gated)")
     ap.add_argument("--serve",
                     help="loadgen JSON from the serve smoke (rsmi_cli "
                          "loadgen --out); records end-to-end serving QPS "
@@ -269,13 +306,16 @@ def main():
             "error: --inference and --point must be given together "
             "(they form the gated normalized point cost)")
     gating = bool(args.inference)
-    if not gating and not (args.shard or args.persistence or args.serve):
+    if not gating and not (args.shard or args.persistence or args.updates or
+                           args.serve):
         raise SystemExit("error: nothing to collect — pass some input")
     current = collect_metrics(args.inference, args.point) if gating else {}
     if args.shard:
         current["sharded"] = collect_shard_metrics(args.shard)
     if args.persistence:
         current["persistence"] = collect_persistence_metrics(args.persistence)
+    if args.updates:
+        current["updates"] = collect_updates_metrics(args.updates)
     if args.serve:
         current["serving"] = collect_serving_metrics(args.serve)
     print("current metrics:")
@@ -368,6 +408,15 @@ def main():
               f"{pe['save_mb_per_s_rsmi']:.0f}/{pe['load_mb_per_s_rsmi']:.0f}, "
               f"sharded<4>:rsmi {pe['save_mb_per_s_sharded4_rsmi']:.0f}/"
               f"{pe['load_mb_per_s_sharded4_rsmi']:.0f} (recorded, not gated)")
+
+    if "updates" in current:
+        up = current["updates"]
+        print(f"mixed updates (10% writes): read p99 buffered "
+              f"{up['read_p99_us_buffered_w10']:.1f} us vs exclusive "
+              f"{up['read_p99_us_exclusive_w10']:.1f} us (ratio "
+              f"{up['read_p99_ratio']:.2f}, read-only baseline "
+              f"{up['read_p99_us_read_only']:.1f} us) on "
+              f"{up['num_cpus']} cpus (recorded, not gated)")
 
     if "serving" in current:
         se = current["serving"]

@@ -30,7 +30,10 @@
 #                 monolithic point-latency ratio; recorded, not gated)
 #                 and DIR/bench_persistence.json (SaveIndex/LoadIndex
 #                 MB/s through the index-container format; recorded via
-#                 check_bench_regression.py --persistence, not gated).
+#                 check_bench_regression.py --persistence, not gated)
+#                 and DIR/bench_updates.json (mixed read/write cells,
+#                 delta-buffered vs exclusive-writer; recorded via
+#                 check_bench_regression.py --updates, not gated).
 #                 Gate against the committed bench/BENCH_BASELINE.json
 #                 with tools/check_bench_regression.py --baseline, or
 #                 regenerate the snapshot with its --write-baseline mode.
@@ -73,7 +76,7 @@ if [[ -n "$regression_out" ]]; then
   export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
   export RSMI_BENCH_BUILD_THREADS=1
   mkdir -p "$regression_out"
-  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence; do
+  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence bench_mixed_updates; do
     if [[ ! -x "$bench_dir/$b" ]]; then
       echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
       exit 1
@@ -101,6 +104,12 @@ if [[ -n "$regression_out" ]]; then
     --benchmark_min_time=0.05 --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=false \
     --benchmark_out="$regression_out/bench_persistence.json" \
+    --benchmark_out_format=json
+  echo "=== bench_mixed_updates (pinned) -> $regression_out/bench_updates.json ===" >&2
+  "$bench_dir/bench_mixed_updates" \
+    --benchmark_filter='/w(00|10)/t1' --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_updates.json" \
     --benchmark_out_format=json
   exit 0
 fi

@@ -67,15 +67,23 @@ grep -q 'id=' "$out_dir/point_local.txt" \
 diff "$out_dir/point_local.txt" "$out_dir/point_remote.txt" \
   || fail "remote point lookup differs from the direct one"
 
-# Sustained mixed traffic at a target QPS; the report is the CI artifact.
+# Sustained mixed traffic at a target QPS with a 10% buffered-write mix
+# (exercising the epoch/delta update path under the readers); the report
+# is the CI artifact. Zero failed reads is part of the contract: every
+# read replays a point the generator knows is present (base data or its
+# own already-acknowledged insert).
 "$cli" loadgen --data="$data" --port="$port" --qps=2000 --duration=2 \
-  --connections=4 --out="$out_dir/loadgen.json" > /dev/null
+  --connections=4 --write-frac=0.1 --out="$out_dir/loadgen.json" > /dev/null
 grep -q '"p999_us"' "$out_dir/loadgen.json" \
   || fail "loadgen report is missing percentiles"
 grep -q '"received": 0,' "$out_dir/loadgen.json" \
   && fail "loadgen received no responses"
 grep -q '"errors": 0,' "$out_dir/loadgen.json" \
   || fail "loadgen saw error responses"
+grep -q '"write_ops": 0,' "$out_dir/loadgen.json" \
+  && fail "loadgen sent no writes despite --write-frac=0.1"
+grep -q '"failed_reads": 0,' "$out_dir/loadgen.json" \
+  || fail "loadgen saw failed reads under the write mix"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$server_pid"
