@@ -43,6 +43,7 @@ Response ExecuteReadRequest(const SpatialIndex& index, const Request& req) {
     case Request::Type::kDelete:
     case Request::Type::kReload:
     case Request::Type::kUpdateBatch:
+    case Request::Type::kStats:
       resp.status = StatusCode::kFailedPrecondition;
       resp.message = "write/admin request on the read-only execution path";
       return resp;
@@ -78,6 +79,11 @@ Response ExecuteRequest(SpatialIndex& index, const Request& req) {
     case Request::Type::kReload: {
       resp.status = StatusCode::kFailedPrecondition;
       resp.message = "reload is a server snapshot operation";
+      return resp;
+    }
+    case Request::Type::kStats: {
+      resp.status = StatusCode::kFailedPrecondition;
+      resp.message = "stats is a server registry operation";
       return resp;
     }
     default:

@@ -10,6 +10,9 @@
 #include "core/spatial_index.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 
 namespace rsmi {
 
@@ -28,6 +31,8 @@ struct Request {
     kReload = 5,  ///< server only: atomically swap in a freshly loaded
                   ///< index snapshot (from `path`, or the serving default)
     kUpdateBatch = 6,  ///< apply `ops` in order under `write_opts` (write)
+    kStats = 7,  ///< server only: snapshot the metrics registries and the
+                 ///< slow-query log (`k` bounds the returned log entries)
   };
   Type type = Type::kPoint;
   /// Caller-chosen correlation id, echoed verbatim in the Response. The
@@ -55,6 +60,11 @@ struct Request {
   /// writes run concurrently with reads on indices that support it; the
   /// server falls back to exclusive application on those that don't.
   WriteOptions write_opts;
+  /// Opt-in per-request tracing: the server records timestamped spans
+  /// (admission -> queue -> batch-group -> descent -> reply) and returns
+  /// them in Response::trace. Off by default — the untraced path records
+  /// no spans and takes no extra timestamps per span.
+  bool trace = false;
 
   static Request PointLookup(const Point& p, uint64_t id = 0) {
     Request r;
@@ -86,6 +96,15 @@ struct Request {
     r.type = Type::kUpdateBatch;
     r.ops = std::move(batch.ops);
     r.write_opts = opts;
+    r.id = id;
+    return r;
+  }
+  /// Control-plane stats scrape: the server answers with a merged
+  /// MetricsSnapshot plus up to `max_slow` slow-query-log entries.
+  static Request Stats(uint32_t max_slow = 0, uint64_t id = 0) {
+    Request r;
+    r.type = Type::kStats;
+    r.k = max_slow;
     r.id = id;
     return r;
   }
@@ -130,6 +149,13 @@ struct Response {
   UpdateResult update;
   /// Diagnostic for non-OK statuses; empty on success.
   std::string message;
+  /// Trace spans of a traced request (Request::trace), in recording
+  /// order with monotone offsets; empty otherwise.
+  std::vector<TraceSpan> trace;
+  /// kStats only: the server's merged metrics snapshot.
+  std::optional<MetricsSnapshot> stats;
+  /// kStats only: newest slow-query-log entries (bounded by Request::k).
+  std::vector<SlowQueryEntry> slow;
 
   bool ok() const { return status == StatusCode::kOk; }
   /// Result cardinality (1 for a point hit, result count for window/kNN,

@@ -32,9 +32,11 @@ constexpr uint64_t kIndexContainerMagic = 0x31584F4258495352ull;
 /// Format revisions: v1 was the original container; v2 extends the
 /// sharded payload with a per-shard buffered-delta op log, so an index
 /// saved while concurrent writes are still buffered (not yet merged)
-/// round-trips losslessly. The version is exact-match on load — the
-/// container is a session cache, not an interchange format.
-constexpr uint32_t kIndexContainerVersion = 2;
+/// round-trips losslessly; v3 adds the frozen-layer op count to each
+/// delta log, so tooling (`rsmi_cli info`) can report the buffered vs.
+/// frozen split without replaying the log. The version is exact-match on
+/// load — the container is a session cache, not an interchange format.
+constexpr uint32_t kIndexContainerVersion = 3;
 
 /// Magic of the legacy pre-container RsmiIndex::Save format ("RSMI2").
 /// Those files carry no spec, no checksum, and no version field; they are

@@ -1,0 +1,341 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace rsmi {
+
+namespace obs_internal {
+
+size_t ThreadSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace obs_internal
+
+namespace {
+
+/// Inclusive value range of histogram bucket `b` (see HistogramBucketOf).
+void BucketRange(size_t b, double* lo, double* hi) {
+  if (b == 0) {
+    *lo = 0.0;
+    *hi = 0.0;
+    return;
+  }
+  *lo = static_cast<double>(b == 1 ? 1.0 : std::exp2(static_cast<double>(b - 1)));
+  *hi = std::exp2(static_cast<double>(b)) - 1.0;
+}
+
+/// Appends `v` to `out` formatted as a JSON number.
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  *out += buf;
+}
+
+/// Prometheus metric name: '.' and any other non-[a-zA-Z0-9_] byte maps
+/// to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+double MetricSample::Percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  // Target rank among the observations, 1-based.
+  const double rank = p * static_cast<double>(count - 1) + 1.0;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= rank) {
+      double lo = 0.0;
+      double hi = 0.0;
+      BucketRange(b, &lo, &hi);
+      // Linear interpolation by rank position inside the bucket.
+      const double within =
+          (rank - static_cast<double>(prev)) / static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  BucketRange(buckets.size() - 1, &lo, &hi);
+  return hi;
+}
+
+double MetricSample::Mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const MetricSample& in : other.samples) {
+    auto it = std::lower_bound(
+        samples.begin(), samples.end(), in,
+        [](const MetricSample& a, const MetricSample& b) {
+          return a.name < b.name;
+        });
+    if (it == samples.end() || it->name != in.name) {
+      samples.insert(it, in);
+      continue;
+    }
+    if (it->kind != in.kind) continue;  // name clash across kinds: keep ours
+    switch (in.kind) {
+      case MetricSample::Kind::kCounter:
+        it->value += in.value;
+        break;
+      case MetricSample::Kind::kGauge:
+        it->value = in.value;
+        break;
+      case MetricSample::Kind::kHistogram:
+        it->count += in.count;
+        it->sum += in.sum;
+        it->buckets.resize(std::max(it->buckets.size(), in.buckets.size()), 0);
+        for (size_t b = 0; b < in.buckets.size(); ++b) {
+          it->buckets[b] += in.buckets[b];
+        }
+        break;
+    }
+  }
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::ValueOf(const std::string& name,
+                                 int64_t dflt) const {
+  const MetricSample* s = Find(name);
+  return s == nullptr ? dflt : s->value;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + s.name + "\": ";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      out += "{\"count\": ";
+      AppendU64(&out, s.count);
+      out += ", \"sum\": ";
+      AppendU64(&out, s.sum);
+      out += ", \"mean\": ";
+      AppendDouble(&out, s.Mean());
+      out += ", \"p50\": ";
+      AppendDouble(&out, s.Percentile(0.50));
+      out += ", \"p99\": ";
+      AppendDouble(&out, s.Percentile(0.99));
+      out += ", \"p999\": ";
+      AppendDouble(&out, s.Percentile(0.999));
+      // Only occupied buckets, as [bucket_index, count] pairs.
+      out += ", \"buckets\": [";
+      bool bfirst = true;
+      for (size_t b = 0; b < s.buckets.size(); ++b) {
+        if (s.buckets[b] == 0) continue;
+        if (!bfirst) out += ", ";
+        bfirst = false;
+        out += "[";
+        AppendU64(&out, b);
+        out += ", ";
+        AppendU64(&out, s.buckets[b]);
+        out += "]";
+      }
+      out += "]}";
+    } else {
+      AppendI64(&out, s.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const MetricSample& s : samples) {
+    const std::string name = PromName(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + " ";
+        AppendI64(&out, s.value);
+        out += "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + " ";
+        AppendI64(&out, s.value);
+        out += "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cum = 0;
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          if (s.buckets[b] == 0) continue;
+          cum += s.buckets[b];
+          double lo = 0.0;
+          double hi = 0.0;
+          BucketRange(b, &lo, &hi);
+          out += name + "_bucket{le=\"";
+          AppendDouble(&out, hi);
+          out += "\"} ";
+          AppendU64(&out, cum);
+          out += "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        AppendU64(&out, s.count);
+        out += "\n" + name + "_sum ";
+        AppendU64(&out, s.sum);
+        out += "\n" + name + "_count ";
+        AppendU64(&out, s.count);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsSnapshot::EncodeTo(Serializer* out) const {
+  out->WritePod<uint32_t>(static_cast<uint32_t>(samples.size()));
+  for (const MetricSample& s : samples) {
+    out->WriteString(s.name);
+    out->WritePod<uint8_t>(static_cast<uint8_t>(s.kind));
+    out->WritePod<int64_t>(s.value);
+    out->WritePod<uint64_t>(s.count);
+    out->WritePod<uint64_t>(s.sum);
+    out->WriteVec(s.buckets);
+  }
+}
+
+bool MetricsSnapshot::DecodeFrom(Deserializer* in, MetricsSnapshot* out) {
+  uint32_t n = 0;
+  if (!in->ReadPod(&n)) return false;
+  // Each sample is at least name len + kind + value + count + sum.
+  if (n > in->remaining() / (4 + 1 + 8 + 8 + 8)) return false;
+  out->samples.clear();
+  out->samples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricSample s;
+    uint8_t kind = 0;
+    if (!in->ReadString(&s.name)) return false;
+    if (!in->ReadPod(&kind)) return false;
+    if (kind > static_cast<uint8_t>(MetricSample::Kind::kHistogram)) {
+      return false;
+    }
+    s.kind = static_cast<MetricSample::Kind>(kind);
+    if (!in->ReadPod(&s.value)) return false;
+    if (!in->ReadPod(&s.count)) return false;
+    if (!in->ReadPod(&s.sum)) return false;
+    if (!in->ReadVec(&s.buckets)) return false;
+    if (s.buckets.size() > Histogram::kBuckets) return false;
+    out->samples.push_back(std::move(s));
+  }
+  return true;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    slot->enabled_ = &flag_;
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    slot->enabled_ = &flag_;
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    slot->enabled_ = &flag_;
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iterates in name order, so `samples` comes out sorted (the
+  // MergeFrom invariant).
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<int64_t>(c->Value());
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->Value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.buckets.assign(Histogram::kBuckets, 0);
+    for (const auto& cell : h->shards_) {
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        s.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+      s.sum += cell.sum.load(std::memory_order_relaxed);
+    }
+    for (const uint64_t b : s.buckets) s.count += b;
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,266 @@
+#ifndef RSMI_OBS_METRICS_H_
+#define RSMI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/serializer.h"
+
+namespace rsmi {
+
+/// Runtime metrics substrate of the serving stack (src/obs/). Three
+/// metric kinds, all safe to record into from any number of threads with
+/// no locking on the hot path:
+///
+///  - Counter:   monotonically increasing, sharded over cache-line-padded
+///               atomic cells so concurrent writers from the worker pool
+///               do not ping-pong one line.
+///  - Gauge:     a single settable value (pool sizes, config echoes).
+///  - Histogram: log2-bucketed value distribution (latencies in
+///               microseconds, batch sizes). Fixed 64 buckets, bucket b
+///               covers [2^(b-1), 2^b); p50/p99/p999 come from log-linear
+///               interpolation inside the target bucket, so estimates are
+///               exact-ish (within the bucket's resolution) at any scale.
+///
+/// Metrics are owned by a MetricsRegistry and looked up by name once at
+/// instrumentation-site setup; the returned reference is stable for the
+/// registry's lifetime, so steady-state recording is one relaxed
+/// fetch_add with zero allocation. Snapshot() drains everything into a
+/// mergeable MetricsSnapshot that serializes over the wire (the server's
+/// kStats op), to JSON, and to Prometheus text exposition.
+///
+/// A registry can be disabled (set_enabled(false)): every Add/Observe
+/// through its metrics becomes a no-op. The observability contract —
+/// instrumentation never changes results or QueryContext counters —
+/// is asserted by observability_test by diffing query results and
+/// registry-off/registry-on costs.
+
+namespace obs_internal {
+
+/// Stable small index for the calling thread, used to pick a metric
+/// shard. Thread ids are handed out round-robin, so a fixed worker pool
+/// spreads perfectly across shards.
+size_t ThreadSlot();
+
+/// Set once at registry construction; metrics hold a pointer to their
+/// owning registry's flag. A default-constructed metric (tests,
+/// standalone use) records unconditionally.
+struct EnabledFlag {
+  std::atomic<bool> enabled{true};
+};
+
+}  // namespace obs_internal
+
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    if (enabled_ != nullptr &&
+        !enabled_->enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    shards_[obs_internal::ThreadSlot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell shards_[kShards];
+  const obs_internal::EnabledFlag* enabled_ = nullptr;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (enabled_ != nullptr &&
+        !enabled_->enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (enabled_ != nullptr &&
+        !enabled_->enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> v_{0};
+  const obs_internal::EnabledFlag* enabled_ = nullptr;
+};
+
+/// Log2-bucket index of `v`: 0 for v == 0, else bit_width(v) — bucket b
+/// (b >= 1) holds values in [2^(b-1), 2^b).
+inline size_t HistogramBucketOf(uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - static_cast<size_t>(__builtin_clzll(v));
+}
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bucket 0 (zeros) + 64 log2
+  static constexpr size_t kShards = 8;
+
+  void Observe(uint64_t value) {
+    if (enabled_ != nullptr &&
+        !enabled_->enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Cell& c = shards_[obs_internal::ThreadSlot() & (kShards - 1)];
+    c.buckets[HistogramBucketOf(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    c.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Folds a whole batch of values with one enabled check, one local
+  /// bucket-counting pass, and at most kBuckets + 1 fetch_adds — instead
+  /// of two atomics per value. Observationally identical to calling
+  /// Observe(values[i]) for every i from one thread; use it for
+  /// after-the-fact folds of recorded batches (e.g. a replay run's
+  /// per-request latencies) so the fold cost stays amortized.
+  void ObserveBatch(const uint64_t* values, size_t n) {
+    if (n == 0) return;
+    if (enabled_ != nullptr &&
+        !enabled_->enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    uint64_t local[kBuckets] = {};
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      local[HistogramBucketOf(values[i])]++;
+      sum += values[i];
+    }
+    Cell& c = shards_[obs_internal::ThreadSlot() & (kShards - 1)];
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (local[b] != 0) {
+        c.buckets[b].fetch_add(local[b], std::memory_order_relaxed);
+      }
+    }
+    c.sum.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const auto& c : shards_) {
+      for (const auto& b : c.buckets) n += b.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> buckets[kBuckets]{};
+    std::atomic<uint64_t> sum{0};
+  };
+  Cell shards_[kShards];
+  const obs_internal::EnabledFlag* enabled_ = nullptr;
+};
+
+/// One metric, frozen at snapshot time. Histograms carry their merged
+/// bucket array plus count/sum; counters and gauges use `value`.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;
+  uint64_t count = 0;  ///< histogram observation count
+  uint64_t sum = 0;    ///< histogram value sum
+  std::vector<uint64_t> buckets;  ///< histogram only (kBuckets entries)
+
+  /// Percentile estimate (p in [0, 1]) by log-linear interpolation inside
+  /// the bucket holding the target rank. 0 on an empty histogram.
+  double Percentile(double p) const;
+  /// Mean of observed values; 0 on an empty histogram.
+  double Mean() const;
+};
+
+/// A frozen, mergeable view of one or more registries. Samples are kept
+/// sorted by name, so merging and the text formats are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Folds `other` in: same-name same-kind samples add (counts, sums,
+  /// buckets); gauges keep the incoming value (last write wins); samples
+  /// only present on one side are copied through.
+  void MergeFrom(const MetricsSnapshot& other);
+
+  const MetricSample* Find(const std::string& name) const;
+  /// Counter/gauge value by name; `dflt` when absent.
+  int64_t ValueOf(const std::string& name, int64_t dflt = 0) const;
+
+  /// One JSON object: counters/gauges as numbers, histograms as
+  /// {count, sum, p50, p99, p999, buckets}.
+  std::string ToJson() const;
+  /// Prometheus text exposition (metric names have '.' mapped to '_';
+  /// histograms emit _bucket/_sum/_count series with le labels).
+  std::string ToPrometheus() const;
+
+  /// Wire form (the kStats response payload embeds one).
+  void EncodeTo(Serializer* out) const;
+  static bool DecodeFrom(Deserializer* in, MetricsSnapshot* out);
+};
+
+/// Owner and directory of metrics. Lookup is mutex-guarded and intended
+/// for instrumentation-site setup (resolve once, hold the reference);
+/// recording through the returned metrics is lock-free. Metric objects
+/// live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Disabling turns every Add/Observe through this registry's metrics
+  /// into a no-op (recorded values stay as they were).
+  void set_enabled(bool on) {
+    flag_.enabled.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return flag_.enabled.load(std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Process-wide registry used by library internals (the shard layer's
+  /// epoch/merge machinery, BatchQueryEngine); the server additionally
+  /// owns a private registry for its own counters and merges both into
+  /// its kStats responses.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  obs_internal::EnabledFlag flag_;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_OBS_METRICS_H_

@@ -1,0 +1,91 @@
+#include "obs/slow_query_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rsmi {
+
+namespace {
+
+/// Stable lowercase names for Request::Type values without pulling the
+/// request header into the obs layer.
+const char* OpName(uint8_t op) {
+  switch (op) {
+    case 0:
+      return "point";
+    case 1:
+      return "window";
+    case 2:
+      return "knn";
+    case 3:
+      return "insert";
+    case 4:
+      return "delete";
+    case 5:
+      return "reload";
+    case 6:
+      return "update_batch";
+    case 7:
+      return "stats";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+void EncodeSlowQueryEntries(const std::vector<SlowQueryEntry>& entries,
+                            Serializer* out) {
+  out->WritePod<uint32_t>(static_cast<uint32_t>(entries.size()));
+  for (const SlowQueryEntry& e : entries) {
+    out->WritePod<uint8_t>(e.op);
+    out->WritePod<uint8_t>(e.status);
+    out->WritePod<uint64_t>(e.id);
+    out->WritePod<uint64_t>(e.queue_us);
+    out->WritePod<uint64_t>(e.exec_us);
+    out->WritePod<uint64_t>(e.total_us);
+    out->WritePod<QueryContext>(e.cost);
+  }
+}
+
+bool DecodeSlowQueryEntries(Deserializer* in,
+                            std::vector<SlowQueryEntry>* out) {
+  uint32_t n = 0;
+  if (!in->ReadPod(&n)) return false;
+  const size_t entry_bytes = 2 + 4 * 8 + sizeof(QueryContext);
+  if (n > in->remaining() / entry_bytes) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SlowQueryEntry e;
+    if (!in->ReadPod(&e.op) || !in->ReadPod(&e.status) ||
+        !in->ReadPod(&e.id) || !in->ReadPod(&e.queue_us) ||
+        !in->ReadPod(&e.exec_us) || !in->ReadPod(&e.total_us) ||
+        !in->ReadPod(&e.cost)) {
+      return false;
+    }
+    out->push_back(e);
+  }
+  return true;
+}
+
+std::string SlowQueryEntriesJson(const std::vector<SlowQueryEntry>& entries) {
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& e = entries[i];
+    if (i != 0) out += ", ";
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"op\": \"%s\", \"id\": %" PRIu64 ", \"queue_us\": %" PRIu64
+        ", \"exec_us\": %" PRIu64 ", \"total_us\": %" PRIu64
+        ", \"block_accesses\": %" PRIu64 "}",
+        OpName(e.op), e.id, e.queue_us, e.exec_us, e.total_us,
+        e.cost.block_accesses);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rsmi

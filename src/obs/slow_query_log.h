@@ -1,0 +1,92 @@
+#ifndef RSMI_OBS_SLOW_QUERY_LOG_H_
+#define RSMI_OBS_SLOW_QUERY_LOG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_context.h"
+#include "io/serializer.h"
+
+namespace rsmi {
+
+/// One request that crossed the slow-query threshold. Fixed-size fields
+/// only, so entries encode field-wise over the wire (the kStats response
+/// returns the newest ones) with no heap traffic in the ring.
+struct SlowQueryEntry {
+  uint8_t op = 0;      ///< Request::Type of the slow request
+  uint8_t status = 0;  ///< StatusCode it was answered with
+  uint64_t id = 0;     ///< Request::id
+  uint64_t queue_us = 0;  ///< admission -> dequeue
+  uint64_t exec_us = 0;   ///< dequeue -> response built
+  uint64_t total_us = 0;  ///< queue_us + exec_us
+  QueryContext cost;      ///< what the op charged
+};
+
+/// Bounded ring buffer of the slowest-path evidence: the server records
+/// an entry whenever a request's total latency (queue wait + execution)
+/// reaches the configured threshold (`rsmi_cli serve --slow-query-us`).
+/// The ring is mutex-guarded — it is only ever touched on the slow path,
+/// where one uncontended lock is noise — and overwrites oldest-first, so
+/// memory stays bounded no matter how long the server has been up.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(const SlowQueryEntry& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  /// Newest-first, at most `max` entries.
+  std::vector<SlowQueryEntry> Latest(size_t max) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SlowQueryEntry> out;
+    const size_t n = std::min(max, ring_.size());
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Newest entry sits just behind the overwrite cursor.
+      const size_t idx = (head_ + ring_.size() - 1 - i) % ring_.size();
+      out.push_back(ring_[idx]);
+    }
+    return out;
+  }
+
+  /// Entries ever recorded (recorded - capacity have been overwritten).
+  uint64_t TotalRecorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;
+  size_t head_ = 0;  ///< next overwrite position once the ring is full
+  uint64_t total_ = 0;
+};
+
+/// Field-wise wire encoding (SlowQueryEntry has padding; raw pod writes
+/// would leak uninitialized bytes into the frame).
+void EncodeSlowQueryEntries(const std::vector<SlowQueryEntry>& entries,
+                            Serializer* out);
+bool DecodeSlowQueryEntries(Deserializer* in,
+                            std::vector<SlowQueryEntry>* out);
+
+/// JSON array of entries (op names resolved) for the CLI.
+std::string SlowQueryEntriesJson(const std::vector<SlowQueryEntry>& entries);
+
+}  // namespace rsmi
+
+#endif  // RSMI_OBS_SLOW_QUERY_LOG_H_

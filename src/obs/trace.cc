@@ -1,0 +1,30 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rsmi {
+
+std::string TraceJson(const std::vector<TraceSpan>& spans,
+                      const QueryContext& cost) {
+  std::string out = "{\"spans\": [";
+  char buf[128];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) out += ", ";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"start_us\": %" PRIu64
+                  ", \"end_us\": %" PRIu64 "}",
+                  spans[i].name.c_str(), spans[i].start_us, spans[i].end_us);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "], \"cost\": {\"block_accesses\": %" PRIu64
+                ", \"model_invocations\": %" PRIu64 ", \"descents\": %" PRIu64
+                ", \"nodes_visited\": %" PRIu64 "}}",
+                cost.block_accesses, cost.model_invocations, cost.descents,
+                cost.nodes_visited);
+  out += buf;
+  return out;
+}
+
+}  // namespace rsmi

@@ -1,0 +1,63 @@
+#ifndef RSMI_OBS_TRACE_H_
+#define RSMI_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_context.h"
+
+namespace rsmi {
+
+/// One timed phase of a traced request. Offsets are microseconds since
+/// the trace origin (the moment the server decoded the request off the
+/// wire), so spans from one request share a clock and order totally.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+};
+
+/// Per-request tracing scratchpad. Opt-in: the server creates one only
+/// when Request::trace is set, so the untraced hot path allocates and
+/// measures nothing on its behalf. The recorded spans travel back in the
+/// Response wire frame (admission -> queue -> batch-group -> descent ->
+/// reply) next to the op's QueryContext counters.
+class TraceContext {
+ public:
+  TraceContext() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds elapsed since the trace origin.
+  uint64_t ElapsedUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  void AddSpan(const char* name, uint64_t start_us, uint64_t end_us) {
+    TraceSpan s;
+    s.name = name;
+    s.start_us = start_us;
+    s.end_us = end_us < start_us ? start_us : end_us;
+    spans_.push_back(std::move(s));
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  std::vector<TraceSpan> TakeSpans() { return std::move(spans_); }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// JSON rendering of a finished trace: the spans plus the op's cost
+/// counters ({"spans": [{"name", "start_us", "end_us"}...], "cost":
+/// {...}}). The CLI prints this for `--trace` remote queries.
+std::string TraceJson(const std::vector<TraceSpan>& spans,
+                      const QueryContext& cost);
+
+}  // namespace rsmi
+
+#endif  // RSMI_OBS_TRACE_H_

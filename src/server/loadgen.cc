@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "nn/inference_engine.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 
 namespace rsmi {
@@ -194,6 +195,36 @@ bool RunLoadgen(const LoadgenOptions& opts, LoadgenReport* report,
   r.p99_read_us = PercentileSorted(read_latencies, 0.99);
   std::sort(write_latencies.begin(), write_latencies.end());
   r.p99_write_us = PercentileSorted(write_latencies, 0.99);
+
+  // End-of-run server-side scrape over a fresh connection (the run's
+  // connections are torn down). Best-effort: a server without the
+  // kStats op just leaves has_server_stats false.
+  {
+    std::string stats_error;
+    auto client = ServerClient::Connect(opts.host, opts.port, &stats_error);
+    if (client != nullptr) {
+      client->SetReceiveTimeout(5000);
+      Response resp;
+      if (client->Call(Request::Stats(), &resp) && resp.ok() &&
+          resp.stats.has_value()) {
+        const MetricsSnapshot& snap = *resp.stats;
+        r.has_server_stats = true;
+        r.server_admitted = static_cast<uint64_t>(
+            snap.ValueOf("server.requests_admitted"));
+        r.server_deadline_exceeded = static_cast<uint64_t>(
+            snap.ValueOf("server.deadline_exceeded"));
+        r.server_coalesced_batches = static_cast<uint64_t>(
+            snap.ValueOf("server.coalesced_batches"));
+        r.server_coalesced_requests = static_cast<uint64_t>(
+            snap.ValueOf("server.coalesced_requests"));
+        if (const MetricSample* bs = snap.Find("server.batch_size")) {
+          r.server_batch_p50 = bs->Percentile(0.50);
+          r.server_batch_p99 = bs->Percentile(0.99);
+        }
+      }
+    }
+  }
+
   *report = r;
   if (r.received == 0) return fail("no responses received");
   return true;
@@ -209,7 +240,7 @@ std::string LoadgenReportJson(const LoadgenReport& r) {
       "\"errors\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
       "\"p999_us\": %.1f, \"write_frac\": %.3f, \"write_ops\": %llu, "
       "\"failed_reads\": %llu, \"p99_read_us\": %.1f, "
-      "\"p99_write_us\": %.1f, \"inference_kernel\": \"%s\"}",
+      "\"p99_write_us\": %.1f, \"inference_kernel\": \"%s\"",
       r.target_qps, r.achieved_qps, r.duration_s,
       static_cast<unsigned long long>(r.sent),
       static_cast<unsigned long long>(r.received),
@@ -221,7 +252,22 @@ std::string LoadgenReportJson(const LoadgenReport& r) {
       static_cast<unsigned long long>(r.write_ops),
       static_cast<unsigned long long>(r.failed_reads), r.p99_read_us,
       r.p99_write_us, ActiveInferenceKernelDescription().c_str());
-  return buf;
+  std::string out = buf;
+  if (r.has_server_stats) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"server\": {\"admitted\": %llu, \"deadline_exceeded\": %llu, "
+        "\"coalesced_batches\": %llu, \"coalesced_requests\": %llu, "
+        "\"batch_size_p50\": %.1f, \"batch_size_p99\": %.1f}",
+        static_cast<unsigned long long>(r.server_admitted),
+        static_cast<unsigned long long>(r.server_deadline_exceeded),
+        static_cast<unsigned long long>(r.server_coalesced_batches),
+        static_cast<unsigned long long>(r.server_coalesced_requests),
+        r.server_batch_p50, r.server_batch_p99);
+    out += buf;
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace rsmi

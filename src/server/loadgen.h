@@ -57,6 +57,19 @@ struct LoadgenReport {
   /// Per-class latency split (same open-loop measurement as p99_us).
   double p99_read_us = 0.0;
   double p99_write_us = 0.0;
+  /// Server-side view, from a kStats scrape taken right after the run
+  /// (false when the scrape failed; the client-side numbers above are
+  /// unaffected). server_admitted counts only data requests — the
+  /// scrape itself rides the control-plane counter — so it reconciles
+  /// exactly with `sent` when this loadgen was the only client.
+  bool has_server_stats = false;
+  uint64_t server_admitted = 0;
+  uint64_t server_deadline_exceeded = 0;
+  uint64_t server_coalesced_batches = 0;
+  uint64_t server_coalesced_requests = 0;
+  /// Coalesced batch-size distribution (server.batch_size histogram).
+  double server_batch_p50 = 0.0;
+  double server_batch_p99 = 0.0;
 };
 
 /// Drives `target_qps` of mixed traffic for `duration_s` over

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "io/index_container.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 
 namespace rsmi {
@@ -23,6 +24,12 @@ Response ErrorResponse(uint64_t id, StatusCode status, std::string message) {
   resp.status = status;
   resp.message = std::move(message);
   return resp;
+}
+
+uint64_t ToUs(std::chrono::steady_clock::duration d) {
+  const int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
 }
 
 }  // namespace
@@ -80,6 +87,31 @@ std::unique_ptr<SpatialServer> SpatialServer::Start(const ServerOptions& opts,
   server->listen_fd_ = fd;
   server->port_ = ntohs(bound.sin_port);
   server->max_batch_ = std::max<size_t>(1, opts.max_batch);
+  server->slow_query_us_ = opts.slow_query_us;
+
+  // Resolve every instrumentation site once; from here on recording is a
+  // relaxed fetch_add through a stable pointer.
+  MetricsRegistry& reg = server->registry_;
+  server->admitted_ = &reg.GetCounter("server.requests_admitted");
+  server->rejected_ = &reg.GetCounter("server.requests_rejected");
+  server->responses_ = &reg.GetCounter("server.responses_sent");
+  server->coalesced_batches_ = &reg.GetCounter("server.coalesced_batches");
+  server->coalesced_requests_ = &reg.GetCounter("server.coalesced_requests");
+  server->deadline_expired_ = &reg.GetCounter("server.deadline_exceeded");
+  server->reloads_ = &reg.GetCounter("server.reloads");
+  server->stats_requests_ = &reg.GetCounter("server.stats_requests");
+  server->slow_queries_ = &reg.GetCounter("server.slow_queries");
+  server->batch_size_ = &reg.GetHistogram("server.batch_size");
+  static const char* kOpNames[4] = {"point", "window", "knn", "other"};
+  for (size_t i = 0; i < 4; ++i) {
+    server->op_timers_[i].queue_us =
+        &reg.GetHistogram(std::string("server.queue_us.") + kOpNames[i]);
+    server->op_timers_[i].exec_us =
+        &reg.GetHistogram(std::string("server.exec_us.") + kOpNames[i]);
+  }
+  reg.GetGauge("server.workers").Set(std::max(1, opts.threads));
+  reg.GetGauge("server.max_batch")
+      .Set(static_cast<int64_t>(server->max_batch_));
 
   const int n_workers = std::max(1, opts.threads);
   server->workers_.reserve(static_cast<size_t>(n_workers));
@@ -130,13 +162,36 @@ void SpatialServer::Stop() {
 
 ServerStats SpatialServer::stats() const {
   ServerStats s;
-  s.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
-  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
-  s.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
-  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
-  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.requests_admitted = admitted_->Value();
+  s.responses_sent = responses_->Value();
+  s.coalesced_batches = coalesced_batches_->Value();
+  s.coalesced_requests = coalesced_requests_->Value();
+  s.deadline_expired = deadline_expired_->Value();
+  s.reloads = reloads_->Value();
+  s.requests_rejected = rejected_->Value();
+  s.stats_requests = stats_requests_->Value();
+  s.slow_queries = slow_queries_->Value();
   return s;
+}
+
+MetricsSnapshot SpatialServer::Metrics() const {
+  MetricsSnapshot snap = registry_.Snapshot();
+  snap.MergeFrom(MetricsRegistry::Global().Snapshot());
+  return snap;
+}
+
+const SpatialServer::OpTimers& SpatialServer::TimersFor(
+    Request::Type type) const {
+  switch (type) {
+    case Request::Type::kPoint:
+      return op_timers_[0];
+    case Request::Type::kWindow:
+      return op_timers_[1];
+    case Request::Type::kKnn:
+      return op_timers_[2];
+    default:
+      return op_timers_[3];
+  }
 }
 
 std::shared_ptr<SpatialServer::Snapshot> SpatialServer::CurrentSnapshot()
@@ -187,6 +242,7 @@ void SpatialServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     if (r == FrameReadResult::kTooLarge) {
       // The stream cannot be resynchronized past an oversized frame:
       // answer once, then drop this connection (others are unaffected).
+      rejected_->Add();
       SendResponse(*conn,
                    ErrorResponse(0, StatusCode::kInvalidArgument,
                                  "request frame exceeds limit"));
@@ -198,6 +254,7 @@ void SpatialServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     if (!DecodeRequest(payload.data(), payload.size(), &req)) {
       // A well-framed but undecodable payload is a per-request error;
       // the frame boundary is intact, so the connection loop survives.
+      rejected_->Add();
       SendResponse(*conn,
                    ErrorResponse(0, StatusCode::kInvalidArgument,
                                  "undecodable request payload"));
@@ -206,16 +263,27 @@ void SpatialServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     Pending p;
     p.req = std::move(req);
     p.conn = conn;
+    // The frame-decode moment is the trace origin, the start of the
+    // queue-wait measurement, and the start of the deadline budget.
+    p.admit_tp = std::chrono::steady_clock::now();
     if (p.req.deadline_us > 0) {
       p.has_deadline = true;
-      p.deadline = std::chrono::steady_clock::now() +
-                   std::chrono::microseconds(p.req.deadline_us);
+      p.deadline =
+          p.admit_tp + std::chrono::microseconds(p.req.deadline_us);
+    }
+    if (p.req.trace) {
+      p.admit_end_us = ToUs(std::chrono::steady_clock::now() - p.admit_tp);
     }
     Enqueue(std::move(p));
   }
 }
 
 void SpatialServer::Enqueue(Pending p) {
+  // kStats is control plane: it gets its own counter so admitted
+  // reconciles exactly with the data requests a load generator sent.
+  Counter* admit_counter = p.req.type == Request::Type::kStats
+                               ? stats_requests_
+                               : admitted_;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     p.seq = next_seq_++;
@@ -225,7 +293,7 @@ void SpatialServer::Enqueue(Pending p) {
       other_queue_.push_back(std::move(p));
     }
   }
-  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  admit_counter->Add();
   queue_cv_.notify_one();
 }
 
@@ -277,44 +345,93 @@ void SpatialServer::SendResponse(Connection& conn, const Response& resp) {
   const std::vector<uint8_t> payload = EncodeResponse(resp);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   if (WriteFrame(conn.fd, payload.data(), payload.size())) {
-    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    responses_->Add();
   }
 }
 
+void SpatialServer::FinishRequest(const Pending& p, uint64_t queue_us,
+                                  uint64_t group_us, uint64_t exec_end_us,
+                                  Response* resp) {
+  const OpTimers& t = TimersFor(p.req.type);
+  const uint64_t exec_us =
+      exec_end_us > queue_us ? exec_end_us - queue_us : 0;
+  t.queue_us->Observe(queue_us);
+  t.exec_us->Observe(exec_us);
+  if (slow_query_us_ > 0 && exec_end_us >= slow_query_us_) {
+    SlowQueryEntry e;
+    e.op = static_cast<uint8_t>(p.req.type);
+    e.status = static_cast<uint8_t>(resp->status);
+    e.id = p.req.id;
+    e.queue_us = queue_us;
+    e.exec_us = exec_us;
+    e.total_us = exec_end_us;
+    e.cost = resp->cost;
+    slow_log_.Record(e);
+    slow_queries_->Add();
+  }
+  if (!p.req.trace) return;
+  // Spans share the request's trace origin (admit_tp); each phase starts
+  // where the previous one ended, so offsets are monotone by
+  // construction (clamped against the rare non-monotone clock read).
+  const uint64_t queue_end = std::max(queue_us, p.admit_end_us);
+  resp->trace.push_back({"admission", 0, p.admit_end_us});
+  resp->trace.push_back({"queue", p.admit_end_us, queue_end});
+  uint64_t descent_start = queue_end;
+  if (group_us != 0) {
+    const uint64_t group_end = std::max(group_us, queue_end);
+    resp->trace.push_back({"batch_group", queue_end, group_end});
+    descent_start = group_end;
+  }
+  const uint64_t descent_end = std::max(exec_end_us, descent_start);
+  resp->trace.push_back({"descent", descent_start, descent_end});
+  resp->trace.push_back(
+      {"reply", descent_end,
+       std::max(ToUs(std::chrono::steady_clock::now() - p.admit_tp),
+                descent_end)});
+}
+
 void SpatialServer::ExecuteSingle(const Pending& p) {
-  if (p.has_deadline && std::chrono::steady_clock::now() > p.deadline) {
-    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  const auto deq = std::chrono::steady_clock::now();
+  const uint64_t queue_us = ToUs(deq - p.admit_tp);
+  if (p.has_deadline && deq > p.deadline) {
+    deadline_expired_->Add();
+    TimersFor(p.req.type).queue_us->Observe(queue_us);
     SendResponse(*p.conn,
                  ErrorResponse(p.req.id, StatusCode::kDeadlineExceeded,
                                "deadline expired before execution"));
     return;
   }
-  if (p.req.type == Request::Type::kReload) {
-    SendResponse(*p.conn, DoReload(p.req));
-    return;
-  }
-  const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
   Response resp;
-  if (p.req.type == Request::Type::kInsert ||
-      p.req.type == Request::Type::kDelete ||
-      p.req.type == Request::Type::kUpdateBatch) {
-    // Writes no longer stop the world when the index buffers them:
-    // buffered requests on a concurrent-update index take the shared
-    // lock (the delta-buffer/epoch machinery handles writer-writer and
-    // writer-reader interleaving), so reads keep flowing. Everything
-    // else keeps the exclusive writer lock.
-    if (p.req.write_opts.buffered &&
-        snap->index->SupportsConcurrentUpdates()) {
-      std::shared_lock<std::shared_mutex> lock(snap->rw);
-      resp = ExecuteRequest(*snap->index, p.req);
-    } else {
-      std::unique_lock<std::shared_mutex> lock(snap->rw);
-      resp = ExecuteRequest(*snap->index, p.req);
-    }
+  if (p.req.type == Request::Type::kStats) {
+    resp = DoStats(p.req);
+  } else if (p.req.type == Request::Type::kReload) {
+    resp = DoReload(p.req);
   } else {
-    std::shared_lock<std::shared_mutex> lock(snap->rw);
-    resp = ExecuteReadRequest(*snap->index, p.req);
+    const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
+    if (p.req.type == Request::Type::kInsert ||
+        p.req.type == Request::Type::kDelete ||
+        p.req.type == Request::Type::kUpdateBatch) {
+      // Writes no longer stop the world when the index buffers them:
+      // buffered requests on a concurrent-update index take the shared
+      // lock (the delta-buffer/epoch machinery handles writer-writer and
+      // writer-reader interleaving), so reads keep flowing. Everything
+      // else keeps the exclusive writer lock.
+      if (p.req.write_opts.buffered &&
+          snap->index->SupportsConcurrentUpdates()) {
+        std::shared_lock<std::shared_mutex> lock(snap->rw);
+        resp = ExecuteRequest(*snap->index, p.req);
+      } else {
+        std::unique_lock<std::shared_mutex> lock(snap->rw);
+        resp = ExecuteRequest(*snap->index, p.req);
+      }
+    } else {
+      std::shared_lock<std::shared_mutex> lock(snap->rw);
+      resp = ExecuteReadRequest(*snap->index, p.req);
+    }
   }
+  const uint64_t exec_end_us =
+      ToUs(std::chrono::steady_clock::now() - p.admit_tp);
+  FinishRequest(p, queue_us, 0, exec_end_us, &resp);
   SendResponse(*p.conn, resp);
 }
 
@@ -326,7 +443,8 @@ void SpatialServer::ExecutePointGroup(const std::vector<Pending>& group) {
   const auto now = std::chrono::steady_clock::now();
   for (const Pending& p : group) {
     if (p.has_deadline && now > p.deadline) {
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      deadline_expired_->Add();
+      op_timers_[0].queue_us->Observe(ToUs(now - p.admit_tp));
       SendResponse(*p.conn,
                    ErrorResponse(p.req.id, StatusCode::kDeadlineExceeded,
                                  "deadline expired before execution"));
@@ -348,19 +466,28 @@ void SpatialServer::ExecutePointGroup(const std::vector<Pending>& group) {
   std::vector<QueryContext> ctxs(n);
   std::vector<std::optional<PointEntry>> hits(n);
   for (size_t i = 0; i < n; ++i) pts[i] = live[i]->req.pt;
+  const auto batch_start = std::chrono::steady_clock::now();
   {
     const std::shared_ptr<Snapshot> snap = CurrentSnapshot();
     std::shared_lock<std::shared_mutex> lock(snap->rw);
     snap->index->PointQueryBatch(pts.data(), n, ctxs.data(), hits.data());
   }
-  coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
-  coalesced_requests_.fetch_add(n, std::memory_order_relaxed);
+  const auto batch_end = std::chrono::steady_clock::now();
+  coalesced_batches_->Add();
+  coalesced_requests_->Add(n);
+  batch_size_->Observe(n);
   for (size_t i = 0; i < n; ++i) {
     Response resp;
     resp.id = live[i]->req.id;
     resp.hit = hits[i];
     resp.cost = ctxs[i];
     if (!resp.hit.has_value()) resp.status = StatusCode::kNotFound;
+    // Per-request offsets against each request's own admission time:
+    // queue ends at dequeue, the batch_group span covers group assembly,
+    // descent is the shared batched call.
+    FinishRequest(*live[i], ToUs(now - live[i]->admit_tp),
+                  ToUs(batch_start - live[i]->admit_tp),
+                  ToUs(batch_end - live[i]->admit_tp), &resp);
     SendResponse(*live[i]->conn, resp);
   }
 }
@@ -380,10 +507,20 @@ Response SpatialServer::DoReload(const Request& req) {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(next);
   }
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Add();
   Response resp;
   resp.id = req.id;
   resp.message = "reloaded " + path;
+  return resp;
+}
+
+Response SpatialServer::DoStats(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.stats = Metrics();
+  // req.k bounds the slow-query entries returned; 0 means none (the
+  // snapshot alone), matching Request::Stats's default.
+  if (req.k > 0) resp.slow = slow_log_.Latest(req.k);
   return resp;
 }
 

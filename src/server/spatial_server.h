@@ -15,6 +15,8 @@
 
 #include "core/spatial_index.h"
 #include "exec/request.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 
 namespace rsmi {
 
@@ -30,9 +32,15 @@ struct ServerOptions {
   int threads = 4;
   /// Most point requests coalesced into one PointQueryBatch group.
   size_t max_batch = 16;
+  /// Slow-query threshold in microseconds: a request whose queue wait +
+  /// execution reaches it lands in the slow-query log (retrievable via
+  /// the kStats op). 0 disables the log.
+  uint32_t slow_query_us = 0;
 };
 
-/// Counters exposed for tests and the smoke probe.
+/// Counters exposed for tests and the smoke probe — a typed view over
+/// the server's metrics registry (the same numbers a kStats scrape
+/// returns, minus the histograms).
 struct ServerStats {
   uint64_t requests_admitted = 0;
   uint64_t responses_sent = 0;
@@ -42,6 +50,14 @@ struct ServerStats {
   uint64_t coalesced_requests = 0;
   uint64_t deadline_expired = 0;
   uint64_t reloads = 0;
+  /// Undecodable payloads and oversized frames answered with an error.
+  uint64_t requests_rejected = 0;
+  /// kStats scrapes served. Control plane: NOT counted in
+  /// requests_admitted, so admitted reconciles exactly with the data
+  /// requests a load generator sent.
+  uint64_t stats_requests = 0;
+  /// Requests recorded into the slow-query log.
+  uint64_t slow_queries = 0;
 };
 
 /// Long-running concurrent TCP server in front of the execution layer:
@@ -67,6 +83,16 @@ struct ServerStats {
 /// admitted after the swap see the new one, and no traffic is dropped.
 /// Writes (insert/delete) take the snapshot's writer lock, reads its
 /// reader lock — the SpatialIndex contract, per snapshot.
+///
+/// Observability (src/obs/): the server owns a private MetricsRegistry
+/// (admission/response counters, queue-wait and execution-time
+/// histograms per op kind, coalesced batch sizes) and a bounded
+/// slow-query log; the kStats op snapshots the private registry merged
+/// with the process-global one (shard merges, engine counters) and
+/// returns it over the wire. A request with Request::trace set comes
+/// back with timestamped spans (admission -> queue -> [batch-group ->]
+/// descent -> reply) in Response::trace. Instrumentation never changes
+/// results or QueryContext counters.
 class SpatialServer {
  public:
   /// Loads the index, binds, and starts serving. nullptr with a
@@ -89,6 +115,15 @@ class SpatialServer {
   int threads() const { return static_cast<int>(workers_.size()); }
 
   ServerStats stats() const;
+
+  /// The kStats payload: this server's registry merged with the
+  /// process-global one. Also handy for in-process tests.
+  MetricsSnapshot Metrics() const;
+
+  /// Newest slow-query-log entries (all of them with max == SIZE_MAX).
+  std::vector<SlowQueryEntry> SlowQueries(size_t max) const {
+    return slow_log_.Latest(max);
+  }
 
  private:
   /// One published index version. Readers hold the shared_ptr (keeping
@@ -114,9 +149,21 @@ class SpatialServer {
     std::shared_ptr<Connection> conn;
     /// Admission order across both queues (rough global FIFO).
     uint64_t seq = 0;
+    /// When the frame was decoded — the trace origin and the start of
+    /// the queue-wait measurement.
+    std::chrono::steady_clock::time_point admit_tp;
+    /// Traced requests: offset (us since admit_tp) at which admission
+    /// handling ended (the enqueue), closing the "admission" span.
+    uint64_t admit_end_us = 0;
     /// Deadline in steady time; only meaningful when has_deadline.
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+  };
+
+  /// Per-op-kind histogram pair (queue wait, execution time).
+  struct OpTimers {
+    Histogram* queue_us = nullptr;
+    Histogram* exec_us = nullptr;
   };
 
   SpatialServer() = default;
@@ -131,18 +178,29 @@ class SpatialServer {
 
   void Enqueue(Pending p);
   void SendResponse(Connection& conn, const Response& resp);
-  /// Executes one non-point request (window/kNN/write/reload).
+  /// Executes one non-point request (window/kNN/write/reload/stats).
   void ExecuteSingle(const Pending& p);
   /// Executes a coalesced group of point requests in one
   /// per-op-attributed PointQueryBatch call.
   void ExecutePointGroup(const std::vector<Pending>& group);
   Response DoReload(const Request& req);
+  Response DoStats(const Request& req);
+
+  /// Queue/exec histograms for a request type (writes share one pair).
+  const OpTimers& TimersFor(Request::Type type) const;
+  /// Observes queue/exec timings, records the slow-query log entry when
+  /// the threshold is crossed, and (traced requests) appends the
+  /// queue/descent/reply spans to `resp`. `group_us`: offset at which a
+  /// coalesced group finished assembling, 0 for singles.
+  void FinishRequest(const Pending& p, uint64_t queue_us, uint64_t group_us,
+                     uint64_t exec_end_us, Response* resp);
 
   std::shared_ptr<Snapshot> CurrentSnapshot() const;
 
   std::string default_path_;
   uint16_t port_ = 0;
   size_t max_batch_ = 16;
+  uint32_t slow_query_us_ = 0;
   int listen_fd_ = -1;
 
   mutable std::mutex snapshot_mu_;
@@ -165,12 +223,24 @@ class SpatialServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::atomic<uint64_t> requests_admitted_{0};
-  std::atomic<uint64_t> responses_sent_{0};
-  std::atomic<uint64_t> coalesced_batches_{0};
-  std::atomic<uint64_t> coalesced_requests_{0};
-  std::atomic<uint64_t> deadline_expired_{0};
-  std::atomic<uint64_t> reloads_{0};
+  /// Private registry: server.* metrics live here so concurrent servers
+  /// in one process (tests) do not bleed counts into each other. The
+  /// raw pointers below are resolved once in Start() — recording is one
+  /// relaxed fetch_add, no name lookups on the hot path.
+  MetricsRegistry registry_;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* responses_ = nullptr;
+  Counter* coalesced_batches_ = nullptr;
+  Counter* coalesced_requests_ = nullptr;
+  Counter* deadline_expired_ = nullptr;
+  Counter* reloads_ = nullptr;
+  Counter* stats_requests_ = nullptr;
+  Counter* slow_queries_ = nullptr;
+  Histogram* batch_size_ = nullptr;
+  OpTimers op_timers_[4];  ///< point / window / knn / everything else
+
+  SlowQueryLog slow_log_{128};
 };
 
 }  // namespace rsmi

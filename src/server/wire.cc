@@ -28,6 +28,7 @@ std::vector<uint8_t> EncodeRequest(const Request& req) {
     ser.WritePod<uint8_t>(static_cast<uint8_t>(op.kind));
     ser.WritePod<Point>(op.pt);
   }
+  ser.WritePod<uint8_t>(req.trace ? 1 : 0);
   return ser.buffer();
 }
 
@@ -35,7 +36,7 @@ bool DecodeRequest(const uint8_t* data, size_t n, Request* out) {
   Deserializer in(data, n);
   uint8_t type = 0;
   if (!in.ReadPod(&type)) return false;
-  if (type > static_cast<uint8_t>(Request::Type::kUpdateBatch)) return false;
+  if (type > static_cast<uint8_t>(Request::Type::kStats)) return false;
   out->type = static_cast<Request::Type>(type);
   if (!in.ReadPod(&out->id)) return false;
   if (!in.ReadPod(&out->deadline_us)) return false;
@@ -61,6 +62,10 @@ bool DecodeRequest(const uint8_t* data, size_t n, Request* out) {
     op.kind = static_cast<UpdateOp::Kind>(kind);
     out->ops.push_back(op);
   }
+  uint8_t trace = 0;
+  if (!in.ReadPod(&trace)) return false;
+  if (trace > 1) return false;
+  out->trace = trace != 0;
   // Trailing bytes mean the peer framed something else entirely.
   return in.ok() && in.remaining() == 0;
 }
@@ -79,6 +84,15 @@ std::vector<uint8_t> EncodeResponse(const Response& resp) {
   ser.WritePod<uint64_t>(resp.update.buffered_ops);
   ser.WritePod<uint64_t>(resp.update.merges_triggered);
   ser.WriteString(resp.message);
+  ser.WritePod<uint32_t>(static_cast<uint32_t>(resp.trace.size()));
+  for (const TraceSpan& s : resp.trace) {
+    ser.WriteString(s.name);
+    ser.WritePod<uint64_t>(s.start_us);
+    ser.WritePod<uint64_t>(s.end_us);
+  }
+  ser.WritePod<uint8_t>(resp.stats.has_value() ? 1 : 0);
+  if (resp.stats.has_value()) resp.stats->EncodeTo(&ser);
+  EncodeSlowQueryEntries(resp.slow, &ser);
   return ser.buffer();
 }
 
@@ -107,6 +121,30 @@ bool DecodeResponse(const uint8_t* data, size_t n, Response* out) {
   if (!in.ReadPod(&out->update.buffered_ops)) return false;
   if (!in.ReadPod(&out->update.merges_triggered)) return false;
   if (!in.ReadString(&out->message)) return false;
+  uint32_t nspans = 0;
+  if (!in.ReadPod(&nspans)) return false;
+  // A span is at least a name length prefix plus the two offsets.
+  if (nspans > in.remaining() / (4 + 8 + 8)) return false;
+  out->trace.clear();
+  out->trace.reserve(nspans);
+  for (uint32_t i = 0; i < nspans; ++i) {
+    TraceSpan s;
+    if (!in.ReadString(&s.name)) return false;
+    if (!in.ReadPod(&s.start_us)) return false;
+    if (!in.ReadPod(&s.end_us)) return false;
+    out->trace.push_back(std::move(s));
+  }
+  uint8_t has_stats = 0;
+  if (!in.ReadPod(&has_stats)) return false;
+  if (has_stats > 1) return false;
+  if (has_stats != 0) {
+    MetricsSnapshot snap;
+    if (!MetricsSnapshot::DecodeFrom(&in, &snap)) return false;
+    out->stats = std::move(snap);
+  } else {
+    out->stats.reset();
+  }
+  if (!DecodeSlowQueryEntries(&in, &out->slow)) return false;
   return in.ok() && in.remaining() == 0;
 }
 

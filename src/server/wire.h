@@ -22,12 +22,14 @@ namespace rsmi {
 /// Request payload:
 ///   u8 type | u64 id | u32 deadline_us | Point pt | Rect window |
 ///   u32 k | string path | u8 write_flags | u32 num_ops |
-///   num_ops * (u8 kind | Point pt)
+///   num_ops * (u8 kind | Point pt) | u8 trace
 /// Response payload:
 ///   u64 id | u8 status | u8 has_hit | [PointEntry hit] |
 ///   vec<Point> points | QueryContext cost |
 ///   5 * u64 update counters (applied_inserts, applied_deletes,
-///   delete_misses, buffered_ops, merges_triggered) | string message
+///   delete_misses, buffered_ops, merges_triggered) | string message |
+///   u32 num_spans | num_spans * (string name | u64 start | u64 end) |
+///   u8 has_stats | [MetricsSnapshot] | slow-query entries
 ///
 /// write_flags: bit 0 = WriteOptions::buffered, bit 1 = fence. The op
 /// list rides on every request for uniformity but is only non-empty on

@@ -7,13 +7,34 @@
 #include <thread>
 #include <utility>
 
+#include <chrono>
+
 #include "common/env.h"
 #include "common/group_by.h"
 #include "io/index_container.h"
 #include "io/serializer.h"
+#include "obs/metrics.h"
 
 namespace rsmi {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Observability (process-global registry, src/obs/). Only maintenance
+// paths record — epoch publication, freezes, merges; the read path is
+// untouched. References are resolved once per process.
+// ---------------------------------------------------------------------------
+
+Counter& EpochSwapCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("shard.epoch_swaps");
+  return c;
+}
+
+Histogram& FreezeDeltaOpsHistogram() {
+  static Histogram& h =
+      MetricsRegistry::Global().GetHistogram("shard.freeze_delta_ops");
+  return h;
+}
 
 /// Effective intra-query fan-out width: the environment override wins
 /// over the config (a serving knob an operator flips without a rebuild).
@@ -617,6 +638,7 @@ UpdateResult ShardedIndex::BufferOps(size_t s,
   if (delta->size() >= delta_merge_threshold_ && ep->merging == nullptr) {
     // Freeze: the grown delta becomes the merging layer, writers start a
     // fresh active buffer, and the caller arranges the merge.
+    FreezeDeltaOpsHistogram().Observe(delta->size());
     next->merging = std::move(delta);
     next->delta = std::make_shared<DeltaBuffer>();
     *schedule = true;
@@ -624,6 +646,7 @@ UpdateResult ShardedIndex::BufferOps(size_t s,
     next->delta = std::move(delta);
   }
   PublishEpoch(s, std::move(next));
+  EpochSwapCounter().Add();
   return r;
 }
 
@@ -656,6 +679,7 @@ UpdateResult ShardedIndex::ApplyImmediate(size_t s,
   auto next = std::make_shared<Epoch>(*ep);
   next->region = region;
   PublishEpoch(s, std::move(next));
+  EpochSwapCounter().Add();
   return r;
 }
 
@@ -671,6 +695,7 @@ void ShardedIndex::MergeFrozen(size_t s) {
   std::lock_guard<std::mutex> ml(sh.merge_mu);
   const auto ep = EpochOf(s);
   if (ep->merging == nullptr) return;
+  const auto merge_start = std::chrono::steady_clock::now();
 
   // Clone the base through the persistence round-trip (bit-identical by
   // the container contract), then replay the frozen log sequentially —
@@ -702,13 +727,29 @@ void ShardedIndex::MergeFrozen(size_t s) {
     next->region = cur->region;
     if (next->delta->size() >= delta_merge_threshold_) {
       // The active delta outgrew the threshold while this merge ran.
+      FreezeDeltaOpsHistogram().Observe(next->delta->size());
       next->merging = next->delta;
       next->delta = std::make_shared<DeltaBuffer>();
       refreeze = true;
     }
     PublishEpoch(s, std::move(next));
+    EpochSwapCounter().Add();
     // Readers on the old epoch finish on the old base; the last epoch
     // reference dropping frees it.
+  }
+  {
+    static Counter& merges =
+        MetricsRegistry::Global().GetCounter("shard.merges");
+    static Counter& replayed =
+        MetricsRegistry::Global().GetCounter("shard.replayed_ops");
+    static Histogram& merge_us =
+        MetricsRegistry::Global().GetHistogram("shard.merge_us");
+    merges.Add();
+    replayed.Add(replay.ops.size());
+    merge_us.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count()));
   }
   if (refreeze && background_merge_) ScheduleMerge(s);
 }
@@ -721,10 +762,12 @@ void ShardedIndex::DrainShard(size_t s) {
     const auto ep = EpochOf(s);
     if (ep->merging != nullptr) continue;  // froze again — merge it
     if (ep->delta->empty()) return;        // clean
+    FreezeDeltaOpsHistogram().Observe(ep->delta->size());
     auto next = std::make_shared<Epoch>(*ep);
     next->merging = ep->delta;
     next->delta = std::make_shared<DeltaBuffer>();
     PublishEpoch(s, std::move(next));
+    EpochSwapCounter().Add();
   }
 }
 
@@ -812,12 +855,17 @@ namespace {
 
 /// UpdateOps are written one field at a time (kind byte + point): the
 /// struct has padding, so WriteVec's raw-bytes fast path would persist
-/// uninitialized memory.
+/// uninitialized memory. Since container v3 the total op count is
+/// followed by the frozen-layer count (the first `frozen_n` ops belong
+/// to the merging layer), so tooling can report the buffered/frozen
+/// split without replaying anything.
 void WriteDeltaOps(Serializer& out, const DeltaBuffer* frozen,
                    const DeltaBuffer* active) {
-  const uint64_t n = (frozen != nullptr ? frozen->log().size() : 0) +
-                     (active != nullptr ? active->log().size() : 0);
+  const uint64_t frozen_n = frozen != nullptr ? frozen->log().size() : 0;
+  const uint64_t n =
+      frozen_n + (active != nullptr ? active->log().size() : 0);
   out.WritePod<uint64_t>(n);
+  out.WritePod<uint64_t>(frozen_n);
   for (const DeltaBuffer* layer : {frozen, active}) {
     if (layer == nullptr) continue;
     for (const UpdateOp& op : layer->log()) {
@@ -898,6 +946,15 @@ bool ShardedIndex::LoadFrom(Deserializer& in) {
     // visible state equals the saved one's.
     uint64_t nops = 0;
     if (!in.ReadPod(&nops)) return false;
+    // v3 records where the frozen layer ended at save time. The split is
+    // informational (tooling: `rsmi_cli info`) — replay still lands every
+    // op in one fresh active buffer, because restoring a merging layer
+    // here would leave a frozen log nothing ever schedules a merge for.
+    uint64_t frozen_n = 0;
+    if (!in.ReadPod(&frozen_n)) return false;
+    if (frozen_n > nops) {
+      return in.Fail("delta log frozen count exceeds total op count");
+    }
     if (nops > in.remaining() / (1 + sizeof(Point))) {
       return in.Fail("delta log length exceeds remaining data");
     }

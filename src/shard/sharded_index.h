@@ -205,10 +205,11 @@ class ShardedIndex : public SpatialIndex {
   /// its own kind spec, so arbitrarily nested specs
   /// ("sharded<2>:sharded<2>:grid") round-trip through one file without
   /// rebuilding anything — followed by the shard's buffered delta log
-  /// (frozen ops first, then active ops), so a save taken under buffered
-  /// writes loses nothing. LoadFrom dispatches every nested container
-  /// back through the factory and replays the delta log into a fresh
-  /// active buffer. Requires exclusive access.
+  /// (frozen ops first, then active ops, with the frozen count recorded
+  /// since container v3), so a save taken under buffered writes loses
+  /// nothing. LoadFrom dispatches every nested container back through
+  /// the factory and replays the delta log into a fresh active buffer.
+  /// Requires exclusive access.
   std::string KindSpec() const override;
   bool SaveTo(Serializer& out) const override;
   bool LoadFrom(Deserializer& in) override;

@@ -1,0 +1,498 @@
+// Observability layer tests: histogram bucket math and snapshot merging,
+// multi-threaded counter hammering (run under TSan in CI), the
+// zero-overhead contract (a disabled registry changes no results and no
+// QueryContext counters), per-request trace spans through a live server,
+// the kStats wire op, and the slow-query log (ring bound + server
+// capture).
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "data/generators.h"
+#include "exec/batch_query_engine.h"
+#include "exec/request.h"
+#include "io/index_container.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/spatial_server.h"
+#include "server/wire.h"
+#include "gtest/gtest.h"
+
+namespace rsmi {
+namespace {
+
+IndexBuildConfig SpecConfig() {
+  IndexBuildConfig cfg;
+  cfg.block_capacity = 20;
+  cfg.partition_threshold = 400;
+  cfg.train.epochs = 40;
+  cfg.train.batch_size = 128;
+  cfg.internal_sample_cap = 2048;
+  return cfg;
+}
+
+std::string BuildAndSave(const std::vector<Point>& data,
+                         const std::string& name,
+                         const std::string& spec = "grid") {
+  auto index = MakeIndexFromSpec(spec, data, SpecConfig());
+  EXPECT_NE(index, nullptr);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::string err;
+  EXPECT_TRUE(SaveIndex(*index, path, &err)) << err;
+  return path;
+}
+
+TEST(HistogramTest, BucketMathCoversTheLog2Lattice) {
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(1023), 10u);
+  EXPECT_EQ(HistogramBucketOf(1024), 11u);
+  EXPECT_EQ(HistogramBucketOf(~0ull), 64u);
+  // Every bucket b >= 1 covers [2^(b-1), 2^b): the two ends land in the
+  // same bucket, the value one past the end does not.
+  for (size_t b = 1; b < 64; ++b) {
+    const uint64_t lo = 1ull << (b - 1);
+    EXPECT_EQ(HistogramBucketOf(lo), b);
+    EXPECT_EQ(HistogramBucketOf(2 * lo - 1), b);
+  }
+}
+
+TEST(HistogramTest, ObserveSnapshotAndPercentiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("test.latency_us");
+  const uint64_t values[] = {0, 1, 3, 100, 1000};
+  uint64_t sum = 0;
+  for (uint64_t v : values) {
+    h.Observe(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.Count(), 5u);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* s = snap.Find("test.latency_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_EQ(s->sum, sum);
+  ASSERT_EQ(s->buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(s->buckets[0], 1u);                       // the zero
+  EXPECT_EQ(s->buckets[HistogramBucketOf(1)], 1u);
+  EXPECT_EQ(s->buckets[HistogramBucketOf(3)], 1u);
+  EXPECT_EQ(s->buckets[HistogramBucketOf(100)], 1u);
+  EXPECT_EQ(s->buckets[HistogramBucketOf(1000)], 1u);
+  EXPECT_DOUBLE_EQ(s->Mean(), static_cast<double>(sum) / 5.0);
+  // Percentiles are log-bucket estimates: monotone in p, and each lands
+  // inside (or at the edge of) the bucket holding the target rank.
+  const double p50 = s->Percentile(0.50);
+  const double p99 = s->Percentile(0.99);
+  const double p999 = s->Percentile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GE(p50, 2.0);      // rank 3 of {0,1,3,100,1000} is in [2,4)
+  EXPECT_LE(p50, 4.0);
+  EXPECT_GE(p99, 512.0);    // top rank is in [512, 1024)
+  EXPECT_LE(p999, 1024.0);
+
+  // An empty histogram answers zeros, not NaNs.
+  Histogram& empty = reg.GetHistogram("test.empty");
+  (void)empty;
+  const MetricsSnapshot snap2 = reg.Snapshot();
+  const MetricSample* e = snap2.Find("test.empty");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(e->Mean(), 0.0);
+}
+
+// The amortized bulk fold must be observationally identical to feeding
+// the same values through Observe one at a time (same buckets, count,
+// sum — hence the same percentiles), and a disabled registry must drop
+// the whole batch.
+TEST(HistogramTest, ObserveBatchMatchesPerValueObserve) {
+  MetricsRegistry reg;
+  Histogram& one_by_one = reg.GetHistogram("test.single");
+  Histogram& batched = reg.GetHistogram("test.batched");
+  std::vector<uint64_t> values = {0, 0, 1, 2, 3, 7, 8, 100, 1000, ~0ull};
+  for (uint64_t v : values) one_by_one.Observe(v);
+  batched.ObserveBatch(values.data(), values.size());
+  batched.ObserveBatch(values.data(), 0);  // empty batch is a no-op
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* a = snap.Find("test.single");
+  const MetricSample* b = snap.Find("test.batched");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, values.size());
+  EXPECT_EQ(b->count, a->count);
+  EXPECT_EQ(b->sum, a->sum);
+  EXPECT_EQ(b->buckets, a->buckets);
+
+  reg.set_enabled(false);
+  batched.ObserveBatch(values.data(), values.size());
+  reg.set_enabled(true);
+  EXPECT_EQ(batched.Count(), values.size());
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndBucketsGaugesLastWin) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared.count").Add(5);
+  b.GetCounter("shared.count").Add(7);
+  a.GetGauge("shared.gauge").Set(3);
+  b.GetGauge("shared.gauge").Set(9);
+  a.GetHistogram("shared.hist").Observe(10);
+  a.GetHistogram("shared.hist").Observe(20);
+  b.GetHistogram("shared.hist").Observe(30);
+  a.GetCounter("only.a").Add(1);
+  b.GetCounter("only.b").Add(2);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.ValueOf("shared.count"), 12);
+  EXPECT_EQ(merged.ValueOf("shared.gauge"), 9);  // incoming wins
+  const MetricSample* h = merged.Find("shared.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 60u);
+  EXPECT_EQ(merged.ValueOf("only.a"), 1);
+  EXPECT_EQ(merged.ValueOf("only.b"), 2);
+  EXPECT_EQ(merged.ValueOf("absent", -1), -1);
+
+  // Samples stay name-sorted after a merge (the text formats and
+  // follow-up merges rely on it).
+  for (size_t i = 1; i < merged.samples.size(); ++i) {
+    EXPECT_LT(merged.samples[i - 1].name, merged.samples[i].name);
+  }
+
+  // Both text formats mention every metric.
+  const std::string json = merged.ToJson();
+  const std::string prom = merged.ToPrometheus();
+  EXPECT_NE(json.find("\"shared.hist\""), std::string::npos);
+  EXPECT_NE(prom.find("shared_hist_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("shared_count 12"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersAndHistogramsLoseNothing) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("hammer.count");
+  Histogram& h = reg.GetHistogram("hammer.hist");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &c, &h, t] {
+      // Same-name lookups from other threads must return the same
+      // metric, racing with the recording below.
+      Counter& mine = reg.GetCounter("hammer.count");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        mine.Add(1);
+        h.Observe(static_cast<uint64_t>(t) * 16 + (i & 15));
+      }
+      (void)c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.ValueOf("hammer.count"),
+            static_cast<int64_t>(kThreads * kPerThread));
+}
+
+TEST(ObservabilityContractTest, DisabledRegistryChangesNoResultsOrCosts) {
+  const auto data = GenerateDataset(Distribution::kSkewed, 2500, 17);
+  auto index = MakeIndexFromSpec("grid", data, SpecConfig());
+  ASSERT_NE(index, nullptr);
+  WorkloadMix mix;
+  mix.point_frac = 0.6;
+  mix.window_frac = 0.3;
+  mix.k = 5;
+  const auto reqs = BuildMixedWorkload(data, 300, mix, 7);
+
+  MetricsRegistry& global = MetricsRegistry::Global();
+  global.set_enabled(true);
+  const int64_t runs_before = global.Snapshot().ValueOf("engine.runs");
+
+  BatchQueryEngine engine(2);
+  const BatchQueryStats on = engine.Run(*index, reqs);
+  const int64_t runs_mid = global.Snapshot().ValueOf("engine.runs");
+  EXPECT_EQ(runs_mid, runs_before + 1);
+
+  global.set_enabled(false);
+  const BatchQueryStats off = engine.Run(*index, reqs);
+  const int64_t runs_after = global.Snapshot().ValueOf("engine.runs");
+  global.set_enabled(true);
+
+  // The contract: instrumentation never changes results or QueryContext
+  // counters. Same requests, same index -> identical work either way.
+  EXPECT_EQ(on.total_results, off.total_results);
+  EXPECT_EQ(on.cost.block_accesses, off.cost.block_accesses);
+  EXPECT_EQ(on.cost.model_invocations, off.cost.model_invocations);
+  EXPECT_EQ(on.cost.descents, off.cost.descents);
+  EXPECT_EQ(on.cost.nodes_visited, off.cost.nodes_visited);
+  // And the disabled run recorded nothing.
+  EXPECT_EQ(runs_after, runs_mid);
+
+  // Disabled metrics are no-ops at the metric level too.
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("off.count");
+  Histogram& h = reg.GetHistogram("off.hist");
+  reg.set_enabled(false);
+  c.Add(100);
+  h.Observe(100);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Count(), 0u);
+  reg.set_enabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(SlowQueryLogTest, RingStaysBoundedAndReturnsNewestFirst) {
+  SlowQueryLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    SlowQueryEntry e;
+    e.id = i;
+    e.total_us = 1000 + i;
+    log.Record(e);
+  }
+  EXPECT_EQ(log.TotalRecorded(), 10u);
+  const auto all = log.Latest(100);
+  ASSERT_EQ(all.size(), 4u);  // bounded by capacity, not by history
+  EXPECT_EQ(all[0].id, 9u);   // newest first
+  EXPECT_EQ(all[1].id, 8u);
+  EXPECT_EQ(all[2].id, 7u);
+  EXPECT_EQ(all[3].id, 6u);
+  const auto two = log.Latest(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].id, 9u);
+  EXPECT_EQ(two[1].id, 8u);
+
+  // JSON rendering names the op and carries the timings.
+  SlowQueryEntry named;
+  named.op = static_cast<uint8_t>(Request::Type::kWindow);
+  named.total_us = 777;
+  const std::string json = SlowQueryEntriesJson({named});
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("777"), std::string::npos);
+}
+
+TEST(StatsWireTest, ResponseWithSnapshotSlowLogAndTraceRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("wire.count").Add(42);
+  reg.GetGauge("wire.gauge").Set(-7);
+  reg.GetHistogram("wire.hist").Observe(100);
+  reg.GetHistogram("wire.hist").Observe(10000);
+
+  Response resp;
+  resp.id = 55;
+  resp.stats = reg.Snapshot();
+  SlowQueryEntry e;
+  e.op = static_cast<uint8_t>(Request::Type::kKnn);
+  e.status = static_cast<uint8_t>(StatusCode::kOk);
+  e.id = 4242;
+  e.queue_us = 10;
+  e.exec_us = 990;
+  e.total_us = 1000;
+  e.cost.block_accesses = 3;
+  e.cost.nodes_visited = 9;
+  resp.slow = {e, e};
+  resp.trace.push_back({"admission", 0, 2});
+  resp.trace.push_back({"queue", 2, 5});
+  resp.trace.push_back({"descent", 5, 40});
+  resp.trace.push_back({"reply", 40, 41});
+
+  const std::vector<uint8_t> payload = EncodeResponse(resp);
+  Response back;
+  ASSERT_TRUE(DecodeResponse(payload.data(), payload.size(), &back));
+  EXPECT_EQ(back.id, 55u);
+  ASSERT_TRUE(back.stats.has_value());
+  EXPECT_EQ(back.stats->ValueOf("wire.count"), 42);
+  EXPECT_EQ(back.stats->ValueOf("wire.gauge"), -7);
+  const MetricSample* h = back.stats->Find("wire.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 10100u);
+  ASSERT_EQ(back.slow.size(), 2u);
+  EXPECT_EQ(back.slow[0].id, 4242u);
+  EXPECT_EQ(back.slow[0].total_us, 1000u);
+  EXPECT_EQ(back.slow[0].cost.nodes_visited, 9u);
+  ASSERT_EQ(back.trace.size(), 4u);
+  EXPECT_EQ(back.trace[0].name, "admission");
+  EXPECT_EQ(back.trace[2].name, "descent");
+  EXPECT_EQ(back.trace[2].end_us, 40u);
+
+  // A truncated stats payload is rejected, not mis-decoded.
+  Response trunc;
+  EXPECT_FALSE(
+      DecodeResponse(payload.data(), payload.size() - 1, &trunc));
+
+  // The trace request flag survives its own round trip.
+  Request treq = Request::PointLookup({0.5, 0.5}, 3);
+  treq.trace = true;
+  const std::vector<uint8_t> reqp = EncodeRequest(treq);
+  Request rback;
+  ASSERT_TRUE(DecodeRequest(reqp.data(), reqp.size(), &rback));
+  EXPECT_TRUE(rback.trace);
+}
+
+class ObservabilityServerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SpatialServer> StartServer(const std::string& path,
+                                             uint32_t slow_query_us = 0) {
+    ServerOptions opts;
+    opts.index_path = path;
+    opts.threads = 2;
+    opts.slow_query_us = slow_query_us;
+    std::string err;
+    auto server = SpatialServer::Start(opts, &err);
+    EXPECT_NE(server, nullptr) << err;
+    return server;
+  }
+
+  std::unique_ptr<ServerClient> Connect(const SpatialServer& server) {
+    std::string err;
+    auto client = ServerClient::Connect("127.0.0.1", server.port(), &err);
+    EXPECT_NE(client, nullptr) << err;
+    return client;
+  }
+};
+
+TEST_F(ObservabilityServerTest, TracedRequestReturnsOrderedSpans) {
+  const auto data = GenerateDataset(Distribution::kSkewed, 1500, 23);
+  const std::string path = BuildAndSave(data, "obs_trace.idx");
+  auto server = StartServer(path);
+  auto client = Connect(*server);
+  ASSERT_NE(client, nullptr);
+
+  // An untraced request stays span-free.
+  Response plain;
+  ASSERT_TRUE(client->Call(Request::PointLookup(data[0], 1), &plain));
+  EXPECT_TRUE(plain.trace.empty());
+
+  Request traced = Request::PointLookup(data[0], 2);
+  traced.trace = true;
+  Response resp;
+  ASSERT_TRUE(client->Call(traced, &resp));
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  ASSERT_GE(resp.trace.size(), 4u);
+  EXPECT_EQ(resp.trace.front().name, "admission");
+  EXPECT_EQ(resp.trace.back().name, "reply");
+  bool saw_queue = false;
+  bool saw_descent = false;
+  // Phases chain: each span starts exactly where the previous ended, and
+  // no span runs backwards.
+  uint64_t prev_end = 0;
+  for (const TraceSpan& s : resp.trace) {
+    EXPECT_EQ(s.start_us, prev_end) << s.name;
+    EXPECT_GE(s.end_us, s.start_us) << s.name;
+    prev_end = s.end_us;
+    if (s.name == "queue") saw_queue = true;
+    if (s.name == "descent") saw_descent = true;
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_descent);
+
+  // The traced result matches the untraced one (tracing observes, never
+  // alters).
+  ASSERT_TRUE(resp.hit.has_value());
+  ASSERT_TRUE(plain.hit.has_value());
+  EXPECT_EQ(resp.hit->id, plain.hit->id);
+  EXPECT_EQ(resp.cost.block_accesses, plain.cost.block_accesses);
+
+  // The JSON rendering carries every span.
+  const std::string json = TraceJson(resp.trace, resp.cost);
+  EXPECT_NE(json.find("\"admission\""), std::string::npos);
+  EXPECT_NE(json.find("\"descent\""), std::string::npos);
+  server->Stop();
+}
+
+TEST_F(ObservabilityServerTest, StatsOpReconcilesWithTrafficSent) {
+  const auto data = GenerateDataset(Distribution::kSkewed, 1500, 29);
+  const std::string path = BuildAndSave(data, "obs_stats.idx");
+  auto server = StartServer(path);
+  auto client = Connect(*server);
+  ASSERT_NE(client, nullptr);
+
+  constexpr uint64_t kQueries = 32;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    Response resp;
+    ASSERT_TRUE(
+        client->Call(Request::PointLookup(data[i % data.size()], i), &resp));
+  }
+
+  Response stats;
+  ASSERT_TRUE(client->Call(Request::Stats(/*max_slow=*/8, 9000), &stats));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats.stats.has_value());
+  const MetricsSnapshot& snap = *stats.stats;
+  // The scrape itself rides the control-plane counter, so admitted
+  // reconciles exactly with the data requests sent.
+  EXPECT_EQ(snap.ValueOf("server.requests_admitted"),
+            static_cast<int64_t>(kQueries));
+  EXPECT_GE(snap.ValueOf("server.stats_requests"), 1);
+  EXPECT_GE(snap.ValueOf("server.responses_sent"),
+            static_cast<int64_t>(kQueries));
+  EXPECT_EQ(snap.ValueOf("server.deadline_exceeded"), 0);
+  const MetricSample* exec = snap.Find("server.exec_us.point");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->count, kQueries);
+  const MetricSample* queue = snap.Find("server.queue_us.point");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->count, kQueries);
+  EXPECT_EQ(snap.ValueOf("server.workers"), 2);
+  // No slow-query threshold configured: nothing logged.
+  EXPECT_TRUE(stats.slow.empty());
+  EXPECT_EQ(snap.ValueOf("server.slow_queries"), 0);
+  server->Stop();
+}
+
+TEST_F(ObservabilityServerTest, SlowQueryLogCapturesOverThresholdOps) {
+  const auto data = GenerateDataset(Distribution::kSkewed, 2000, 31);
+  const std::string path = BuildAndSave(data, "obs_slow.idx");
+  // Threshold of 1us: full-space window scans are guaranteed over it.
+  auto server = StartServer(path, /*slow_query_us=*/1);
+  auto client = Connect(*server);
+  ASSERT_NE(client, nullptr);
+
+  constexpr uint64_t kScans = 5;
+  for (uint64_t i = 0; i < kScans; ++i) {
+    Response resp;
+    ASSERT_TRUE(
+        client->Call(Request::WindowLookup(Rect::UnitSquare(), 100 + i),
+                     &resp));
+    ASSERT_EQ(resp.status, StatusCode::kOk);
+  }
+
+  Response stats;
+  ASSERT_TRUE(client->Call(Request::Stats(/*max_slow=*/3, 9001), &stats));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats.stats.has_value());
+  EXPECT_GE(stats.stats->ValueOf("server.slow_queries"),
+            static_cast<int64_t>(kScans));
+  // Bounded by the requested max, newest-first.
+  ASSERT_EQ(stats.slow.size(), 3u);
+  EXPECT_EQ(stats.slow[0].id, 104u);
+  for (const SlowQueryEntry& e : stats.slow) {
+    EXPECT_EQ(e.op, static_cast<uint8_t>(Request::Type::kWindow));
+    EXPECT_EQ(e.status, static_cast<uint8_t>(StatusCode::kOk));
+    EXPECT_GE(e.total_us, 1u);
+    EXPECT_EQ(e.total_us, e.queue_us + e.exec_us);
+    EXPECT_GT(e.cost.block_accesses, 0u);
+  }
+  // The in-process accessor sees the same ring.
+  EXPECT_GE(server->SlowQueries(100).size(), kScans);
+  EXPECT_GE(server->stats().slow_queries, kScans);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace rsmi

@@ -34,6 +34,15 @@ against the baseline's recorded best ratio (15% tolerance). Skipped
 when the specialized kernels are inactive (forced generic/scalar, or a
 non-SIMD host).
 
+--obs arms the observability gate over the bench_observability cells:
+the Obs/PointReplay cell replays the same point workload with the
+metrics registry disabled and enabled, interleaved in one process, so
+its overhead_pct is immune to machine drift. The gate hard-fails when
+the untraced instrumentation overhead exceeds 5% (the perf half of the
+observability contract). The traced-vs-untraced server round-trip
+overhead (Obs/ServerTraced) is recorded alongside but never gated —
+tracing is opt-in per request.
+
 Side inputs (--shard, --persistence, --updates, --serve) are recorded
 into the metrics artifact but never gated; --serve takes the loadgen
 JSON the serve smoke writes, and all of them work without
@@ -191,6 +200,42 @@ def collect_updates_metrics(updates_path):
     }
 
 
+OBS_REPLAY = "Obs/PointReplay"
+OBS_SERVER = "Obs/ServerTraced"
+# Allowed untraced instrumentation overhead on the point-replay path.
+OBS_MAX_OVERHEAD_PCT = 5.0
+
+
+def collect_obs_metrics(obs_path):
+    """Instrumentation overhead cells from bench_obs.json.
+
+    overhead_pct compares registry-disabled vs registry-enabled replays
+    interleaved in one process; min across repetitions is the honest
+    overhead (everything above it is scheduler noise). The traced server
+    cells ride along for trend-watching and are never gated.
+    """
+    _, obs = load_benchmarks(obs_path)
+    out = {
+        "untraced_overhead_pct": min_counter(obs, OBS_REPLAY, "overhead_pct"),
+        "us_per_query_disabled": min_counter(
+            obs, OBS_REPLAY, "us_per_query_disabled"),
+        "us_per_query_enabled": min_counter(
+            obs, OBS_REPLAY, "us_per_query_enabled"),
+    }
+    # The server cells are skipped (not failed) on hosts where the
+    # loopback server can't run; tolerate their absence.
+    try:
+        out["traced_overhead_pct"] = min_counter(
+            obs, OBS_SERVER, "traced_overhead_pct")
+        out["us_per_query_untraced"] = min_counter(
+            obs, OBS_SERVER, "us_per_query_untraced")
+        out["us_per_query_traced"] = min_counter(
+            obs, OBS_SERVER, "us_per_query_traced")
+    except SystemExit:
+        pass
+    return out
+
+
 def collect_serving_metrics(serve_path):
     """Loadgen report from the serve smoke (rsmi_cli loadgen --out).
 
@@ -283,6 +328,11 @@ def main():
                     help="loadgen JSON from the serve smoke (rsmi_cli "
                          "loadgen --out); records end-to-end serving QPS "
                          "and latency percentiles (not gated)")
+    ap.add_argument("--obs",
+                    help="bench_observability JSON from --regression-out; "
+                         "hard-fails when the untraced instrumentation "
+                         f"overhead exceeds {OBS_MAX_OVERHEAD_PCT:.0f}% "
+                         "(traced server overhead recorded, not gated)")
     ap.add_argument("--specialized", action="store_true",
                     help="also gate the specialized-vs-generic-AVX2 kernel "
                          "speedup from the Inference/Spec cells (hard "
@@ -307,7 +357,7 @@ def main():
             "(they form the gated normalized point cost)")
     gating = bool(args.inference)
     if not gating and not (args.shard or args.persistence or args.updates or
-                           args.serve):
+                           args.serve or args.obs):
         raise SystemExit("error: nothing to collect — pass some input")
     current = collect_metrics(args.inference, args.point) if gating else {}
     if args.shard:
@@ -318,6 +368,8 @@ def main():
         current["updates"] = collect_updates_metrics(args.updates)
     if args.serve:
         current["serving"] = collect_serving_metrics(args.serve)
+    if args.obs:
+        current["observability"] = collect_obs_metrics(args.obs)
     print("current metrics:")
     print(json.dumps(current, indent=2))
     if args.metrics_out:
@@ -424,6 +476,25 @@ def main():
               f"{se.get('target_qps', 0.0):.0f} target, p50/p99/p999 "
               f"{se['p50_us']:.0f}/{se['p99_us']:.0f}/{se['p999_us']:.0f} us "
               f"over {se['received']} responses (recorded, not gated)")
+
+    if "observability" in current:
+        ob = current["observability"]
+        overhead = ob["untraced_overhead_pct"]
+        verdict = "OK" if overhead <= OBS_MAX_OVERHEAD_PCT else "REGRESSION"
+        print(f"observability: untraced overhead {overhead:+.2f}% "
+              f"({ob['us_per_query_disabled']:.2f} -> "
+              f"{ob['us_per_query_enabled']:.2f} us/query, limit "
+              f"{OBS_MAX_OVERHEAD_PCT:.0f}%) -> {verdict}")
+        if "traced_overhead_pct" in ob:
+            print(f"  traced server round trip: "
+                  f"{ob['traced_overhead_pct']:+.2f}% "
+                  f"({ob['us_per_query_untraced']:.1f} -> "
+                  f"{ob['us_per_query_traced']:.1f} us/query; recorded, "
+                  f"not gated)")
+        if overhead > OBS_MAX_OVERHEAD_PCT:
+            failures.append(
+                f"untraced instrumentation overhead {overhead:.2f}% "
+                f"exceeds the {OBS_MAX_OVERHEAD_PCT:.0f}% ceiling")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -42,7 +42,10 @@
 #include "data/io.h"
 #include "data/workloads.h"
 #include "io/index_container.h"
+#include "io/serializer.h"
 #include "nn/inference_engine.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/loadgen.h"
 #include "server/spatial_server.h"
@@ -107,8 +110,13 @@ int Usage() {
       "            [--threshold=10000] [--curve=hilbert|z] [--fill=1.0]\n"
       "            [--strategy=overflow|buffer] [--epochs=300]\n"
       "  info      FILE (or --index=FILE): print the container header —\n"
-      "            embedded kind spec, format version, payload size, CRC\n"
-      "  stats     --index=FILE\n"
+      "            embedded kind spec, format version, payload size, CRC;\n"
+      "            sharded v3 files also list each shard's buffered\n"
+      "            delta-log ops (frozen vs. active)\n"
+      "  stats     --index=FILE: local index stats, or\n"
+      "            --server=HOST:PORT [--format=json|prom] [--slow=N]:\n"
+      "            scrape a serving process's metrics registry (JSON or\n"
+      "            Prometheus text) plus up to N slow-query-log entries\n"
       "  point     --index=FILE --x=X --y=Y\n"
       "  window    --index=FILE --rect=XLO,YLO,XHI,YHI [--exact]\n"
       "  knn       --index=FILE --x=X --y=Y [--k=10] [--exact]\n"
@@ -120,8 +128,10 @@ int Usage() {
       "            [--write-frac=0]: mixed read/write replay; buffered\n"
       "            writes run without stopping reads on sharded indices\n"
       "  serve     --load=FILE [--port=0] [--threads=4] [--max-batch=16]\n"
-      "            [--port-file=FILE]: serve the index file over TCP\n"
-      "            until SIGINT/SIGTERM (graceful drain, exit 0)\n"
+      "            [--port-file=FILE] [--slow-query-us=N]: serve the\n"
+      "            index file over TCP until SIGINT/SIGTERM (graceful\n"
+      "            drain, exit 0); N > 0 records requests slower than N\n"
+      "            microseconds into the slow-query log\n"
       "  loadgen   --data=FILE --port=P [--host=127.0.0.1] [--qps=5000]\n"
       "            [--duration=5] [--connections=4] [--deadline-us=0]\n"
       "            [--point-frac=0.6] [--window-frac=0.3] [--k=25]\n"
@@ -131,7 +141,9 @@ int Usage() {
       "            achieved QPS as JSON\n"
       "\n"
       "remote queries: point/window/knn accept --server=HOST:PORT to run\n"
-      "  against a serving process instead of a local file.\n"
+      "  against a serving process instead of a local file; add --trace\n"
+      "  to print the server's per-request spans (admission -> queue ->\n"
+      "  [batch_group ->] descent -> reply) as JSON.\n"
       "\n"
       "sharding (build, point, window, knn, bench, throughput):\n"
       "  --shards=K --shard-inner=SPEC [--build-threads=T]\n"
@@ -323,6 +335,50 @@ std::unique_ptr<SpatialIndex> LoadIndexOrDie(const Flags& flags) {
   return index;
 }
 
+/// Skips one container (header + payload) at `in`'s cursor using only
+/// the header's payload length — no payload validation, no index build.
+bool SkipContainer(Deserializer& in) {
+  if (!in.Skip(8 + 4)) return false;  // magic + version
+  std::string spec;
+  if (!in.ReadString(&spec)) return false;
+  uint64_t payload_len = 0;
+  if (!in.ReadPod(&payload_len)) return false;
+  if (!in.Skip(4)) return false;  // CRC
+  return in.Skip(payload_len);
+}
+
+/// Structural walk of a sharded v3 payload: prints each top-level
+/// shard's buffered delta-log op counts (frozen vs. active) straight
+/// from the recorded split, without replaying the log or building the
+/// index. The walk mirrors ShardedIndex::SaveTo's layout: u32 shard
+/// count | partitioner (Rect bounds, i32 z-order flag, u64 split vec) |
+/// region vec | u64-sized live count | per shard, one nested container
+/// followed by its delta log (u64 total, u64 frozen, total ops).
+bool PrintShardedDeltaInfo(Deserializer& in) {
+  uint32_t k = 0;
+  if (!in.ReadPod(&k)) return false;
+  if (k < 1 || k > 4096) return false;
+  if (!in.Skip(sizeof(Rect) + sizeof(int32_t))) return false;
+  std::vector<uint64_t> splits;
+  if (!in.ReadVec(&splits)) return false;
+  std::vector<Rect> regions;
+  if (!in.ReadVec(&regions)) return false;
+  if (!in.Skip(sizeof(uint64_t))) return false;  // live-point count
+  for (uint32_t i = 0; i < k; ++i) {
+    if (!SkipContainer(in)) return false;
+    uint64_t nops = 0;
+    uint64_t frozen = 0;
+    if (!in.ReadPod(&nops) || !in.ReadPod(&frozen)) return false;
+    if (frozen > nops) return false;
+    if (!in.Skip(nops * (1 + sizeof(Point)))) return false;
+    std::printf("shard %-6u delta_ops=%llu (frozen=%llu, active=%llu)\n",
+                i, static_cast<unsigned long long>(nops),
+                static_cast<unsigned long long>(frozen),
+                static_cast<unsigned long long>(nops - frozen));
+  }
+  return true;
+}
+
 int CmdInfo(const Flags& flags, const std::string& positional) {
   const std::string path =
       positional.empty() ? flags.Get("index", "") : positional;
@@ -340,10 +396,33 @@ int CmdInfo(const Flags& flags, const std::string& positional) {
   std::printf("file_bytes   %llu\n",
               static_cast<unsigned long long>(info.file_bytes));
   std::printf("kernel       %s\n", ActiveInferenceKernelDescription().c_str());
+  // The frozen/active split exists only since v3 (it rides in the delta
+  // log itself), so older files just skip the per-shard listing.
+  if (info.version >= 3 && info.spec.rfind("sharded<", 0) == 0) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return 0;
+    std::vector<uint8_t> bytes(info.file_bytes);
+    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    // Position at the sharded payload: skip just the outer header.
+    Deserializer payload(bytes.data(), got);
+    std::string spec;
+    uint64_t plen = 0;
+    if (!payload.Skip(8 + 4) || !payload.ReadString(&spec) ||
+        !payload.ReadPod(&plen) || !payload.Skip(4)) {
+      return 0;
+    }
+    if (!PrintShardedDeltaInfo(payload)) {
+      std::fprintf(stderr, "sharded payload walk failed (corrupt file?)\n");
+    }
+  }
   return 0;
 }
 
+int RunRemoteStats(const Flags& flags);  // needs ParseServerFlag, below
+
 int CmdStats(const Flags& flags) {
+  if (flags.Has("server")) return RunRemoteStats(flags);
   auto index = LoadIndexOrDie(flags);
   if (index == nullptr) return 1;
   const IndexStats st = index->Stats();
@@ -390,8 +469,48 @@ bool ParseServerFlag(const Flags& flags, std::string* host, uint16_t* port) {
   return *port != 0;
 }
 
+/// Scrapes a serving process's metrics registry (`stats --server=...`):
+/// sends the kStats control-plane op and prints the merged snapshot as
+/// JSON (default) or Prometheus text exposition, with up to --slow=N
+/// slow-query-log entries alongside the JSON form.
+int RunRemoteStats(const Flags& flags) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseServerFlag(flags, &host, &port)) {
+    std::fprintf(stderr, "bad --server (want HOST:PORT)\n");
+    return 1;
+  }
+  std::string err;
+  auto client = ServerClient::Connect(host, port, &err);
+  if (client == nullptr) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const auto max_slow = static_cast<uint32_t>(flags.GetInt("slow", 0));
+  Response resp;
+  if (!client->Call(Request::Stats(max_slow), &resp)) {
+    std::fprintf(stderr, "connection lost mid-call\n");
+    return 1;
+  }
+  if (!resp.ok() || !resp.stats.has_value()) {
+    std::fprintf(stderr, "server error (%s): %s\n",
+                 StatusCodeName(resp.status), resp.message.c_str());
+    return 1;
+  }
+  if (flags.Get("format", "json") == "prom") {
+    std::printf("%s", resp.stats->ToPrometheus().c_str());
+  } else {
+    std::printf("{\"metrics\": %s, \"slow_queries\": %s}\n",
+                resp.stats->ToJson().c_str(),
+                SlowQueryEntriesJson(resp.slow).c_str());
+  }
+  return 0;
+}
+
 /// Runs one read request against a serving process (--server=HOST:PORT)
 /// and prints the result in the same shape as the local query commands.
+/// With --trace the request opts into server-side span recording and the
+/// returned spans print as JSON after the results.
 int RunRemoteQuery(const Flags& flags, const Request& req) {
   std::string host;
   uint16_t port = 0;
@@ -405,8 +524,10 @@ int RunRemoteQuery(const Flags& flags, const Request& req) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  Request traced = req;
+  traced.trace = flags.Has("trace");
   Response resp;
-  if (!client->Call(req, &resp)) {
+  if (!client->Call(traced, &resp)) {
     std::fprintf(stderr, "connection lost mid-call\n");
     return 1;
   }
@@ -432,6 +553,9 @@ int RunRemoteQuery(const Flags& flags, const Request& req) {
     std::fprintf(stderr, "%zu points (%llu block accesses)\n",
                  resp.points.size(),
                  static_cast<unsigned long long>(resp.cost.block_accesses));
+  }
+  if (traced.trace) {
+    std::printf("%s\n", TraceJson(resp.trace, resp.cost).c_str());
   }
   return 0;
 }
@@ -740,6 +864,8 @@ int CmdServe(const Flags& flags) {
   opts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
   opts.threads = static_cast<int>(flags.GetInt("threads", 4));
   opts.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 16));
+  opts.slow_query_us =
+      static_cast<uint32_t>(flags.GetInt("slow-query-us", 0));
 
   if (::pipe(g_shutdown_pipe) != 0) {
     std::fprintf(stderr, "cannot create shutdown pipe\n");
@@ -780,13 +906,16 @@ int CmdServe(const Flags& flags) {
   const ServerStats st = server->stats();
   std::fprintf(stderr,
                "served %llu requests (%llu responses, %llu coalesced in "
-               "%llu batches, %llu deadline-expired, %llu reloads)\n",
+               "%llu batches, %llu deadline-expired, %llu rejected, "
+               "%llu reloads, %llu slow)\n",
                static_cast<unsigned long long>(st.requests_admitted),
                static_cast<unsigned long long>(st.responses_sent),
                static_cast<unsigned long long>(st.coalesced_requests),
                static_cast<unsigned long long>(st.coalesced_batches),
                static_cast<unsigned long long>(st.deadline_expired),
-               static_cast<unsigned long long>(st.reloads));
+               static_cast<unsigned long long>(st.requests_rejected),
+               static_cast<unsigned long long>(st.reloads),
+               static_cast<unsigned long long>(st.slow_queries));
   return 0;
 }
 

@@ -33,7 +33,11 @@
 #                 check_bench_regression.py --persistence, not gated)
 #                 and DIR/bench_updates.json (mixed read/write cells,
 #                 delta-buffered vs exclusive-writer; recorded via
-#                 check_bench_regression.py --updates, not gated).
+#                 check_bench_regression.py --updates, not gated)
+#                 and DIR/bench_obs.json (instrumentation overhead,
+#                 registry disabled vs enabled interleaved; gated hard at
+#                 5% untraced overhead via check_bench_regression.py
+#                 --obs; the traced server cells are recorded only).
 #                 Gate against the committed bench/BENCH_BASELINE.json
 #                 with tools/check_bench_regression.py --baseline, or
 #                 regenerate the snapshot with its --write-baseline mode.
@@ -76,7 +80,7 @@ if [[ -n "$regression_out" ]]; then
   export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
   export RSMI_BENCH_BUILD_THREADS=1
   mkdir -p "$regression_out"
-  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence bench_mixed_updates; do
+  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence bench_mixed_updates bench_observability; do
     if [[ ! -x "$bench_dir/$b" ]]; then
       echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
       exit 1
@@ -110,6 +114,12 @@ if [[ -n "$regression_out" ]]; then
     --benchmark_filter='/w(00|10)/t1' --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=false \
     --benchmark_out="$regression_out/bench_updates.json" \
+    --benchmark_out_format=json
+  echo "=== bench_observability (pinned) -> $regression_out/bench_obs.json ===" >&2
+  "$bench_dir/bench_observability" \
+    --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_obs.json" \
     --benchmark_out_format=json
   exit 0
 fi

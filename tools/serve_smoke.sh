@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke over rsmi_cli: build a sharded<4>:rsmi index
 # file, start `rsmi_cli serve` on an ephemeral port, drive it with
-# `rsmi_cli loadgen`, probe correctness by comparing a remote point
-# lookup against the same lookup on a locally loaded copy, and check
-# graceful shutdown (SIGTERM -> drain -> exit 0). Registered with ctest
-# (label "serve") so it runs in the Release AND Debug CI legs; the
-# loadgen JSON lands in OUT_DIR, which CI uploads as an artifact and
-# records (non-gating) via check_bench_regression.py --serve.
+# `rsmi_cli loadgen`, scrape the kStats op and reconcile the server-side
+# counters against what loadgen sent (admitted == sent, zero deadline
+# overruns), probe correctness by comparing a remote point lookup
+# against the same lookup on a locally loaded copy, and check graceful
+# shutdown (SIGTERM -> drain -> exit 0). Registered with ctest (label
+# "serve") so it runs in the Release AND Debug CI legs; the loadgen and
+# stats JSON land in OUT_DIR, which CI uploads as artifacts and records
+# (non-gating) via check_bench_regression.py --serve.
 #
 # Usage: serve_smoke.sh RSMI_CLI OUT_DIR
 set -euo pipefail
@@ -39,7 +41,7 @@ trap cleanup EXIT
   --build-threads=2 > "$out_dir/build.txt"
 
 rm -f "$port_file"
-"$cli" serve --load="$idx" --port=0 --threads=2 \
+"$cli" serve --load="$idx" --port=0 --threads=2 --slow-query-us=1 \
   --port-file="$port_file" 2> "$server_log" &
 server_pid=$!
 
@@ -51,6 +53,51 @@ for _ in $(seq 1 100); do
 done
 [[ -s "$port_file" ]] || fail "server never wrote its port file"
 port="$(cat "$port_file")"
+
+# Sustained mixed traffic at a target QPS with a 10% buffered-write mix
+# (exercising the epoch/delta update path under the readers); the report
+# is the CI artifact. Zero failed reads is part of the contract: every
+# read replays a point the generator knows is present (base data or its
+# own already-acknowledged insert). Runs before any other remote request
+# so the kStats reconciliation below can demand admitted == sent.
+"$cli" loadgen --data="$data" --port="$port" --qps=2000 --duration=2 \
+  --connections=4 --write-frac=0.1 --out="$out_dir/loadgen.json" > /dev/null
+grep -q '"p999_us"' "$out_dir/loadgen.json" \
+  || fail "loadgen report is missing percentiles"
+grep -q '"received": 0,' "$out_dir/loadgen.json" \
+  && fail "loadgen received no responses"
+grep -q '"errors": 0,' "$out_dir/loadgen.json" \
+  || fail "loadgen saw error responses"
+grep -q '"write_ops": 0,' "$out_dir/loadgen.json" \
+  && fail "loadgen sent no writes despite --write-frac=0.1"
+grep -q '"failed_reads": 0,' "$out_dir/loadgen.json" \
+  || fail "loadgen saw failed reads under the write mix"
+grep -q '"server": {' "$out_dir/loadgen.json" \
+  || fail "loadgen report is missing the server-side kStats fields"
+
+# Server-side reconciliation over the kStats wire op: every request
+# loadgen sent was admitted (the scrapes themselves ride the
+# control-plane counter), none overran a deadline (loadgen sets no
+# deadline), and the slow-query log captured something at the 1us
+# threshold. The JSON scrape is the second CI artifact; the Prometheus
+# scrape checks the text exposition end-to-end.
+"$cli" stats --server="127.0.0.1:$port" --slow=8 > "$out_dir/stats.json"
+"$cli" stats --server="127.0.0.1:$port" --format=prom > "$out_dir/stats.prom"
+sent="$(sed -n 's/.*"sent": \([0-9]*\).*/\1/p' "$out_dir/loadgen.json")"
+admitted="$(sed -n 's/.*"server\.requests_admitted": \([0-9]*\).*/\1/p' \
+  "$out_dir/stats.json")"
+overruns="$(sed -n 's/.*"server\.deadline_exceeded": \([0-9]*\).*/\1/p' \
+  "$out_dir/stats.json")"
+[[ -n "$sent" && -n "$admitted" ]] \
+  || fail "could not extract sent/admitted counters"
+[[ "$admitted" == "$sent" ]] \
+  || fail "kStats admitted=$admitted does not reconcile with loadgen sent=$sent"
+[[ "$overruns" == "0" ]] \
+  || fail "kStats reports $overruns deadline overruns (expected 0)"
+grep -q '"slow_queries": \[' "$out_dir/stats.json" \
+  || fail "stats scrape is missing the slow-query log"
+grep -q '^server_requests_admitted ' "$out_dir/stats.prom" \
+  || fail "prometheus exposition is missing server_requests_admitted"
 
 # Correctness probe: a stored coordinate (printed at %.17g, which
 # round-trips the double exactly) must come back identically from the
@@ -67,24 +114,6 @@ grep -q 'id=' "$out_dir/point_local.txt" \
 diff "$out_dir/point_local.txt" "$out_dir/point_remote.txt" \
   || fail "remote point lookup differs from the direct one"
 
-# Sustained mixed traffic at a target QPS with a 10% buffered-write mix
-# (exercising the epoch/delta update path under the readers); the report
-# is the CI artifact. Zero failed reads is part of the contract: every
-# read replays a point the generator knows is present (base data or its
-# own already-acknowledged insert).
-"$cli" loadgen --data="$data" --port="$port" --qps=2000 --duration=2 \
-  --connections=4 --write-frac=0.1 --out="$out_dir/loadgen.json" > /dev/null
-grep -q '"p999_us"' "$out_dir/loadgen.json" \
-  || fail "loadgen report is missing percentiles"
-grep -q '"received": 0,' "$out_dir/loadgen.json" \
-  && fail "loadgen received no responses"
-grep -q '"errors": 0,' "$out_dir/loadgen.json" \
-  || fail "loadgen saw error responses"
-grep -q '"write_ops": 0,' "$out_dir/loadgen.json" \
-  && fail "loadgen sent no writes despite --write-frac=0.1"
-grep -q '"failed_reads": 0,' "$out_dir/loadgen.json" \
-  || fail "loadgen saw failed reads under the write mix"
-
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$server_pid"
 rc=0
@@ -94,4 +123,4 @@ server_pid=""
 grep -q 'shutting down' "$server_log" \
   || fail "server log is missing the graceful-shutdown line"
 
-echo "PASS: served $idx, loadgen + remote probe OK, graceful shutdown ($out_dir/loadgen.json)"
+echo "PASS: served $idx, loadgen + kStats reconciliation + remote probe OK, graceful shutdown ($out_dir/loadgen.json, $out_dir/stats.json)"
