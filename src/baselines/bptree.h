@@ -3,9 +3,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/query_context.h"
+#include "io/serializer.h"
 
 namespace rsmi {
 
@@ -59,6 +62,25 @@ class BPlusTree {
   }
 
   int height() const { return 1 + static_cast<int>(inner_.size()); }
+
+  /// Persists the defining state: fanout and the sorted leaf level. The
+  /// inner levels are a pure function of those, so ReadFrom rebuilds them
+  /// instead of storing them (smaller payload, nothing to cross-check).
+  void WriteTo(Serializer& out) const {
+    out.WritePod<int32_t>(fanout_);
+    out.WriteVec(leaves_);
+  }
+  bool ReadFrom(Deserializer& in) {
+    int32_t fanout = 0;
+    std::vector<double> leaves;
+    if (!in.ReadPod(&fanout) || !in.ReadVec(&leaves)) return false;
+    if (fanout < 2) return in.Fail("B+-tree fanout out of range");
+    if (!std::is_sorted(leaves.begin(), leaves.end())) {
+      return in.Fail("B+-tree leaf level is not sorted");
+    }
+    *this = BPlusTree(std::move(leaves), fanout);
+    return true;
+  }
 
   size_t SizeBytes() const {
     size_t bytes = leaves_.size() * sizeof(double);

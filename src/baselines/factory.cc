@@ -272,8 +272,9 @@ std::unique_ptr<SpatialIndex> MakeIndexShellForLoad(const std::string& spec) {
       return MakeRsmiaView(
           std::shared_ptr<RsmiIndex>(RsmiIndex::MakeLoadShell()));
     case IndexKind::kHrr:
+      return HrrTree::MakeLoadShell();
     case IndexKind::kKdb:
-      return nullptr;  // these kinds do not persist (KindSpec empty)
+      return KdbTree::MakeLoadShell();
   }
   return nullptr;
 }

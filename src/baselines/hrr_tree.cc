@@ -438,4 +438,94 @@ bool HrrTree::ValidateStructure(std::string* error) const {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+HrrTree::HrrTree(LoadTag) : store_(1) {}
+
+void HrrTree::WriteNode(Serializer& out, const Node& node) const {
+  out.WritePod(node.leaf);
+  out.WritePod(node.rank_mbr);
+  out.WritePod(node.orig_mbr);
+  out.WritePod(node.block);
+  out.WritePod<uint32_t>(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) WriteNode(out, *child);
+}
+
+std::unique_ptr<HrrTree::Node> HrrTree::ReadNode(Deserializer& in,
+                                                 int depth) {
+  // A corrupted file cannot be allowed to recurse without bound; real
+  // trees with fanout >= 2 stay far below this.
+  if (depth > 64) {
+    in.Fail("HRR tree deeper than any valid tree");
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  uint32_t nchildren = 0;
+  if (!in.ReadPod(&node->leaf) || !in.ReadPod(&node->rank_mbr) ||
+      !in.ReadPod(&node->orig_mbr) || !in.ReadPod(&node->block) ||
+      !in.ReadPod(&nchildren)) {
+    return nullptr;
+  }
+  if (nchildren > in.remaining()) {  // each child costs >= 1 byte
+    in.Fail("HRR node child count exceeds remaining data");
+    return nullptr;
+  }
+  node->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    auto child = ReadNode(in, depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+bool HrrTree::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  store_.WriteTo(out);
+  btree_x_.WriteTo(out);
+  btree_y_.WriteTo(out);
+  WriteNode(out, *root_);
+  return true;
+}
+
+bool HrrTree::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&live_points_) ||
+      !in.ReadPod(&next_id_)) {
+    return false;
+  }
+  if (cfg_.block_capacity < 1 || cfg_.node_fanout < 2 ||
+      (cfg_.curve != CurveType::kZ && cfg_.curve != CurveType::kHilbert)) {
+    return in.Fail("HRR config out of range");
+  }
+  if (!store_.ReadFrom(in) || !btree_x_.ReadFrom(in) ||
+      !btree_y_.ReadFrom(in)) {
+    return false;
+  }
+  root_ = ReadNode(in, 0);
+  if (root_ == nullptr) {
+    return in.Fail("HRR tree is malformed");
+  }
+  // Leaf nodes index the store: reject out-of-range block references so a
+  // CRC-valid crafted payload cannot plant an OOB block access.
+  struct BlockCheck {
+    static bool Ok(const Node& n, const BlockStore& store) {
+      if (n.leaf && (n.block < 0 || !store.ValidBlockRef(n.block))) {
+        return false;
+      }
+      for (const auto& c : n.children) {
+        if (!Ok(*c, store)) return false;
+      }
+      return true;
+    }
+  };
+  if (!BlockCheck::Ok(*root_, store_)) {
+    return in.Fail("HRR leaf block reference out of store bounds");
+  }
+  return true;
+}
+
 }  // namespace rsmi

@@ -57,8 +57,26 @@ class HrrTree : public SpatialIndex {
   /// point lies inside its leaf's original-space MBR.
   bool ValidateStructure(std::string* error) const override;
 
+  /// Polymorphic persistence (io/index_container.h): config, block store,
+  /// both coordinate B+-trees, and the packed node tree round-trip
+  /// bit-identically.
+  std::string KindSpec() const override { return "hrr"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell whose state LoadFrom fills; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<HrrTree> MakeLoadShell() {
+    return std::unique_ptr<HrrTree>(new HrrTree(LoadTag{}));
+  }
+
  private:
   struct Node;
+  struct LoadTag {};
+  explicit HrrTree(LoadTag);  // shell filled by LoadFrom
+
+  void WriteNode(Serializer& out, const Node& node) const;
+  static std::unique_ptr<Node> ReadNode(Deserializer& in, int depth);
 
   HrrConfig cfg_;
   BlockStore store_;

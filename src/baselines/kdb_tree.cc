@@ -565,4 +565,86 @@ bool KdbTree::ValidateStructure(std::string* error) const {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+KdbTree::KdbTree(LoadTag) : store_(1) {}
+
+void KdbTree::WriteNode(Serializer& out, const Node& node) const {
+  out.WritePod(node.leaf);
+  out.WritePod(node.region);
+  out.WritePod(node.block);
+  out.WritePod<uint32_t>(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) WriteNode(out, *child);
+}
+
+std::unique_ptr<KdbTree::Node> KdbTree::ReadNode(Deserializer& in,
+                                                 int depth) {
+  // A corrupted file cannot be allowed to recurse without bound; real
+  // trees with fanout >= 2 stay far below this.
+  if (depth > 64) {
+    in.Fail("K-D-B tree deeper than any valid tree");
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  uint32_t nchildren = 0;
+  if (!in.ReadPod(&node->leaf) || !in.ReadPod(&node->region) ||
+      !in.ReadPod(&node->block) || !in.ReadPod(&nchildren)) {
+    return nullptr;
+  }
+  if (nchildren > in.remaining()) {  // each child costs >= 1 byte
+    in.Fail("K-D-B node child count exceeds remaining data");
+    return nullptr;
+  }
+  node->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    auto child = ReadNode(in, depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+bool KdbTree::SaveTo(Serializer& out) const {
+  out.WritePod(cfg_);
+  out.WritePod(live_points_);
+  out.WritePod(next_id_);
+  store_.WriteTo(out);
+  WriteNode(out, *root_);
+  return true;
+}
+
+bool KdbTree::LoadFrom(Deserializer& in) {
+  if (!in.ReadPod(&cfg_) || !in.ReadPod(&live_points_) ||
+      !in.ReadPod(&next_id_)) {
+    return false;
+  }
+  if (cfg_.block_capacity < 1 || cfg_.fanout < 2) {
+    return in.Fail("K-D-B config out of range");
+  }
+  if (!store_.ReadFrom(in)) return false;
+  root_ = ReadNode(in, 0);
+  if (root_ == nullptr) {
+    return in.Fail("K-D-B tree is malformed");
+  }
+  // Leaf pages index the store: reject out-of-range block references so a
+  // CRC-valid crafted payload cannot plant an OOB block access.
+  struct BlockCheck {
+    static bool Ok(const Node& n, const BlockStore& store) {
+      if (n.leaf && (n.block < 0 || !store.ValidBlockRef(n.block))) {
+        return false;
+      }
+      for (const auto& c : n.children) {
+        if (!Ok(*c, store)) return false;
+      }
+      return true;
+    }
+  };
+  if (!BlockCheck::Ok(*root_, store_)) {
+    return in.Fail("K-D-B leaf block reference out of store bounds");
+  }
+  return true;
+}
+
 }  // namespace rsmi

@@ -54,8 +54,25 @@ class KdbTree : public SpatialIndex {
   /// and every stored point lies inside its leaf's region.
   bool ValidateStructure(std::string* error) const override;
 
+  /// Polymorphic persistence (io/index_container.h): config, block store,
+  /// and the region-page tree round-trip bit-identically.
+  std::string KindSpec() const override { return "kdb"; }
+  bool SaveTo(Serializer& out) const override;
+  bool LoadFrom(Deserializer& in) override;
+
+  /// Uninitialized shell whose state LoadFrom fills; invalid until
+  /// LoadFrom succeeds on it.
+  static std::unique_ptr<KdbTree> MakeLoadShell() {
+    return std::unique_ptr<KdbTree>(new KdbTree(LoadTag{}));
+  }
+
  private:
   struct Node;
+  struct LoadTag {};
+  explicit KdbTree(LoadTag);  // shell filled by LoadFrom
+
+  void WriteNode(Serializer& out, const Node& node) const;
+  static std::unique_ptr<Node> ReadNode(Deserializer& in, int depth);
 
   std::unique_ptr<Node> Build(std::vector<PointEntry> pts, const Rect& region,
                               int depth);

@@ -578,6 +578,17 @@ void RsmiIndex::PointQueryBatchImpl(const Point* qs, size_t n,
     const size_t c = std::min(chunk, n - s);
     DescendFusedChunk(qs + s, c, ctxs + s * ctx_stride, ctx_stride,
                       leaves.data() + s, pb.data() + s, ws);
+    if (prefetch_hook_) {
+      // Hand each query's predicted block range to the prefetcher now,
+      // while the remaining chunks still descend — the scans below then
+      // overlap the page faults. Advisory: no context is touched.
+      for (size_t i = s; i < s + c; ++i) {
+        const Node& leaf = *leaves[i];
+        const int lo = std::max(0, pb[i] - leaf.err_below);
+        const int hi = std::min(leaf.num_blocks - 1, pb[i] + leaf.err_above);
+        prefetch_hook_(leaf.first_block + lo, leaf.first_block + hi);
+      }
+    }
   }
 
   // The block probing is per point, exactly Algorithm 1's scan.
@@ -690,6 +701,7 @@ std::pair<int, int> RsmiIndex::WindowBlockRange(const Rect& w,
     if (begin < 0 || store_.SeqOf(lo) < store_.SeqOf(begin)) begin = lo;
     if (end < 0 || store_.SeqOf(hi) > store_.SeqOf(end)) end = hi;
   }
+  if (prefetch_hook_ && begin >= 0 && end >= 0) prefetch_hook_(begin, end);
   return {begin, end};
 }
 

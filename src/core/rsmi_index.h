@@ -2,6 +2,7 @@
 #define RSMI_CORE_RSMI_INDEX_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -131,6 +132,21 @@ class RsmiIndex : public SpatialIndex {
     descend_invocations_.fetch_add(ctx.model_invocations,
                                    std::memory_order_relaxed);
     descend_count_.fetch_add(ctx.descents, std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with nullptr) a callback invoked with predicted
+  /// global block-id ranges [first, last] the moment the leaf models
+  /// predict them — in the batched point path right after each fused
+  /// descent chunk (before any block scan of that chunk starts) and in
+  /// the window/kNN path right after the corner descents. The external-
+  /// memory subsystem (src/xmem/) points this at its async prefetcher so
+  /// page faults overlap the remaining inference and scans. The hook must
+  /// be thread-safe and must not touch any QueryContext — results and
+  /// counted costs are identical with and without a hook (prefetch is
+  /// advisory). Install/clear only while readers are quiescent.
+  using BlockPrefetchHook = std::function<void(int, int)>;
+  void SetBlockPrefetchHook(BlockPrefetchHook hook) const {
+    prefetch_hook_ = std::move(hook);
   }
 
   /// Polymorphic persistence (io/index_container.h): the trained index —
@@ -304,6 +320,8 @@ class RsmiIndex : public SpatialIndex {
   // record depth in their context, never here).
   mutable std::atomic<uint64_t> descend_invocations_{0};
   mutable std::atomic<uint64_t> descend_count_{0};
+  /// Advisory prediction-to-prefetch bridge (see SetBlockPrefetchHook).
+  mutable BlockPrefetchHook prefetch_hook_;
 };
 
 }  // namespace rsmi

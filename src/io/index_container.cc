@@ -19,11 +19,12 @@ bool SetError(std::string* error, const std::string& why) {
   return false;
 }
 
-/// Parses and validates the fixed header fields at `src`'s cursor,
-/// leaving it positioned on the first payload byte. Distinct diagnostics
-/// per failure mode (the corruption-hardening contract).
-bool ParseHeader(Deserializer& src, IndexContainerInfo* info,
-                 std::string* error) {
+}  // namespace
+
+/// Distinct diagnostics per failure mode (the corruption-hardening
+/// contract); see the header for the sharing story.
+bool ParseIndexContainerHeader(Deserializer& src, IndexContainerInfo* info,
+                               std::string* error) {
   uint64_t magic = 0;
   if (!src.ReadPod(&magic)) {
     return SetError(error, "truncated index container: header cut short");
@@ -61,8 +62,6 @@ bool ParseHeader(Deserializer& src, IndexContainerInfo* info,
   return true;
 }
 
-}  // namespace
-
 bool WriteIndexContainer(Serializer& dst, const SpatialIndex& index,
                          std::string* error) {
   const std::string spec = index.KindSpec();
@@ -90,13 +89,17 @@ bool WriteIndexContainer(Serializer& dst, const SpatialIndex& index,
 std::unique_ptr<SpatialIndex> ReadIndexContainer(Deserializer& src,
                                                  std::string* error) {
   IndexContainerInfo info;
-  if (!ParseHeader(src, &info, error)) return nullptr;
+  if (!ParseIndexContainerHeader(src, &info, error)) return nullptr;
   if (info.payload_bytes > src.remaining()) {
     SetError(error, "truncated index container: payload of '" + info.spec +
                         "' cut short");
     return nullptr;
   }
-  if (Crc32(src.cursor(), info.payload_bytes) != info.payload_crc) {
+  // The lazy mmap open path (src/xmem/) skips the CRC sweep — it would
+  // fault in the entire file. Everyone else (eager loads, nested shard
+  // payloads of eager loads) still checks.
+  if (!src.skip_crc() &&
+      Crc32(src.cursor(), info.payload_bytes) != info.payload_crc) {
     SetError(error, "index container checksum mismatch: payload of '" +
                         info.spec + "' is corrupted");
     return nullptr;
@@ -107,6 +110,8 @@ std::unique_ptr<SpatialIndex> ReadIndexContainer(Deserializer& src,
     return nullptr;
   }
   Deserializer payload(src.cursor(), info.payload_bytes);
+  payload.set_borrowable(src.borrowable());
+  payload.set_skip_crc(src.skip_crc());
   if (!index->LoadFrom(payload)) {
     SetError(error, payload.error().empty()
                         ? "malformed payload for index kind '" + info.spec + "'"
@@ -243,7 +248,7 @@ bool ReadIndexContainerInfo(const std::string& path, IndexContainerInfo* info,
     return SetError(error, "cannot read " + path);
   }
   Deserializer src(prefix);
-  if (!ParseHeader(src, info, error)) return false;
+  if (!ParseIndexContainerHeader(src, info, error)) return false;
   info->file_bytes = static_cast<uint64_t>(file_bytes);
   return true;
 }

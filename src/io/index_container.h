@@ -34,9 +34,13 @@ constexpr uint64_t kIndexContainerMagic = 0x31584F4258495352ull;
 /// saved while concurrent writes are still buffered (not yet merged)
 /// round-trips losslessly; v3 adds the frozen-layer op count to each
 /// delta log, so tooling (`rsmi_cli info`) can report the buffered vs.
-/// frozen split without replaying the log. The version is exact-match on
-/// load — the container is a session cache, not an interchange format.
-constexpr uint32_t kIndexContainerVersion = 3;
+/// frozen split without replaying the log; v4 splits each BlockStore
+/// payload into a metadata run followed by one 8-aligned contiguous
+/// entries region, so the mmap-backed lazy load path (src/xmem/) can
+/// fault in block metadata without touching entry pages and borrow
+/// entries zero-copy. The version is exact-match on load — the container
+/// is a session cache, not an interchange format.
+constexpr uint32_t kIndexContainerVersion = 4;
 
 /// Magic of the legacy pre-container RsmiIndex::Save format ("RSMI2").
 /// Those files carry no spec, no checksum, and no version field; they are
@@ -94,6 +98,15 @@ struct IndexContainerInfo {
 /// or not a container.
 bool ReadIndexContainerInfo(const std::string& path, IndexContainerInfo* info,
                             std::string* error = nullptr);
+
+/// Parses and validates the fixed header fields at `src`'s cursor,
+/// leaving it positioned on the first payload byte (file_bytes is not
+/// filled in — the caller knows its source's size). Shared by the eager
+/// container reader, `ReadIndexContainerInfo`, and the lazy mmap open
+/// path (xmem::MappedContainer, `rsmi_cli info`), which validate the
+/// header eagerly without touching the payload.
+bool ParseIndexContainerHeader(Deserializer& src, IndexContainerInfo* info,
+                               std::string* error = nullptr);
 
 }  // namespace rsmi
 

@@ -1,0 +1,100 @@
+#include "io/mapped_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rsmi {
+
+std::unique_ptr<MappedFile> MappedFile::Open(const std::string& path,
+                                             std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<MappedFile> {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    return nullptr;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return fail("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return fail("cannot mmap " + path);
+    }
+    data = static_cast<const uint8_t*>(p);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  return std::unique_ptr<MappedFile>(new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+size_t MappedFile::PageSize() {
+  static const size_t kPage = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+bool MappedFile::PageRange(size_t offset, size_t len, void** addr,
+                           size_t* n) const {
+  if (data_ == nullptr || offset >= size_) return false;
+  len = std::min(len, size_ - offset);
+  if (len == 0) return false;
+  const size_t page = PageSize();
+  const size_t begin = offset / page * page;
+  const size_t end = std::min(size_, (offset + len + page - 1) / page * page);
+  *addr = const_cast<uint8_t*>(data_) + begin;
+  *n = end - begin;
+  return true;
+}
+
+bool MappedFile::Prefetch(size_t offset, size_t len) const {
+  void* addr = nullptr;
+  size_t n = 0;
+  if (!PageRange(offset, len, &addr, &n)) return true;
+  return ::madvise(addr, n, MADV_WILLNEED) == 0;
+}
+
+bool MappedFile::Evict(size_t offset, size_t len) const {
+  void* addr = nullptr;
+  size_t n = 0;
+  if (!PageRange(offset, len, &addr, &n)) return true;
+  return ::madvise(addr, n, MADV_DONTNEED) == 0;
+}
+
+size_t MappedFile::ResidentBytes(size_t offset, size_t len) const {
+  void* addr = nullptr;
+  size_t n = 0;
+  if (!PageRange(offset, len, &addr, &n)) return 0;
+  const size_t page = PageSize();
+  std::vector<unsigned char> vec((n + page - 1) / page);
+  if (::mincore(addr, n, vec.data()) != 0) return 0;
+  size_t resident = 0;
+  for (unsigned char v : vec) {
+    if (v & 1) resident += page;
+  }
+  return std::min(resident, n);
+}
+
+}  // namespace rsmi

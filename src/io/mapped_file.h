@@ -1,0 +1,74 @@
+#ifndef RSMI_IO_MAPPED_FILE_H_
+#define RSMI_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rsmi {
+
+/// Read-only mmap over a whole file — the zero-copy source of the lazy
+/// index load path (src/xmem/). Opening maps the file without reading a
+/// byte; pages fault in on first access and the kernel reclaims them
+/// under pressure. The residency helpers wrap `madvise`/`mincore` so the
+/// xmem eviction clock and prefetcher can steer which pages stay
+/// resident without owning any page cache themselves.
+///
+/// The mapping is immutable and safe to read from any number of threads;
+/// Advise() calls may race reads freely (an evicted page simply refaults).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. nullptr with a diagnostic in `*error` (if
+  /// non-null) when the file cannot be opened, stat'ed, or mapped. An
+  /// empty file maps successfully with size() == 0.
+  static std::unique_ptr<MappedFile> Open(const std::string& path,
+                                          std::string* error = nullptr);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// True when [p, p + n) lies inside this mapping — used to decide
+  /// whether a borrowed entry span belongs to this file.
+  bool Contains(const void* p, size_t n) const {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    return b >= data_ && n <= size_ && b - data_ <= static_cast<ptrdiff_t>(size_ - n);
+  }
+
+  /// Asks the kernel to start reading [offset, offset+len) in the
+  /// background (MADV_WILLNEED). Best effort; false only on a hard
+  /// madvise failure.
+  bool Prefetch(size_t offset, size_t len) const;
+
+  /// Drops the page range from this process's RSS (MADV_DONTNEED on the
+  /// shared read-only mapping: PTEs are zapped, later reads refault from
+  /// the page cache or disk — never undefined, merely slow). Best effort.
+  bool Evict(size_t offset, size_t len) const;
+
+  /// Bytes of [offset, offset+len) currently resident in this mapping
+  /// (mincore sweep, rounded to whole pages).
+  size_t ResidentBytes(size_t offset, size_t len) const;
+
+  static size_t PageSize();
+
+ private:
+  MappedFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  /// Clamps [offset, len) to the mapping and aligns it outward to page
+  /// boundaries; false when the range is empty after clamping.
+  bool PageRange(size_t offset, size_t len, void** addr, size_t* n) const;
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_IO_MAPPED_FILE_H_

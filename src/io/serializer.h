@@ -131,11 +131,30 @@ class Deserializer {
   size_t offset() const { return pos_; }
   const uint8_t* cursor() const { return data_ + pos_; }
 
+  /// Source-lifetime promise, set by callers whose backing bytes outlive
+  /// the loaded index (the mmap load path). When true, readers such as
+  /// BlockStore::ReadFrom may keep zero-copy pointers into the image
+  /// instead of materializing owned copies; when false (the default, and
+  /// the eager LoadIndex path whose image is a temporary), every reader
+  /// must copy. Nested deserializers (per-shard container payloads)
+  /// inherit the flag from their parent.
+  void set_borrowable(bool b) { borrowable_ = b; }
+  bool borrowable() const { return borrowable_; }
+
+  /// When true, container readers skip the payload CRC sweep. Set only by
+  /// the lazy mmap open path, where checksumming would fault in the whole
+  /// multi-GB file and defeat lazy loading (xmem re-verifies on demand via
+  /// RSMI_XMEM_VERIFY_CRC=1). Inherited by nested container payloads.
+  void set_skip_crc(bool b) { skip_crc_ = b; }
+  bool skip_crc() const { return skip_crc_; }
+
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
   bool ok_ = true;
+  bool borrowable_ = false;
+  bool skip_crc_ = false;
   std::string error_;
 };
 

@@ -24,13 +24,139 @@ struct PointEntry {
   int64_t id = -1;
 };
 
+/// Copy-on-write entry storage for a Block. Two states:
+///
+///  - owned: a plain std::vector<PointEntry> (every built or mutated
+///    block). This is the only state the pre-xmem code ever saw.
+///  - borrowed: a read-only span into an externally owned byte image (the
+///    mmap-backed lazy load path, Deserializer::borrowable()). Reads are
+///    zero-copy — the kernel faults the span's pages in on first touch —
+///    and the image owner (xmem::MappedContainer) must outlive the store.
+///
+/// Every non-const accessor first Materialize()s the span into an owned
+/// vector, so mutation never writes through the read-only mapping. The
+/// BlockStore mutation contract (exclusive access) makes that transition
+/// race-free; concurrent const reads of an un-mutated block never
+/// materialize and stay zero-copy.
+class EntryList {
+ public:
+  EntryList() = default;
+  EntryList(const EntryList&) = default;
+  EntryList(EntryList&&) noexcept = default;
+  EntryList& operator=(const EntryList&) = default;
+  EntryList& operator=(EntryList&&) noexcept = default;
+
+  /// Adopts `v` (copy or move depending on the argument). Replaces the
+  /// historical `blk.entries = some_vector` assignments.
+  EntryList& operator=(std::vector<PointEntry> v) {
+    own_ = std::move(v);
+    ext_ = nullptr;
+    ext_n_ = 0;
+    return *this;
+  }
+
+  /// Moves the entries out as a plain vector (split/rebuild code does
+  /// `std::vector<PointEntry> pts = std::move(blk.entries);`). Leaves this
+  /// list empty.
+  operator std::vector<PointEntry>() && {
+    Materialize();
+    ext_ = nullptr;
+    ext_n_ = 0;
+    return std::move(own_);
+  }
+
+  /// Points this list at `n` externally owned entries (no copy). Caller
+  /// guarantees the span outlives the list or any copy of it.
+  void Borrow(const PointEntry* data, size_t n) {
+    own_.clear();
+    ext_ = data;
+    ext_n_ = n;
+  }
+  bool borrowed() const { return ext_ != nullptr; }
+
+  size_t size() const { return ext_ != nullptr ? ext_n_ : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const PointEntry* data() const {
+    return ext_ != nullptr ? ext_ : own_.data();
+  }
+  const PointEntry* begin() const { return data(); }
+  const PointEntry* end() const { return data() + size(); }
+  const PointEntry& operator[](size_t i) const { return data()[i]; }
+  const PointEntry& back() const { return data()[size() - 1]; }
+
+  PointEntry* begin() {
+    Materialize();
+    return own_.data();
+  }
+  PointEntry* end() {
+    Materialize();
+    return own_.data() + own_.size();
+  }
+  PointEntry& operator[](size_t i) {
+    Materialize();
+    return own_[i];
+  }
+  PointEntry& back() {
+    Materialize();
+    return own_.back();
+  }
+
+  void push_back(const PointEntry& e) {
+    Materialize();
+    own_.push_back(e);
+  }
+  void pop_back() {
+    Materialize();
+    own_.pop_back();
+  }
+  void clear() {
+    own_.clear();
+    ext_ = nullptr;
+    ext_n_ = 0;
+  }
+  void reserve(size_t n) {
+    Materialize();
+    own_.reserve(n);
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    ext_ = nullptr;
+    ext_n_ = 0;
+    own_.assign(first, last);
+  }
+  PointEntry* erase(PointEntry* pos) {
+    const size_t i = static_cast<size_t>(pos - own_.data());
+    own_.erase(own_.begin() + static_cast<ptrdiff_t>(i));
+    return own_.data() + i;
+  }
+  PointEntry* erase(PointEntry* first, PointEntry* last) {
+    const size_t i = static_cast<size_t>(first - own_.data());
+    const size_t j = static_cast<size_t>(last - own_.data());
+    own_.erase(own_.begin() + static_cast<ptrdiff_t>(i),
+               own_.begin() + static_cast<ptrdiff_t>(j));
+    return own_.data() + i;
+  }
+
+ private:
+  void Materialize() {
+    if (ext_ == nullptr) return;
+    own_.assign(ext_, ext_ + ext_n_);
+    ext_ = nullptr;
+    ext_n_ = 0;
+  }
+
+  std::vector<PointEntry> own_;
+  const PointEntry* ext_ = nullptr;
+  size_t ext_n_ = 0;
+};
+
 /// A data block of capacity B (Section 3: "points stored in external
 /// storage in blocks of capacity B"). Blocks are chained with prev/next
 /// pointers so queries can scan ranges of consecutive blocks (Section 3.2:
 /// "in each block, we further store pointers to its preceding and
 /// subsequent blocks").
 struct Block {
-  std::vector<PointEntry> entries;
+  EntryList entries;
   int32_t prev = -1;
   int32_t next = -1;
   /// Stable position key in the chain. Build-time blocks get 0,1,2,...;
@@ -245,13 +371,29 @@ class BlockStore {
   /// Seq key of a block (chain-order comparisons across leaves).
   double SeqOf(int id) const { return blocks_[id].seq; }
 
+  /// Fixed per-block metadata bytes in the on-disk v4 layout (entry
+  /// count + chain links + seq + inserted + curve range + mbr).
+  static constexpr size_t kDiskMetaBytes =
+      sizeof(uint64_t) + sizeof(int32_t) * 2 + sizeof(double) + 1 +
+      sizeof(uint64_t) * 2 + sizeof(Rect);
+
   /// Binary persistence (index save/load, io/serializer.h).
+  ///
+  /// Container-v4 layout, designed for lazy mmap loads: a dense metadata
+  /// run (one kDiskMetaBytes record per block) comes first, then an
+  /// explicit pad to the next 8-byte file offset, then every block's
+  /// entries concatenated as one contiguous PointEntry region. Opening a
+  /// store therefore faults in only the small metadata run; entry pages
+  /// fault on first access. The pad byte count is stored (not derived)
+  /// because the writer knows its absolute file offset — SaveIndex and
+  /// nested shard saves share one Serializer — while a payload reader
+  /// only sees payload-relative offsets.
   void WriteTo(Serializer& out) const {
     out.WritePod(capacity_);
     out.WritePod(tail_);
     out.WritePod<uint64_t>(blocks_.size());
     for (const Block& b : blocks_) {
-      out.WriteVec(b.entries);
+      out.WritePod<uint64_t>(b.entries.size());
       out.WritePod(b.prev);
       out.WritePod(b.next);
       out.WritePod(b.seq);
@@ -260,20 +402,34 @@ class BlockStore {
       out.WritePod(b.cv_hi);
       out.WritePod(b.mbr);
     }
+    const uint8_t pad = static_cast<uint8_t>(
+        (alignof(PointEntry) - (out.size() + 1) % alignof(PointEntry)) %
+        alignof(PointEntry));
+    out.WritePod(pad);
+    for (uint8_t i = 0; i < pad; ++i) out.WritePod<uint8_t>(0);
+    for (const Block& b : blocks_) {
+      if (!b.entries.empty()) {
+        out.WriteBytes(b.entries.data(),
+                       b.entries.size() * sizeof(PointEntry));
+      }
+    }
   }
 
   bool ReadFrom(Deserializer& in) {
     if (!in.ReadPod(&capacity_) || !in.ReadPod(&tail_)) return false;
     uint64_t n = 0;
     if (!in.ReadPod(&n)) return false;
-    // Each block costs at least its fixed fields on disk; bound the count
-    // by the remaining bytes before allocating.
-    if (n > in.remaining() / (sizeof(uint64_t) + sizeof(int32_t) * 2)) {
+    // Each block costs exactly kDiskMetaBytes in the metadata run; bound
+    // the count by the remaining bytes before allocating.
+    if (n > in.remaining() / kDiskMetaBytes) {
       return in.Fail("block count exceeds remaining data");
     }
     blocks_.assign(n, Block{});
+    std::vector<uint64_t> counts(n, 0);
+    uint64_t total_entries = 0;
+    size_t i = 0;
     for (Block& b : blocks_) {
-      if (!in.ReadVec(&b.entries) || !in.ReadPod(&b.prev) ||
+      if (!in.ReadPod(&counts[i]) || !in.ReadPod(&b.prev) ||
           !in.ReadPod(&b.next) || !in.ReadPod(&b.seq) ||
           !in.ReadPod(&b.inserted) || !in.ReadPod(&b.cv_lo) ||
           !in.ReadPod(&b.cv_hi) || !in.ReadPod(&b.mbr)) {
@@ -283,6 +439,43 @@ class BlockStore {
       // CRC-valid crafted payload cannot plant an OOB chain walk.
       if (!ValidBlockRef(b.prev) || !ValidBlockRef(b.next)) {
         return in.Fail("block chain pointer out of range");
+      }
+      // Per-count check before accumulating so a crafted huge count can
+      // neither overflow the sum nor trigger a giant allocation.
+      if (counts[i] > in.remaining() / sizeof(PointEntry)) {
+        return in.Fail("entry count exceeds remaining data");
+      }
+      total_entries += counts[i];
+      if (total_entries > in.remaining() / sizeof(PointEntry)) {
+        return in.Fail("entry count exceeds remaining data");
+      }
+      ++i;
+    }
+    uint8_t pad = 0;
+    if (!in.ReadPod(&pad) || !in.Skip(pad)) return false;
+    if (total_entries > in.remaining() / sizeof(PointEntry)) {
+      return in.Fail("entry count exceeds remaining data");
+    }
+    // Zero-copy when the image outlives us (mmap path) and the writer's
+    // pad landed the region on a PointEntry boundary; otherwise copy.
+    // The alignment check is belt-and-braces for images assembled at odd
+    // offsets (hand-built test payloads): misalignment degrades to a
+    // copy, never to UB.
+    const bool borrow =
+        in.borrowable() &&
+        reinterpret_cast<uintptr_t>(in.cursor()) % alignof(PointEntry) == 0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t bytes = static_cast<size_t>(counts[k]) *
+                           sizeof(PointEntry);
+      if (borrow) {
+        blocks_[k].entries.Borrow(
+            reinterpret_cast<const PointEntry*>(in.cursor()),
+            static_cast<size_t>(counts[k]));
+        if (!in.Skip(bytes)) return false;
+      } else {
+        std::vector<PointEntry> own(static_cast<size_t>(counts[k]));
+        if (bytes > 0 && !in.ReadBytes(own.data(), bytes)) return false;
+        blocks_[k].entries = std::move(own);
       }
     }
     if (capacity_ < 1 || !ValidBlockRef(tail_)) {

@@ -4,8 +4,13 @@
 
 namespace rsmi {
 
-BufferPool::BufferPool(PagedFile* file, size_t capacity)
-    : file_(file), capacity_(std::max<size_t>(1, capacity)) {
+BufferPool::BufferPool(StorageBackend* backend, size_t capacity)
+    : file_(backend), capacity_(std::max<size_t>(1, capacity)) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  m_hits_ = &reg.GetCounter("bufferpool.hits");
+  m_misses_ = &reg.GetCounter("bufferpool.misses");
+  m_evictions_ = &reg.GetCounter("bufferpool.evictions");
+  m_writebacks_ = &reg.GetCounter("bufferpool.writebacks");
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
@@ -53,11 +58,13 @@ int BufferPool::EvictOne(bool* io_failed) {
       }
       f.dirty = false;
       ++stats_.writebacks;
+      m_writebacks_->Add();
     }
     LruRemove(cur);
     map_.erase(f.page_id);
     f.page_id = -1;
     ++stats_.evictions;
+    m_evictions_->Add();
     return cur;
   }
   return -1;
@@ -71,6 +78,7 @@ unsigned char* BufferPool::PinLocked(int64_t page_id, PinFailure* why) {
     LruRemove(it->second);
     LruPushFront(it->second);
     ++stats_.hits;
+    m_hits_->Add();
     return f.payload.data();
   }
   int frame = -1;
@@ -88,6 +96,7 @@ unsigned char* BufferPool::PinLocked(int64_t page_id, PinFailure* why) {
     }
   }
   ++stats_.misses;
+  m_misses_->Add();
   Frame& f = frames_[frame];
   if (!file_->ReadPage(page_id, f.payload.data())) {
     free_frames_.push_back(frame);
@@ -138,6 +147,7 @@ bool BufferPool::FlushAll() {
       if (file_->WritePage(f.page_id, f.payload.data())) {
         f.dirty = false;
         ++stats_.writebacks;
+        m_writebacks_->Add();
       } else {
         ok = false;
       }

@@ -7,15 +7,17 @@
 #include <unordered_map>
 #include <vector>
 
-#include "storage/paged_file.h"
+#include "obs/metrics.h"
+#include "storage/storage_backend.h"
 
 namespace rsmi {
 
-/// An LRU buffer pool over a PagedFile: the main-memory cache that sits
-/// between the query algorithms' block accesses and the disk. The paper
-/// evaluates with "no buffering assumed"; the pool makes the buffered
-/// regime measurable too (bench_ablation_buffer_pool sweeps the pool size
-/// from one page to the whole file).
+/// An LRU buffer pool over a StorageBackend (a PagedFile, or the mmap
+/// backend): the main-memory cache that sits between the query
+/// algorithms' block accesses and the disk. The paper evaluates with "no
+/// buffering assumed"; the pool makes the buffered regime measurable too
+/// (bench_ablation_buffer_pool sweeps the pool size from one page to the
+/// whole file).
 ///
 /// Usage: Pin() returns the frame payload for a page, faulting it in from
 /// disk on a miss; Unpin() releases it (with `dirty=true` if modified).
@@ -41,9 +43,9 @@ class BufferPool {
     }
   };
 
-  /// The pool holds at most `capacity` pages of `file` (>= 1). The file
-  /// must outlive the pool.
-  BufferPool(PagedFile* file, size_t capacity);
+  /// The pool holds at most `capacity` pages of `backend` (>= 1). The
+  /// backend must outlive the pool.
+  BufferPool(StorageBackend* backend, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -119,7 +121,7 @@ class BufferPool {
   /// Signaled whenever a pin is released or a frame is freed, so
   /// PinBlocking waiters can retry.
   std::condition_variable unpin_cv_;
-  PagedFile* file_;
+  StorageBackend* file_;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::vector<int> free_frames_;
@@ -127,6 +129,16 @@ class BufferPool {
   int lru_head_ = -1;
   int lru_tail_ = -1;
   Stats stats_;
+  /// Process-wide mirrors of stats_ (bufferpool.* in the global
+  /// MetricsRegistry), so cache behavior shows up in kStats and
+  /// `rsmi_cli stats` without plumbing pool pointers around. Resolved
+  /// once at construction; recording is lock-free. Unlike stats_, the
+  /// global counters aggregate across every pool in the process and are
+  /// never reset by ResetStats().
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_evictions_;
+  Counter* m_writebacks_;
 };
 
 }  // namespace rsmi

@@ -1,0 +1,59 @@
+#include "storage/mmap_backend.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace rsmi {
+
+std::unique_ptr<MmapPageBackend> MmapPageBackend::Open(
+    const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<MmapPageBackend> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  std::unique_ptr<MappedFile> map = MappedFile::Open(path, error);
+  if (map == nullptr) return nullptr;
+  if (map->size() < sizeof(PagedFile::Header)) {
+    return fail(path + " is too short to be a paged file");
+  }
+  PagedFile::Header h;
+  std::memcpy(&h, map->data(), sizeof(h));
+  PagedFile::Header expect = h;
+  expect.crc = 0;
+  if (h.magic != PagedFile::kMagic ||
+      h.crc != Crc32(&expect, sizeof(expect)) || h.payload_size == 0) {
+    return fail(path + " is not a paged file (bad header)");
+  }
+  const size_t page_bytes =
+      static_cast<size_t>(h.payload_size) + PagedFile::kChecksumBytes;
+  const size_t need = sizeof(h) + static_cast<size_t>(h.num_pages) *
+                                      page_bytes;
+  if (h.num_pages > (map->size() - sizeof(h)) / page_bytes ||
+      map->size() < need) {
+    return fail(path + " is shorter than its declared page count");
+  }
+  return std::unique_ptr<MmapPageBackend>(new MmapPageBackend(
+      std::move(map), static_cast<size_t>(h.payload_size), h.num_pages));
+}
+
+bool MmapPageBackend::ReadPage(int64_t id, void* payload) {
+  if (id < 0 || static_cast<uint64_t>(id) >= num_pages_) return false;
+  const uint8_t* page = map_->data() + PageOffset(id);
+  uint32_t stored = 0;
+  std::memcpy(&stored, page + payload_size_, sizeof(stored));
+  if (stored != Crc32(page, payload_size_)) return false;
+  std::memcpy(payload, page, payload_size_);
+  return true;
+}
+
+bool MmapPageBackend::WritePage(int64_t, const void*) { return false; }
+
+void MmapPageBackend::PrefetchPage(int64_t id) {
+  if (id < 0 || static_cast<uint64_t>(id) >= num_pages_) return;
+  map_->Prefetch(PageOffset(id),
+                 payload_size_ + PagedFile::kChecksumBytes);
+  prefetches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace rsmi

@@ -1,0 +1,67 @@
+#ifndef RSMI_STORAGE_MMAP_BACKEND_H_
+#define RSMI_STORAGE_MMAP_BACKEND_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "io/mapped_file.h"
+#include "storage/paged_file.h"
+#include "storage/storage_backend.h"
+
+namespace rsmi {
+
+/// Read-only StorageBackend over the PagedFile on-disk format, served
+/// from an mmap instead of stdio: ReadPage is one memcpy out of the
+/// mapping (zero syscalls; the kernel faults absent pages in on touch),
+/// PrefetchPage forwards to madvise(MADV_WILLNEED) so the pool — or the
+/// xmem AsyncPrefetcher — can overlap model inference with readahead.
+/// Page checksums are verified on every read, exactly like PagedFile.
+///
+/// WritePage always fails (read_only() is true): mutation of a mapped
+/// file belongs to the write-behind log, not the query path.
+class MmapPageBackend : public StorageBackend {
+ public:
+  /// Maps the paged file at `path` and validates its header. nullptr
+  /// with a diagnostic in `*error` (if non-null) on open/mmap failure, a
+  /// foreign file, or a file shorter than its declared page count.
+  static std::unique_ptr<MmapPageBackend> Open(const std::string& path,
+                                               std::string* error = nullptr);
+
+  size_t payload_size() const override { return payload_size_; }
+  uint64_t num_pages() const override { return num_pages_; }
+  bool ReadPage(int64_t id, void* payload) override;
+  bool WritePage(int64_t id, const void* payload) override;
+  bool Sync() override { return true; }
+  bool read_only() const override { return true; }
+  void PrefetchPage(int64_t id) override;
+
+  const MappedFile& mapping() const { return *map_; }
+
+  /// Physical prefetch hints issued (for the xmem metrics).
+  uint64_t prefetches() const {
+    return prefetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MmapPageBackend(std::unique_ptr<MappedFile> map, size_t payload_size,
+                  uint64_t num_pages)
+      : map_(std::move(map)),
+        payload_size_(payload_size),
+        num_pages_(num_pages) {}
+
+  size_t PageOffset(int64_t id) const {
+    return sizeof(PagedFile::Header) +
+           static_cast<size_t>(id) *
+               (payload_size_ + PagedFile::kChecksumBytes);
+  }
+
+  std::unique_ptr<MappedFile> map_;
+  size_t payload_size_ = 0;
+  uint64_t num_pages_ = 0;
+  std::atomic<uint64_t> prefetches_{0};
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_STORAGE_MMAP_BACKEND_H_

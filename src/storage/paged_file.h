@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/storage_backend.h"
+
 namespace rsmi {
 
 /// A binary file of fixed-size pages — the external-memory substrate the
@@ -27,13 +29,13 @@ namespace rsmi {
 /// query threads. One mutex serializes the shared FILE* and scratch
 /// buffer; it models a single disk arm, like the pool. Open/Create/Close
 /// remain exclusive-setup operations.
-class PagedFile {
+class PagedFile : public StorageBackend {
  public:
   /// Page payload bytes available to callers (page size minus checksum).
   static constexpr size_t kChecksumBytes = sizeof(uint32_t);
 
   PagedFile() = default;
-  ~PagedFile();
+  ~PagedFile() override;
 
   PagedFile(const PagedFile&) = delete;
   PagedFile& operator=(const PagedFile&) = delete;
@@ -50,22 +52,22 @@ class PagedFile {
   void Close();
 
   bool is_open() const { return file_ != nullptr; }
-  size_t payload_size() const { return payload_size_; }
-  uint64_t num_pages() const { return num_pages_; }
+  size_t payload_size() const override { return payload_size_; }
+  uint64_t num_pages() const override { return num_pages_; }
   const std::string& path() const { return path_; }
 
   /// Appends a zeroed page and returns its id.
   int64_t AllocPage();
 
   /// Writes `payload_size` bytes to page `id` (with a fresh checksum).
-  bool WritePage(int64_t id, const void* payload);
+  bool WritePage(int64_t id, const void* payload) override;
 
   /// Reads page `id` into `payload` (`payload_size` bytes) and verifies
   /// the checksum. Returns false on I/O error or checksum mismatch.
-  bool ReadPage(int64_t id, void* payload);
+  bool ReadPage(int64_t id, void* payload) override;
 
   /// Flushes libc buffers to the OS.
-  bool Sync();
+  bool Sync() override;
 
   /// Physical I/O counters (reads/writes of data pages since open/reset).
   uint64_t page_reads() const {
@@ -79,9 +81,10 @@ class PagedFile {
     page_writes_.store(0, std::memory_order_relaxed);
   }
 
- private:
   /// On-disk layout: [header page][data page 0][data page 1]...
-  /// Header: magic, payload size, page count, header checksum.
+  /// Header: magic, payload size, page count, header checksum. Public so
+  /// alternate backends over the same file format (MmapPageBackend) can
+  /// parse it without reimplementing the geometry.
   struct Header {
     uint64_t magic = 0;
     uint64_t payload_size = 0;
@@ -90,6 +93,7 @@ class PagedFile {
   };
   static constexpr uint64_t kMagic = 0x52534D4950414745ull;  // "RSMIPAGE"
 
+ private:
   bool WriteHeader();
   size_t PageBytes() const { return payload_size_ + kChecksumBytes; }
   long PageOffset(int64_t id) const {

@@ -1,0 +1,51 @@
+#ifndef RSMI_STORAGE_STORAGE_BACKEND_H_
+#define RSMI_STORAGE_STORAGE_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsmi {
+
+/// Page-granular storage abstraction behind the BufferPool. Two
+/// implementations ship: PagedFile (synchronous buffered stdio with a
+/// CRC per page — the original disk-backed mode) and MmapPageBackend
+/// (read-only zero-syscall reads from an mmap of the same file format,
+/// with kernel readahead steered via PrefetchPage). The pool neither
+/// knows nor cares which one it sits on; bench_ablation_buffer_pool and
+/// the xmem benches swap backends to measure the difference.
+///
+/// Implementations must tolerate concurrent calls from any number of
+/// threads (the pool serializes frame management but issues page I/O
+/// from whichever query thread faulted).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Caller-visible bytes per page.
+  virtual size_t payload_size() const = 0;
+  virtual uint64_t num_pages() const = 0;
+
+  /// Reads page `id` into `payload` (payload_size() bytes), verifying
+  /// integrity. False on I/O error, bad id, or checksum mismatch.
+  virtual bool ReadPage(int64_t id, void* payload) = 0;
+
+  /// Writes page `id`. A read-only backend returns false without
+  /// touching storage.
+  virtual bool WritePage(int64_t id, const void* payload) = 0;
+
+  /// Flushes buffered writes to the OS. True (trivially) on read-only
+  /// backends.
+  virtual bool Sync() = 0;
+
+  /// True when WritePage always fails (the pool's write-back path is a
+  /// caller bug against such a backend; queries never write back).
+  virtual bool read_only() const { return false; }
+
+  /// Hints that page `id` will be read soon. Best-effort, default no-op;
+  /// the mmap backend forwards to madvise(MADV_WILLNEED).
+  virtual void PrefetchPage(int64_t id) { (void)id; }
+};
+
+}  // namespace rsmi
+
+#endif  // RSMI_STORAGE_STORAGE_BACKEND_H_

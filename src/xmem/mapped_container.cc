@@ -1,0 +1,48 @@
+#include "xmem/mapped_container.h"
+
+#include "io/serializer.h"
+
+namespace rsmi {
+namespace xmem {
+namespace {
+
+bool SetError(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<MappedContainer> MappedContainer::Open(
+    const std::string& path, std::string* error) {
+  std::unique_ptr<MappedFile> map = MappedFile::Open(path, error);
+  if (map == nullptr) return nullptr;
+  std::unique_ptr<MappedContainer> c(new MappedContainer(std::move(map)));
+  Deserializer src(c->map_->data(), c->map_->size());
+  if (!ParseIndexContainerHeader(src, &c->info_, error)) return nullptr;
+  c->info_.file_bytes = c->map_->size();
+  c->payload_offset_ = src.offset();
+  if (c->info_.payload_bytes > src.remaining()) {
+    SetError(error, "truncated index container: payload of '" +
+                        c->info_.spec + "' cut short");
+    return nullptr;
+  }
+  return c;
+}
+
+std::unique_ptr<SpatialIndex> MappedContainer::LoadLazy(
+    bool verify_crc, std::string* error) const {
+  Deserializer src(map_->data(), map_->size());
+  src.set_borrowable(true);
+  src.set_skip_crc(!verify_crc);
+  std::unique_ptr<SpatialIndex> index = ReadIndexContainer(src, error);
+  if (index == nullptr) return nullptr;
+  if (src.remaining() != 0) {
+    SetError(error, "index file has trailing bytes after the container");
+    return nullptr;
+  }
+  return index;
+}
+
+}  // namespace xmem
+}  // namespace rsmi

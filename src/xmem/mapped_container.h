@@ -1,0 +1,63 @@
+#ifndef RSMI_XMEM_MAPPED_CONTAINER_H_
+#define RSMI_XMEM_MAPPED_CONTAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/spatial_index.h"
+#include "io/index_container.h"
+#include "io/mapped_file.h"
+
+namespace rsmi {
+namespace xmem {
+
+/// A persisted index container opened through mmap instead of an eager
+/// read: Open() maps the file and validates the fixed header fields (one
+/// page of faults), LoadLazy() reconstructs the index over the mapping
+/// with zero-copy entry spans (Deserializer::borrowable) and no payload
+/// CRC sweep — block metadata, models, and configuration are parsed
+/// eagerly (they are small and touched by every query anyway) while the
+/// dominant entry regions stay unread until a query's block scan faults
+/// them in.
+///
+/// The container owns the mapping; every index it loads borrows from it,
+/// so the container must outlive the index (ExternalIndex enforces this
+/// by owning both in order).
+class MappedContainer {
+ public:
+  /// Maps the container file at `path` and validates its header (magic,
+  /// version, spec, payload length vs. file size). The payload is not
+  /// touched. nullptr with a diagnostic in `*error` (if non-null) on a
+  /// missing/foreign/truncated file.
+  static std::unique_ptr<MappedContainer> Open(const std::string& path,
+                                               std::string* error = nullptr);
+
+  /// Header fields, available without any payload fault.
+  const IndexContainerInfo& info() const { return info_; }
+  const MappedFile& map() const { return *map_; }
+  const std::string& path() const { return map_->path(); }
+  /// Byte offset of the first payload byte inside the mapping.
+  size_t payload_offset() const { return payload_offset_; }
+
+  /// Reconstructs the persisted index lazily over the mapping. When
+  /// `verify_crc` is set the payload CRC sweep runs first (faulting the
+  /// whole file — the eager-trust escape hatch, RSMI_XMEM_VERIFY_CRC=1);
+  /// by default the sweep is skipped and corruption surfaces as the
+  /// per-kind LoadFrom bounds checks hit it. nullptr with a diagnostic
+  /// in `*error` (if non-null) on any load failure.
+  std::unique_ptr<SpatialIndex> LoadLazy(bool verify_crc = false,
+                                         std::string* error = nullptr) const;
+
+ private:
+  explicit MappedContainer(std::unique_ptr<MappedFile> map)
+      : map_(std::move(map)) {}
+
+  std::unique_ptr<MappedFile> map_;
+  IndexContainerInfo info_;
+  size_t payload_offset_ = 0;
+};
+
+}  // namespace xmem
+}  // namespace rsmi
+
+#endif  // RSMI_XMEM_MAPPED_CONTAINER_H_

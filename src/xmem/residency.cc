@@ -1,0 +1,151 @@
+#include "xmem/residency.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rsmi {
+namespace xmem {
+
+ResidencyGovernor::ResidencyGovernor(const MappedFile* map,
+                                     const Options& opts)
+    : map_(map), opts_(opts) {
+  opts_.chunk_bytes = std::max<size_t>(opts_.chunk_bytes,
+                                       MappedFile::PageSize());
+  num_chunks_ = map_->size() == 0
+                    ? 0
+                    : (map_->size() + opts_.chunk_bytes - 1) /
+                          opts_.chunk_bytes;
+  flags_ = std::vector<std::atomic<uint8_t>>(num_chunks_);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  m_evictions_ = &reg.GetCounter("xmem.evictions");
+  m_evicted_bytes_ = &reg.GetCounter("xmem.evicted_bytes");
+  m_prefetch_hits_ = &reg.GetCounter("xmem.prefetch.hits");
+  m_faults_ = &reg.GetCounter("xmem.faults");
+  m_resident_ = &reg.GetGauge("xmem.resident_bytes");
+  if (opts_.interval_ms > 0 && num_chunks_ > 0) {
+    bg_thread_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+ResidencyGovernor::~ResidencyGovernor() {
+  if (bg_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      stop_ = true;
+    }
+    bg_cv_.notify_all();
+    bg_thread_.join();
+  }
+}
+
+void ResidencyGovernor::MarkRef(size_t offset, size_t len) {
+  if (num_chunks_ == 0 || len == 0 || offset >= map_->size()) return;
+  const size_t last = std::min(map_->size() - 1, offset + len - 1);
+  for (size_t c = offset / opts_.chunk_bytes;
+       c <= last / opts_.chunk_bytes; ++c) {
+    const uint8_t prev = flags_[c].fetch_or(kRef | kWarm,
+                                            std::memory_order_relaxed);
+    if ((prev & (kWarm | kPrefetched)) == 0) {
+      first_touches_.fetch_add(1, std::memory_order_relaxed);
+      m_faults_->Add();
+    }
+    if ((prev & kPrefetched) != 0) {
+      flags_[c].fetch_and(static_cast<uint8_t>(~kPrefetched),
+                          std::memory_order_relaxed);
+      prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      m_prefetch_hits_->Add();
+    }
+  }
+}
+
+void ResidencyGovernor::MarkPrefetched(size_t offset, size_t len) {
+  if (num_chunks_ == 0 || len == 0 || offset >= map_->size()) return;
+  const size_t last = std::min(map_->size() - 1, offset + len - 1);
+  for (size_t c = offset / opts_.chunk_bytes;
+       c <= last / opts_.chunk_bytes; ++c) {
+    flags_[c].fetch_or(kPrefetched, std::memory_order_relaxed);
+  }
+}
+
+size_t ResidencyGovernor::ChunkSpanBytes(size_t c) const {
+  return std::min(opts_.chunk_bytes, map_->size() - c * opts_.chunk_bytes);
+}
+
+size_t ResidencyGovernor::ResidentBytes() const {
+  size_t total = 0;
+  for (size_t c = 0; c < num_chunks_; ++c) {
+    if ((flags_[c].load(std::memory_order_relaxed) &
+         (kWarm | kPrefetched)) != 0) {
+      total += ChunkSpanBytes(c);
+    }
+  }
+  return total;
+}
+
+size_t ResidencyGovernor::OsResidentBytes() const {
+  return map_->ResidentBytes(0, map_->size());
+}
+
+size_t ResidencyGovernor::EnforceBudget() {
+  if (num_chunks_ == 0) return 0;
+  std::unique_lock<std::mutex> lock(clock_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;
+  size_t resident = ResidentBytes();
+  m_resident_->Set(static_cast<int64_t>(resident));
+  if (resident <= opts_.budget_bytes) return 0;
+  const size_t first_evictable =
+      opts_.protected_prefix_bytes == 0
+          ? 0
+          : (opts_.protected_prefix_bytes + opts_.chunk_bytes - 1) /
+                opts_.chunk_bytes;
+  if (first_evictable >= num_chunks_) return 0;
+  size_t evicted = 0;
+  // Up to two laps: the first strips reference bits, the second can then
+  // evict every chunk that stayed unreferenced.
+  const size_t max_steps = 2 * (num_chunks_ - first_evictable);
+  for (size_t step = 0;
+       step < max_steps && resident > opts_.budget_bytes + evicted;
+       ++step) {
+    if (clock_hand_ < first_evictable || clock_hand_ >= num_chunks_) {
+      clock_hand_ = first_evictable;
+    }
+    const size_t c = clock_hand_;
+    clock_hand_ = clock_hand_ + 1 >= num_chunks_ ? first_evictable
+                                                 : clock_hand_ + 1;
+    const uint8_t f = flags_[c].load(std::memory_order_relaxed);
+    if ((f & (kWarm | kPrefetched)) == 0) continue;  // already cold
+    if ((f & kRef) != 0) {
+      // Second chance: strip the bit, evict next lap if still cold.
+      flags_[c].fetch_and(static_cast<uint8_t>(~kRef),
+                          std::memory_order_relaxed);
+      continue;
+    }
+    const size_t off = c * opts_.chunk_bytes;
+    const size_t len = ChunkSpanBytes(c);
+    map_->Evict(off, len);
+    flags_[c].fetch_and(static_cast<uint8_t>(~(kWarm | kPrefetched)),
+                        std::memory_order_relaxed);
+    evicted += len;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted_bytes_.fetch_add(len, std::memory_order_relaxed);
+    m_evictions_->Add();
+    m_evicted_bytes_->Add(len);
+  }
+  m_resident_->Set(static_cast<int64_t>(ResidentBytes()));
+  return evicted;
+}
+
+void ResidencyGovernor::BackgroundLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                      [this] { return stop_; });
+      if (stop_) return;
+    }
+    EnforceBudget();
+  }
+}
+
+}  // namespace xmem
+}  // namespace rsmi

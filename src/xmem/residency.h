@@ -1,0 +1,135 @@
+#ifndef RSMI_XMEM_RESIDENCY_H_
+#define RSMI_XMEM_RESIDENCY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/mapped_file.h"
+#include "obs/metrics.h"
+
+namespace rsmi {
+namespace xmem {
+
+/// Enforces a hard RSS budget over one mapping with a second-chance
+/// eviction clock. The mapping is carved into fixed chunks (default
+/// 256 KiB); the block-access hook and the prefetcher set per-chunk
+/// reference bits as queries touch entries, and whenever the tracked
+/// residency (warm-chunk accounting — see ResidentBytes) exceeds the
+/// budget, the clock hand sweeps: a referenced chunk loses its bit and
+/// survives one lap, an unreferenced one is evicted with
+/// madvise(MADV_DONTNEED). Eviction is
+/// always safe under concurrent readers — the read-only shared mapping
+/// stays valid and an evicted page simply refaults — so the clock needs
+/// no coordination with queries, only with itself (one enforcement pass
+/// at a time).
+///
+/// A protected prefix (the container header plus every BlockStore
+/// metadata run) is never evicted: those pages are touched by every
+/// query, and re-faulting them would thrash.
+///
+/// The budget is enforced to chunk granularity: residency may overshoot
+/// transiently between passes (by whatever queries touched since), and
+/// the background thread (or an explicit EnforceBudget call) pulls it
+/// back under.
+class ResidencyGovernor {
+ public:
+  struct Options {
+    size_t budget_bytes = 256ull << 20;
+    size_t chunk_bytes = 256 << 10;
+    /// Background enforcement period; 0 disables the thread (manual
+    /// EnforceBudget only — deterministic tests).
+    int interval_ms = 50;
+    /// Never evict [0, protected_prefix_bytes).
+    size_t protected_prefix_bytes = 0;
+  };
+
+  ResidencyGovernor(const MappedFile* map, const Options& opts);
+  ~ResidencyGovernor();
+
+  ResidencyGovernor(const ResidencyGovernor&) = delete;
+  ResidencyGovernor& operator=(const ResidencyGovernor&) = delete;
+
+  /// Marks the chunks overlapping [offset, offset+len) as referenced
+  /// (called from the block-access hook on every counted access).
+  /// Lock-free; safe from any thread.
+  void MarkRef(size_t offset, size_t len);
+
+  /// Marks the chunks as prefetched; the first MarkRef afterwards counts
+  /// a prefetch hit.
+  void MarkPrefetched(size_t offset, size_t len);
+
+  /// One full enforcement pass: measures residency and runs the clock
+  /// until the mapping fits the budget. Returns bytes evicted. Safe to
+  /// call concurrently (one pass runs, others return 0 immediately).
+  size_t EnforceBudget();
+
+  /// The governor's RSS estimate at chunk granularity: bytes of the
+  /// mapping whose chunks are warm (touched or prefetched since their
+  /// last eviction). Tracked accounting, not mincore — mincore on a
+  /// shared file mapping reports page-cache residency, which
+  /// MADV_DONTNEED does not change, so it cannot observe eviction.
+  size_t ResidentBytes() const;
+
+  /// OS page-cache residency of the whole mapping (mincore sweep) —
+  /// diagnostics only; see ResidentBytes for why this is not the budget
+  /// input.
+  size_t OsResidentBytes() const;
+
+  size_t budget_bytes() const { return opts_.budget_bytes; }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t evicted_bytes() const {
+    return evicted_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_hits() const {
+    return prefetch_hits_.load(std::memory_order_relaxed);
+  }
+  /// Cold-chunk first touches since open — the logical page-fault
+  /// indicator surfaced as xmem.faults (a chunk re-cools when evicted).
+  uint64_t first_touches() const {
+    return first_touches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Chunk flag bits.
+  static constexpr uint8_t kRef = 1;         // referenced since last sweep
+  static constexpr uint8_t kPrefetched = 2;  // prefetched, not yet touched
+  static constexpr uint8_t kWarm = 4;        // touched since last eviction
+
+  void BackgroundLoop();
+  /// Bytes of the mapping chunk `c` covers (short for the last chunk).
+  size_t ChunkSpanBytes(size_t c) const;
+
+  const MappedFile* map_;
+  Options opts_;
+  size_t num_chunks_ = 0;
+  std::vector<std::atomic<uint8_t>> flags_;
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> first_touches_{0};
+
+  std::mutex clock_mu_;  ///< one enforcement pass at a time
+  size_t clock_hand_ = 0;
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool stop_ = false;
+  std::thread bg_thread_;
+
+  Counter* m_evictions_;
+  Counter* m_evicted_bytes_;
+  Counter* m_prefetch_hits_;
+  Counter* m_faults_;
+  Gauge* m_resident_;
+};
+
+}  // namespace xmem
+}  // namespace rsmi
+
+#endif  // RSMI_XMEM_RESIDENCY_H_

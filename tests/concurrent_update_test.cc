@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/factory.h"
+#include "baselines/kdb_tree.h"
 #include "common/rng.h"
 #include "core/update.h"
 #include "data/generators.h"
@@ -329,9 +330,17 @@ TEST(ConcurrentUpdateSemanticsTest, FenceDrainsAllShards) {
   EXPECT_TRUE(index->ValidateStructure(&why)) << why;
 }
 
-/// An inner kind without persistence (kdb) cannot merge, so buffered
-/// requests must degrade to immediate application instead of wedging.
+/// An inner kind without persistence (KindSpec() empty — every shipped
+/// kind persists now, so this models a third-party SpatialIndex that
+/// never implemented SaveTo/LoadFrom) cannot be cloned for a merge, so
+/// buffered requests must degrade to immediate application instead of
+/// wedging.
 TEST(ConcurrentUpdateSemanticsTest, NonPersistableInnerDegradesToImmediate) {
+  class SpeclessKdb : public KdbTree {
+   public:
+    using KdbTree::KdbTree;
+    std::string KindSpec() const override { return ""; }
+  };
   auto data = GenerateDataset(Distribution::kUniform, 600, 17);
   DeduplicatePositions(&data, 17);
   ShardedIndexConfig scfg;
@@ -339,7 +348,9 @@ TEST(ConcurrentUpdateSemanticsTest, NonPersistableInnerDegradesToImmediate) {
   const IndexBuildConfig inner = TestConfig();
   ShardedIndex index(data, scfg,
                      [&inner](const std::vector<Point>& pts, int /*shard*/) {
-                       return MakeIndexFromSpec("kdb", pts, inner);
+                       KdbConfig c;
+                       c.block_capacity = inner.block_capacity;
+                       return std::make_unique<SpeclessKdb>(pts, c);
                      });
   EXPECT_FALSE(index.SupportsConcurrentUpdates());
 

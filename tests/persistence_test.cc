@@ -188,8 +188,10 @@ TEST_P(SpecRoundTrip, SaveLoadQueryIsBitIdenticalInclCountersAndUpdates) {
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecRoundTrip,
                          ::testing::Values("rsmi", "rsmia", "zm", "grid",
-                                           "rstar", "sharded<4>:rsmi",
-                                           "sharded<2>:sharded<2>:grid"),
+                                           "rstar", "kdb", "hrr",
+                                           "sharded<4>:rsmi",
+                                           "sharded<2>:sharded<2>:grid",
+                                           "sharded<2>:kdb"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "baselines/factory.h"
+#include "baselines/kdb_tree.h"
 #include "data/generators.h"
 #include "exec/batch_query_engine.h"
 #include "exec/request.h"
@@ -454,10 +455,15 @@ TEST(AtomicSaveTest, FailedSaveNeverClobbersTheExistingFile) {
   std::string err;
   ASSERT_TRUE(SaveIndex(*good, path, &err)) << err;
 
-  // kdb has no persistence support: the save must fail cleanly...
-  auto unsavable = MakeIndexFromSpec("kdb", data, SpecConfig());
-  ASSERT_NE(unsavable, nullptr);
-  EXPECT_FALSE(SaveIndex(*unsavable, path, &err));
+  // Every shipped kind persists now, so model a third-party index with
+  // no persistence spec (KindSpec() empty): the save must fail cleanly...
+  class SpeclessKdb : public KdbTree {
+   public:
+    using KdbTree::KdbTree;
+    std::string KindSpec() const override { return ""; }
+  };
+  SpeclessKdb unsavable(data, KdbConfig{});
+  EXPECT_FALSE(SaveIndex(unsavable, path, &err));
 
   // ...and the original file still loads, untouched.
   auto back = LoadIndex(path, &err);

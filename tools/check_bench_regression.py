@@ -43,8 +43,9 @@ observability contract). The traced-vs-untraced server round-trip
 overhead (Obs/ServerTraced) is recorded alongside but never gated —
 tracing is opt-in per request.
 
-Side inputs (--shard, --persistence, --updates, --serve) are recorded
-into the metrics artifact but never gated; --serve takes the loadgen
+Side inputs (--shard, --persistence, --updates, --serve, --xmem) are
+recorded into the metrics artifact but never gated; --serve takes the
+loadgen
 JSON the serve smoke writes, and all of them work without
 --inference/--point (which are only required, together, for the gate
 itself).
@@ -236,6 +237,60 @@ def collect_obs_metrics(obs_path):
     return out
 
 
+XMEM_POINT_ON = "BeyondRam/ColdPoint/PrefetchOn"
+XMEM_POINT_OFF = "BeyondRam/ColdPoint/PrefetchOff"
+XMEM_WINDOW_ON = "BeyondRam/ColdWindow/PrefetchOn"
+XMEM_WINDOW_OFF = "BeyondRam/ColdWindow/PrefetchOff"
+
+
+def min_real_time(benchmarks, name_prefix):
+    values = [
+        float(b["real_time"])
+        for b in benchmarks
+        if b["name"].startswith(name_prefix) and "real_time" in b
+    ]
+    if not values:
+        raise SystemExit(
+            f"error: no benchmark entries matching {name_prefix!r} — "
+            f"wrong input file or filter?"
+        )
+    return min(values)
+
+
+def collect_xmem_metrics(xmem_path):
+    """Beyond-RAM cold-query cells from bench_xmem.json.
+
+    Recorded in the uploaded artifact for trend-watching; deliberately
+    NOT gated — cold-fault latency on shared runners is dominated by the
+    page cache and the filesystem, so a threshold would only flake. The
+    bench itself hard-fails (SkipWithError) on any mmap-vs-eager parity
+    violation, which is the gated part of the acceptance. The
+    prefetch_speedup ratio > 1 means model-predicted prefetch made cold
+    batched point queries faster than demand faulting alone — but only
+    with real parallelism and a dataset that misses the page cache:
+    on 1-vCPU runners the prefetch workers just steal the query
+    thread's cycles, and at smoke scale the whole file is page-cache
+    hot, so the ratio can sit below 1 there (num_cpus rides along for
+    exactly that interpretation).
+    """
+    ctx, xmem = load_benchmarks(xmem_path)
+    on = min_real_time(xmem, XMEM_POINT_ON)
+    off = min_real_time(xmem, XMEM_POINT_OFF)
+    out = {
+        "cold_point_ms_prefetch_on": on,
+        "cold_point_ms_prefetch_off": off,
+        "prefetch_speedup": off / on if on > 0 else 0.0,
+        "cold_window_ms_prefetch_on": min_real_time(xmem, XMEM_WINDOW_ON),
+        "cold_window_ms_prefetch_off": min_real_time(xmem, XMEM_WINDOW_OFF),
+        "file_mb": max_counter(xmem, XMEM_POINT_ON, "file_mb"),
+        "budget_mb": max_counter(xmem, XMEM_POINT_ON, "budget_mb"),
+        "faults": max_counter(xmem, XMEM_POINT_ON, "faults"),
+        "prefetch_hits": max_counter(xmem, XMEM_POINT_ON, "prefetch_hits"),
+        "num_cpus": ctx.get("num_cpus"),
+    }
+    return out
+
+
 def collect_serving_metrics(serve_path):
     """Loadgen report from the serve smoke (rsmi_cli loadgen --out).
 
@@ -328,6 +383,11 @@ def main():
                     help="loadgen JSON from the serve smoke (rsmi_cli "
                          "loadgen --out); records end-to-end serving QPS "
                          "and latency percentiles (not gated)")
+    ap.add_argument("--xmem",
+                    help="bench_beyond_ram JSON from --regression-out; "
+                         "records cold-query latency through the mmap "
+                         "backend with prefetch on vs off (not gated — "
+                         "parity is asserted inside the bench itself)")
     ap.add_argument("--obs",
                     help="bench_observability JSON from --regression-out; "
                          "hard-fails when the untraced instrumentation "
@@ -357,7 +417,7 @@ def main():
             "(they form the gated normalized point cost)")
     gating = bool(args.inference)
     if not gating and not (args.shard or args.persistence or args.updates or
-                           args.serve or args.obs):
+                           args.serve or args.obs or args.xmem):
         raise SystemExit("error: nothing to collect — pass some input")
     current = collect_metrics(args.inference, args.point) if gating else {}
     if args.shard:
@@ -368,6 +428,8 @@ def main():
         current["updates"] = collect_updates_metrics(args.updates)
     if args.serve:
         current["serving"] = collect_serving_metrics(args.serve)
+    if args.xmem:
+        current["xmem"] = collect_xmem_metrics(args.xmem)
     if args.obs:
         current["observability"] = collect_obs_metrics(args.obs)
     print("current metrics:")

@@ -50,6 +50,8 @@
 #include "server/loadgen.h"
 #include "server/spatial_server.h"
 #include "shard/sharded_index.h"
+#include "xmem/external_index.h"
+#include "xmem/mapped_container.h"
 
 namespace rsmi {
 namespace {
@@ -156,7 +158,16 @@ int Usage() {
       "  --index=FILE` saves whatever was built (including sharded\n"
       "  specs); point/window/knn/stats/insert/delete `--index=FILE`\n"
       "  reload any saved kind without rebuilding. --exact needs an\n"
-      "  RSMI-backed index (rsmi/rsmia files).\n");
+      "  RSMI-backed index (rsmi/rsmia files).\n"
+      "\n"
+      "beyond-RAM (point, window, knn, stats, insert, delete):\n"
+      "  --mmap    open --index=FILE through the external-memory path:\n"
+      "            block payloads stay on disk until queries touch them,\n"
+      "            --rss-budget-mb=N (default 256) bounds residency via\n"
+      "            the eviction clock, --no-prefetch disables the\n"
+      "            model-predicted block prefetcher. Results and\n"
+      "            counters are bit-identical to an eager load; `stats\n"
+      "            --mmap` also prints the xmem_* residency counters.\n");
   return 1;
 }
 
@@ -322,12 +333,31 @@ int CmdBuild(const Flags& flags) {
 
 /// Loads whatever index kind the --index file embeds (rsmi, baselines,
 /// recursive sharded specs) through the polymorphic LoadIndex entry
-/// point; nullptr with a diagnostic on failure.
+/// point; nullptr with a diagnostic on failure. With --mmap the file is
+/// opened through the beyond-RAM lazy path instead of an eager load:
+/// block payloads stay on disk until touched, an RSS budget
+/// (--rss-budget-mb, default 256) bounds residency, and model-predicted
+/// prefetch runs unless --no-prefetch.
 std::unique_ptr<SpatialIndex> LoadIndexOrDie(const Flags& flags) {
   const std::string path = flags.Get("index", "");
   if (path.empty()) return nullptr;
   std::string err;
-  auto index = LoadIndex(path, &err);
+  std::unique_ptr<SpatialIndex> index;
+  if (flags.Has("mmap")) {
+    xmem::XmemOptions opts;
+    if (flags.Has("rss-budget-mb")) {
+      opts.rss_budget_bytes =
+          static_cast<size_t>(flags.GetInt("rss-budget-mb", 256)) << 20;
+    }
+    opts.prefetch = !flags.Has("no-prefetch");
+    // CLI commands that mutate re-save the container themselves
+    // (insert/delete --out), so the write-behind log would double-apply
+    // on the next open; the CLI mmap path is read-oriented.
+    opts.write_behind = false;
+    index = xmem::ExternalIndex::Open(path, opts, &err);
+  } else {
+    index = LoadIndex(path, &err);
+  }
   if (index == nullptr) {
     std::fprintf(stderr, "cannot load index %s: %s\n", path.c_str(),
                  err.c_str());
@@ -397,15 +427,14 @@ int CmdInfo(const Flags& flags, const std::string& positional) {
               static_cast<unsigned long long>(info.file_bytes));
   std::printf("kernel       %s\n", ActiveInferenceKernelDescription().c_str());
   // The frozen/active split exists only since v3 (it rides in the delta
-  // log itself), so older files just skip the per-shard listing.
+  // log itself), so older files just skip the per-shard listing. The walk
+  // runs over an mmap of the file, and SkipContainer never dereferences
+  // the nested payloads, so a multi-GB container faults in only the few
+  // pages holding shard metadata — info never reads the whole file.
   if (info.version >= 3 && info.spec.rfind("sharded<", 0) == 0) {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) return 0;
-    std::vector<uint8_t> bytes(info.file_bytes);
-    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    // Position at the sharded payload: skip just the outer header.
-    Deserializer payload(bytes.data(), got);
+    auto container = xmem::MappedContainer::Open(path, &err);
+    if (container == nullptr) return 0;
+    Deserializer payload(container->map().data(), container->map().size());
     std::string spec;
     uint64_t plen = 0;
     if (!payload.Skip(8 + 4) || !payload.ReadString(&spec) ||
@@ -440,6 +469,21 @@ int CmdStats(const Flags& flags) {
     std::printf("curve       %s\n", CurveName(rsmi->config().curve).c_str());
     std::printf("block_cap   %d\n", rsmi->config().block_capacity);
     std::printf("threshold   %d\n", rsmi->config().partition_threshold);
+  }
+  if (auto* ext = dynamic_cast<xmem::ExternalIndex*>(index.get())) {
+    const xmem::ResidencyGovernor& gov = ext->governor();
+    std::printf("xmem_budget_mb    %.1f\n", gov.budget_bytes() / 1048576.0);
+    std::printf("xmem_resident_mb  %.3f\n", gov.ResidentBytes() / 1048576.0);
+    std::printf("xmem_faults       %llu\n",
+                static_cast<unsigned long long>(gov.first_touches()));
+    std::printf("xmem_evictions    %llu\n",
+                static_cast<unsigned long long>(gov.evictions()));
+    std::printf("xmem_prefetch_hits %llu\n",
+                static_cast<unsigned long long>(gov.prefetch_hits()));
+    if (const xmem::WriteBehindBuffer* wb = ext->write_behind()) {
+      std::printf("xmem_wbl_records  %llu\n",
+                  static_cast<unsigned long long>(wb->records_appended()));
+    }
   }
   return 0;
 }

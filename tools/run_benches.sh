@@ -37,7 +37,11 @@
 #                 and DIR/bench_obs.json (instrumentation overhead,
 #                 registry disabled vs enabled interleaved; gated hard at
 #                 5% untraced overhead via check_bench_regression.py
-#                 --obs; the traced server cells are recorded only).
+#                 --obs; the traced server cells are recorded only)
+#                 and DIR/bench_xmem.json (beyond-RAM cold queries
+#                 through the mmap backend, prefetch on vs off; parity
+#                 asserted inside the bench, latency recorded via
+#                 check_bench_regression.py --xmem, not gated).
 #                 Gate against the committed bench/BENCH_BASELINE.json
 #                 with tools/check_bench_regression.py --baseline, or
 #                 regenerate the snapshot with its --write-baseline mode.
@@ -80,7 +84,7 @@ if [[ -n "$regression_out" ]]; then
   export RSMI_BENCH_SCALE=small RSMI_BENCH_N=2000 RSMI_BENCH_QUERIES=20
   export RSMI_BENCH_BUILD_THREADS=1
   mkdir -p "$regression_out"
-  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence bench_mixed_updates bench_observability; do
+  for b in bench_inference bench_fig08_point_scale bench_shard_scale bench_persistence bench_mixed_updates bench_observability bench_beyond_ram; do
     if [[ ! -x "$bench_dir/$b" ]]; then
       echo "error: $bench_dir/$b not found (Google Benchmark installed?)" >&2
       exit 1
@@ -120,6 +124,12 @@ if [[ -n "$regression_out" ]]; then
     --benchmark_min_time=0.05 --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=false \
     --benchmark_out="$regression_out/bench_obs.json" \
+    --benchmark_out_format=json
+  echo "=== bench_beyond_ram (pinned) -> $regression_out/bench_xmem.json ===" >&2
+  "$bench_dir/bench_beyond_ram" \
+    --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$regression_out/bench_xmem.json" \
     --benchmark_out_format=json
   exit 0
 fi
